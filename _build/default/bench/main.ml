@@ -1,0 +1,322 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (printing the same rows the paper reports) and
+   times the code paths behind each with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe table1     -- one artefact (table1..3, fig1..4)
+     dune exec bench/main.exe bench      -- only the Bechamel timings
+*)
+
+module All = Ii_exploits.All_exploits
+
+let hr title =
+  Printf.printf "\n==================== %s ====================\n\n" title
+
+(* --- artefact regeneration -------------------------------------------- *)
+
+let table1 () =
+  hr "TABLE I (abusive functionality study, §IV-D)";
+  print_endline (Ii_advisory.Corpus.table1 ());
+  Printf.printf "\ncorpus: %d CVEs, %d classifications; classifier accuracy %.1f%%\n"
+    Ii_advisory.Corpus.size Ii_advisory.Corpus.classifications
+    (100. *. Ii_advisory.Classify.accuracy ())
+
+let table2 () =
+  hr "TABLE II (use case -> abusive functionality, §VI-A)";
+  print_endline (Campaign.table2 All.use_cases)
+
+let injection_rows =
+  lazy (Campaign.run_matrix All.use_cases ~versions:Version.all ~modes:[ Campaign.Injection ])
+
+let table3 () =
+  hr "TABLE III (injection campaign, §VII/§VIII)";
+  print_endline (Campaign.table3 (Lazy.force injection_rows));
+  print_endline "\nPaper: all eight Err.State cells check; 4.13 shields XSA-212-priv and";
+  print_endline "XSA-182-test (different security level after the post-XSA-213 hardening)."
+
+let fig1 () =
+  hr "FIG 1 (chain of dependability threats + extended AVI)";
+  let final, trace = Avi.run Avi.Correct Avi.venom_scenario in
+  List.iter (fun s -> Printf.printf "  -> %s\n" (Avi.state_to_string s)) trace;
+  Printf.printf "final: %s\n" (Avi.state_to_string final);
+  let _, handled_trace =
+    Avi.run Avi.Correct
+      [
+        Avi.Introduce_vulnerability "XSA-133: FDC accepts over-long input buffers";
+        Avi.Attack { exploit = "crafted kernel module floods the FDC FIFO"; activates = true };
+        Avi.Error_handling "device-model handler validation";
+      ]
+  in
+  print_endline "with error handling deployed:";
+  List.iter (fun s -> Printf.printf "  -> %s\n" (Avi.state_to_string s)) handled_trace
+
+let fig2 () =
+  hr "FIG 2 (methodology key components, end to end)";
+  let tb = Testbed.create Version.V4_8 in
+  let uc = Option.get (All.find "XSA-182-test") in
+  let trace = Pipeline.run tb ~im:uc.Campaign.im ~inject:uc.Campaign.run_injection in
+  Format.printf "%a@." Pipeline.pp trace
+
+let fig3 () =
+  hr "FIG 3 (intrusion internal impact vs abusive-functionality abstraction)";
+  let m = Weird_machine.xsa_example in
+  let attack = [ "a"; "b"; "crafted-hypercall" ] in
+  (match Weird_machine.run_concrete m attack with
+  | Weird_machine.Erroneous_reached label ->
+      Printf.printf "concrete machine: inputs %s reach erroneous state %S\n"
+        (String.concat "," attack) label
+  | Weird_machine.Running s -> Printf.printf "concrete machine stopped in state %d\n" s);
+  (match Weird_machine.abstract m ~inputs:attack with
+  | Some a ->
+      Printf.printf "abstraction: abusive functionality over inputs %s -> %S\n"
+        (String.concat "," a.Weird_machine.abusive_input) a.Weird_machine.erroneous_label
+  | None -> print_endline "no abstraction (inputs benign)");
+  let all_inputs =
+    [ attack; [ "a" ]; [ "b"; "c" ]; [ "a"; "b"; "c"; "a"; "b"; "crafted-hypercall" ] ]
+  in
+  Printf.printf "equivalence over %d input sequences: %b\n" (List.length all_inputs)
+    (List.for_all (fun inputs -> Weird_machine.equivalent m ~inputs) all_inputs)
+
+let fig4 () =
+  hr "FIG 4 (experimental validation strategy: exploit vs injection on 4.6)";
+  Printf.printf "%-14s %-24s %-24s %s\n" "use case" "exploit violations" "injection violations"
+    "equivalent";
+  List.iter
+    (fun uc ->
+      let e = Campaign.run uc Campaign.Real_exploit Version.V4_6 in
+      let i = Campaign.run uc Campaign.Injection Version.V4_6 in
+      let cls vs =
+        match vs with
+        | [] -> "none"
+        | vs ->
+            String.concat "+"
+              (List.sort_uniq compare
+                 (List.map
+                    (fun v ->
+                      match v with
+                      | Monitor.Hypervisor_crash _ -> "crash"
+                      | Monitor.Privilege_escalation _ -> "privesc"
+                      | Monitor.Unauthorized_disclosure _ -> "disclosure"
+                      | Monitor.Integrity_violation _ -> "integrity"
+                      | Monitor.Guest_crash _ -> "guest-crash"
+                      | Monitor.Availability_degradation _ -> "availability")
+                    vs))
+      in
+      Printf.printf "%-14s %-24s %-24s %b\n" uc.Campaign.uc_name
+        (cls e.Campaign.r_violations)
+        (cls i.Campaign.r_violations)
+        (Monitor.same_class e.Campaign.r_violations i.Campaign.r_violations
+        && e.Campaign.r_state = i.Campaign.r_state))
+    All.use_cases
+
+let extensions () =
+  hr "EXTENSIONS (beyond the paper's prototype)";
+  print_endline
+    (Random_campaign.render
+       (Random_campaign.compare_versions ~seed:7L ~trials:200
+          ~targets:Random_campaign.all_targets Version.all));
+  print_newline ();
+  print_endline (Ii_devicemodel.Venom_study.render (Ii_devicemodel.Venom_study.matrix ()));
+  print_newline ();
+  print_endline (Ii_devicemodel.Blk_study.render (Ii_devicemodel.Blk_study.matrix ()));
+  print_newline ();
+  (* the management-interface IM in one paragraph *)
+  let tb = Testbed.create Version.V4_13 in
+  let victim_id = Kernel.domid tb.Testbed.victim in
+  let before = Monitor.snapshot tb in
+  Xenstore.inject_write tb.Testbed.hv.Hv.xenstore
+    (Xenstore.domain_path victim_id "memory/target")
+    "40";
+  Testbed.tick_all tb;
+  let after = Monitor.snapshot tb in
+  print_endline "Management-interface IM (tampered memory/target, victim balloons itself):";
+  List.iter
+    (fun v -> Printf.printf "  violation: %s\n" (Monitor.violation_to_string v))
+    (Monitor.violations ~before ~after);
+  print_newline ();
+  print_endline (Ii_exploits.Defense_eval.render (Ii_exploits.Defense_eval.matrix ()));
+  print_newline ();
+  print_endline (Im_catalog.render ());
+  print_newline ();
+  print_endline (Ii_advisory.Field_study.render ());
+  print_newline ();
+  print_endline (Ii_exploits.Cross_system.render (Ii_exploits.Cross_system.run ()))
+
+(* --- Bechamel timings --------------------------------------------------- *)
+
+open Bechamel
+
+let uc name = Option.get (All.find name)
+
+let bench_tests =
+  [
+    (* one Test.make per table/figure, as the harness contract asks *)
+    Test.make ~name:"table1/classify-corpus"
+      (Staged.stage (fun () ->
+           List.iter (fun e -> ignore (Ii_advisory.Classify.classify e)) Ii_advisory.Corpus.corpus));
+    Test.make ~name:"table2/derive-ims"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun a ->
+               List.iter
+                 (fun b -> ignore (Intrusion_model.compatible a.Campaign.im b.Campaign.im))
+                 All.use_cases)
+             All.use_cases));
+    Test.make ~name:"table3/injection-run"
+      (Staged.stage (fun () ->
+           ignore (Campaign.run (uc "XSA-182-test") Campaign.Injection Version.V4_8)));
+    Test.make ~name:"fig1/avi-chain"
+      (Staged.stage (fun () -> ignore (Avi.run Avi.Correct Avi.venom_scenario)));
+    Test.make ~name:"fig2/pipeline"
+      (Staged.stage (fun () ->
+           let tb = Testbed.create Version.V4_8 in
+           let u = uc "XSA-182-test" in
+           ignore (Pipeline.run tb ~im:u.Campaign.im ~inject:u.Campaign.run_injection)));
+    Test.make ~name:"fig3/equivalence"
+      (Staged.stage (fun () ->
+           ignore
+             (Weird_machine.equivalent Weird_machine.xsa_example
+                ~inputs:[ "a"; "b"; "crafted-hypercall" ])));
+    Test.make ~name:"fig4/rq1-validation"
+      (Staged.stage (fun () ->
+           let u = uc "XSA-212-crash" in
+           let e = Campaign.run u Campaign.Real_exploit Version.V4_6 in
+           let i = Campaign.run u Campaign.Injection Version.V4_6 in
+           ignore (Monitor.same_class e.Campaign.r_violations i.Campaign.r_violations)));
+    (* substrate ablations: the design choices DESIGN.md calls out *)
+    Test.make ~name:"ablation/boot-hypervisor"
+      (Staged.stage (fun () -> ignore (Hv.boot ~version:Version.V4_6 ~frames:512)));
+    Test.make ~name:"ablation/build-domain"
+      (let hv = ref (Hv.boot ~version:Version.V4_6 ~frames:4096) in
+       Staged.stage (fun () ->
+           if Phys_mem.free_frames !hv.Hv.mem < 128 then
+             hv := Hv.boot ~version:Version.V4_6 ~frames:4096;
+           ignore (Builder.create_domain !hv ~name:"bench" ~privileged:false ~pages:64)));
+    Test.make ~name:"ablation/page-walk"
+      (let tb = Testbed.create Version.V4_6 in
+       let dom = Kernel.dom tb.Testbed.attacker in
+       Staged.stage (fun () ->
+           ignore
+             (Paging.walk tb.Testbed.hv.Hv.mem ~cr3:dom.Domain.l4_mfn
+                (Domain.kernel_vaddr_of_pfn 5))));
+    Test.make ~name:"ablation/mmu-update-validated"
+      (let tb = Testbed.create Version.V4_6 in
+       let k = tb.Testbed.attacker in
+       let l1 =
+         match
+           Paging.walk tb.Testbed.hv.Hv.mem ~cr3:(Kernel.dom k).Domain.l4_mfn
+             (Domain.kernel_vaddr_of_pfn 0)
+         with
+         | Ok tr -> (List.nth tr.Paging.path 3).Paging.table_mfn
+         | Error _ -> assert false
+       in
+       let mfn9 = Option.get (Domain.mfn_of_pfn (Kernel.dom k) 9) in
+       let ptr = Int64.add (Addr.maddr_of_mfn l1) (Int64.of_int (8 * 9)) in
+       let e = Pte.make ~mfn:mfn9 ~flags:[ Pte.Present; Pte.Rw; Pte.User ] in
+       Staged.stage (fun () ->
+           ignore (Kernel.hypercall_rc k (Hypercall.Mmu_update [ (ptr, e) ]))));
+    Test.make ~name:"ablation/injector-write"
+      (let tb = Testbed.create Version.V4_6 in
+       let () = Injector.install tb.Testbed.hv in
+       let k = tb.Testbed.attacker in
+       let addr =
+         Layout.directmap_of_maddr
+           (Addr.maddr_of_mfn (Option.get (Domain.mfn_of_pfn (Kernel.dom k) 5)))
+       in
+       Staged.stage (fun () ->
+           ignore (Injector.write_u64 k ~addr ~action:Injector.Arbitrary_write_linear 42L)));
+    Test.make ~name:"ablation/pt-guard-audit"
+      (let tb = Testbed.create Version.V4_6 in
+       let guard = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_only in
+       Staged.stage (fun () -> ignore (Pt_guard.audit guard)));
+    Test.make ~name:"ablation/snapshot-capture-restore"
+      (Staged.stage (fun () ->
+           let hv = Hv.boot ~version:Version.V4_8 ~frames:1024 in
+           let g = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:64 in
+           let snap = Snapshot.capture hv g in
+           ignore (Domctl.destroy hv g);
+           ignore (Snapshot.restore hv snap)));
+    Test.make ~name:"ablation/blk-ring-roundtrip"
+      (let tb = Testbed.create Version.V4_13 in
+       let dom0 = Kernel.dom tb.Testbed.dom0 in
+       let be =
+         Ii_devicemodel.Blkdev.create_backend tb.Testbed.hv ~backend_dom:dom0 ~off_by_one:false
+       in
+       let fe =
+         match
+           Ii_devicemodel.Blkdev.connect tb.Testbed.attacker ~backend_domid:dom0.Domain.id
+             ~ring_pfn:45 ~data_pfn:46
+         with
+         | Ok fe -> fe
+         | Error _ -> assert false
+       in
+       Staged.stage (fun () ->
+           ignore (Ii_devicemodel.Blkdev.submit fe ~op:Ii_devicemodel.Blkdev.Ring.op_read ~sector:1);
+           ignore (Ii_devicemodel.Blkdev.backend_poll be fe)));
+    Test.make ~name:"ablation/xenstore-write-read"
+      (let xs = Xenstore.create () in
+       Staged.stage (fun () ->
+           ignore (Xenstore.write xs ~caller:0 "/local/domain/1/bench" "v");
+           ignore (Xenstore.read xs ~caller:0 "/local/domain/1/bench")));
+    Test.make ~name:"ablation/random-campaign-30-trials"
+      (Staged.stage (fun () ->
+           ignore (Random_campaign.run ~seed:9L ~trials:30 Version.V4_8)));
+    Test.make ~name:"ablation/memory-scan-2048-frames"
+      (let tb = Testbed.create Version.V4_6 in
+       let () = Injector.install tb.Testbed.hv in
+       let k = tb.Testbed.attacker in
+       Staged.stage (fun () ->
+           let n = Phys_mem.total_frames tb.Testbed.hv.Hv.mem in
+           for mfn = 0 to n - 1 do
+             ignore
+               (Injector.read k
+                  ~addr:(Addr.maddr_of_mfn mfn)
+                  ~action:Injector.Arbitrary_read_physical ~len:16)
+           done));
+  ]
+
+let run_benchmarks () =
+  hr "Bechamel timings (one benchmark per table/figure + substrate ablations)";
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ~kde:(Some 10) ()
+  in
+  let grouped = Test.make_grouped ~name:"xenrepro" ~fmt:"%s/%s" bench_tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols (List.hd instances) raw in
+  let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  Printf.printf "%-56s %16s %10s\n" "benchmark" "ns/run" "r^2";
+  List.iter
+    (fun (name, ols) ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some [ e ] -> e | Some _ | None -> nan
+      in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> nan in
+      Printf.printf "%-56s %16.1f %10.4f\n" name estimate r2)
+    rows
+
+let artefacts =
+  [
+    ("table1", table1);
+    ("table2", table2);
+    ("table3", table3);
+    ("fig1", fig1);
+    ("fig2", fig2);
+    ("fig3", fig3);
+    ("fig4", fig4);
+    ("extensions", extensions);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [ "bench" ] -> run_benchmarks ()
+  | _ :: [ name ] when List.mem_assoc name artefacts -> (List.assoc name artefacts) ()
+  | [ _ ] | _ :: [ "all" ] ->
+      List.iter (fun (_, f) -> f ()) artefacts;
+      run_benchmarks ()
+  | _ ->
+      prerr_endline "usage: main.exe [all|bench|table1|table2|table3|fig1|fig2|fig3|fig4|extensions]";
+      exit 2

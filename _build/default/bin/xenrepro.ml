@@ -1,0 +1,287 @@
+(* The xenrepro command-line tool: run exploits, injections, campaigns
+   and regenerate the paper's tables from the terminal. *)
+
+open Cmdliner
+
+let version_conv =
+  let parse s =
+    match Version.of_string s with
+    | Some v -> Ok v
+    | None -> Error (`Msg (Printf.sprintf "unknown Xen version %S (use 4.6, 4.8 or 4.13)" s))
+  in
+  Arg.conv (parse, fun ppf v -> Version.pp ppf v)
+
+let version_arg =
+  let doc = "Target Xen version (4.6, 4.8, 4.13)." in
+  Arg.(value & opt version_conv Version.V4_6 & info [ "x"; "xen-version" ] ~docv:"VER" ~doc)
+
+let use_case_arg =
+  let doc =
+    Printf.sprintf "Use case to run (%s)." (String.concat ", " Ii_exploits.All_exploits.names)
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"USE-CASE" ~doc)
+
+let verbose_arg =
+  let doc = "Print transcripts and console output." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let lookup_use_case name =
+  match Ii_exploits.All_exploits.find name with
+  | Some uc -> Ok uc
+  | None ->
+      Error
+        (Printf.sprintf "unknown use case %S; available: %s" name
+           (String.concat ", " Ii_exploits.All_exploits.names))
+
+let print_row ~verbose (r : Campaign.result_row) =
+  Printf.printf "use case:        %s\n" r.Campaign.r_use_case;
+  Printf.printf "Xen version:     %s\n" (Version.to_string r.Campaign.r_version);
+  Printf.printf "mode:            %s\n" (Campaign.mode_to_string r.Campaign.r_mode);
+  (match r.Campaign.r_rc with
+  | Some rc -> Printf.printf "return code:     %d\n" rc
+  | None -> ());
+  Printf.printf "erroneous state: %s\n" (if r.Campaign.r_state then "PRESENT (audited)" else "absent");
+  (match r.Campaign.r_violations with
+  | [] -> Printf.printf "security:        no violation (the system handled the state)\n"
+  | vs ->
+      Printf.printf "security violations:\n";
+      List.iter (fun v -> Printf.printf "  - %s\n" (Monitor.violation_to_string v)) vs);
+  if verbose then begin
+    Printf.printf "\n--- transcript ---\n";
+    List.iter print_endline r.Campaign.r_transcript;
+    Printf.printf "\n--- erroneous-state evidence ---\n";
+    List.iter print_endline r.Campaign.r_state_evidence
+  end
+
+let run_one mode name version verbose =
+  match lookup_use_case name with
+  | Error e -> `Error (false, e)
+  | Ok uc ->
+      print_row ~verbose (Campaign.run uc mode version);
+      `Ok ()
+
+let exploit_cmd =
+  let doc = "Run a third-party exploit PoC against a simulated Xen version." in
+  Cmd.v
+    (Cmd.info "exploit" ~doc)
+    Term.(ret (const (run_one Campaign.Real_exploit) $ use_case_arg $ version_arg $ verbose_arg))
+
+let inject_cmd =
+  let doc =
+    "Reproduce a use case's erroneous state with the intrusion injector (arbitrary_access)."
+  in
+  Cmd.v
+    (Cmd.info "inject" ~doc)
+    Term.(ret (const (run_one Campaign.Injection) $ use_case_arg $ version_arg $ verbose_arg))
+
+let campaign_cmd =
+  let doc = "Run the full evaluation campaign and print Table III." in
+  let run verbose =
+    let rows =
+      Campaign.run_matrix Ii_exploits.All_exploits.use_cases ~versions:Version.all
+        ~modes:[ Campaign.Real_exploit; Campaign.Injection ]
+    in
+    print_endline (Campaign.table3 rows);
+    print_newline ();
+    print_endline "RQ1 validation on Xen 4.6 (exploit vs injection):";
+    List.iter
+      (fun (name, st, viol) ->
+        Printf.printf "  %-14s same erroneous state: %b   same violation class: %b\n" name st viol)
+      (Campaign.validate_rq1 Ii_exploits.All_exploits.use_cases);
+    if verbose then begin
+      print_newline ();
+      List.iter
+        (fun r ->
+          Printf.printf "=== %s / %s / %s ===\n" r.Campaign.r_use_case
+            (Version.to_string r.Campaign.r_version)
+            (Campaign.mode_to_string r.Campaign.r_mode);
+          List.iter print_endline r.Campaign.r_transcript;
+          print_newline ())
+        rows
+    end
+  in
+  Cmd.v (Cmd.info "campaign" ~doc) Term.(const run $ verbose_arg)
+
+let tables_cmd =
+  let doc = "Regenerate the paper's tables (I, II, III)." in
+  let run () =
+    print_endline (Ii_advisory.Corpus.table1 ());
+    print_newline ();
+    print_endline (Campaign.table2 Ii_exploits.All_exploits.use_cases);
+    print_newline ();
+    let rows =
+      Campaign.run_matrix Ii_exploits.All_exploits.use_cases ~versions:Version.all
+        ~modes:[ Campaign.Injection ]
+    in
+    print_endline (Campaign.table3 rows)
+  in
+  Cmd.v (Cmd.info "tables" ~doc) Term.(const run $ const ())
+
+let advisory_cmd =
+  let doc = "Inspect the advisory corpus and classifier." in
+  let run () =
+    print_endline (Ii_advisory.Corpus.table1 ());
+    Printf.printf "\ncorpus: %d CVEs, %d classifications, classifier accuracy %.1f%%\n"
+      Ii_advisory.Corpus.size Ii_advisory.Corpus.classifications
+      (100. *. Ii_advisory.Classify.accuracy ())
+  in
+  Cmd.v (Cmd.info "advisory" ~doc) Term.(const run $ const ())
+
+let console_cmd =
+  let doc = "Run a use case and dump the Xen console (crash dumps etc.)." in
+  let run name mode_str version =
+    match lookup_use_case name with
+    | Error e -> `Error (false, e)
+    | Ok uc ->
+        let mode =
+          if mode_str = "exploit" then Campaign.Real_exploit else Campaign.Injection
+        in
+        let tb = Testbed.create version in
+        if mode = Campaign.Injection then Injector.install tb.Testbed.hv;
+        let attempt =
+          match mode with
+          | Campaign.Real_exploit -> uc.Campaign.run_exploit tb
+          | Campaign.Injection -> uc.Campaign.run_injection tb
+        in
+        ignore attempt;
+        List.iter print_endline (Hv.console_lines tb.Testbed.hv);
+        `Ok ()
+  in
+  let mode_arg =
+    Arg.(value & opt string "injection" & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"exploit|injection")
+  in
+  Cmd.v (Cmd.info "console" ~doc) Term.(ret (const run $ use_case_arg $ mode_arg $ version_arg))
+
+let venom_cmd =
+  let doc = "Run the VENOM device-model study (exploit vs injection across builds)." in
+  let run () = print_endline (Ii_devicemodel.Venom_study.render (Ii_devicemodel.Venom_study.matrix ())) in
+  Cmd.v (Cmd.info "venom" ~doc) Term.(const run $ const ())
+
+let blk_cmd =
+  let doc = "Run the block-backend study (off-by-one exploit vs injection over real grants)." in
+  let run () = print_endline (Ii_devicemodel.Blk_study.render (Ii_devicemodel.Blk_study.matrix ())) in
+  Cmd.v (Cmd.info "blk" ~doc) Term.(const run $ const ())
+
+let fuzz_cmd =
+  let doc =
+    "Randomized erroneous-state campaign (fuzz the injector, §IV-C) across all versions."
+  in
+  let seed_arg =
+    Arg.(value & opt int64 7L & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Campaign PRNG seed.")
+  in
+  let trials_arg =
+    Arg.(value & opt int 200 & info [ "n"; "trials" ] ~docv:"N" ~doc:"Trials per version.")
+  in
+  let flips_arg =
+    Arg.(value & flag & info [ "soft-errors" ] ~doc:"Include accidental single-bit flips.")
+  in
+  let run seed trials flips verbose =
+    let targets =
+      if flips then Random_campaign.all_targets else Random_campaign.intrusion_targets
+    in
+    let summaries = Random_campaign.compare_versions ~seed ~trials ~targets Version.all in
+    print_endline (Random_campaign.render summaries);
+    if verbose then
+      List.iter
+        (fun s ->
+          Printf.printf "\n--- Xen %s: noteworthy trials ---\n"
+            (Version.to_string s.Random_campaign.s_version);
+          List.iter
+            (fun t ->
+              if t.Random_campaign.outcome <> Random_campaign.State_only
+                 && t.Random_campaign.outcome <> Random_campaign.No_effect
+              then
+                Printf.printf "trial %3d %-20s addr=0x%Lx -> %s%s\n" t.Random_campaign.index
+                  (Random_campaign.target_to_string t.Random_campaign.target)
+                  t.Random_campaign.t_addr
+                  (Random_campaign.outcome_to_string t.Random_campaign.outcome)
+                  (match t.Random_campaign.t_violations with
+                  | [] -> ""
+                  | vs ->
+                      " [" ^ String.concat "; " (List.map Monitor.violation_to_string vs) ^ "]"))
+            s.Random_campaign.trials)
+        summaries
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ seed_arg $ trials_arg $ flips_arg $ verbose_arg)
+
+let cross_cmd =
+  let doc = "Cross-system injection: the same IM into Xen and a KVM-style hypervisor (the cross-system scenario)." in
+  let run () =
+    Format.printf "%a@.@." Intrusion_model.pp_long Ii_exploits.Cross_system.im;
+    print_endline (Ii_exploits.Cross_system.render (Ii_exploits.Cross_system.run ()))
+  in
+  Cmd.v (Cmd.info "cross" ~doc) Term.(const run $ const ())
+
+let stats_cmd =
+  let doc = "Run a use case and print a xentop-style host summary (domains, memory, hypercalls)." in
+  let run name mode_str version =
+    match lookup_use_case name with
+    | Error e -> `Error (false, e)
+    | Ok uc ->
+        let mode = if mode_str = "exploit" then Campaign.Real_exploit else Campaign.Injection in
+        let tb = Testbed.create version in
+        if mode = Campaign.Injection then Injector.install tb.Testbed.hv;
+        ignore
+          (match mode with
+          | Campaign.Real_exploit -> uc.Campaign.run_exploit tb
+          | Campaign.Injection -> uc.Campaign.run_injection tb);
+        Testbed.tick_all tb;
+        let hv = tb.Testbed.hv in
+        Printf.printf "xentop - Xen %s%s\n" (Version.to_string version)
+          (if Hv.is_crashed hv then "   *** HOST CRASHED ***" else "");
+        Printf.printf "free frames: %d / %d\n" (Phys_mem.free_frames hv.Hv.mem)
+          (Phys_mem.total_frames hv.Hv.mem);
+        Printf.printf "%-5s %-10s %8s %8s %6s\n" "DOMID" "NAME" "PAGES" "VCPURUNS" "PROCS";
+        List.iter
+          (fun k ->
+            let d = Kernel.dom k in
+            Printf.printf "%-5d %-10s %8d %8d %6d\n" d.Domain.id d.Domain.name
+              (List.length (Domain.populated_pfns d))
+              (Sched.runs_of hv.Hv.sched ~dom:d.Domain.id)
+              (List.length (Process.list (Kernel.processes k))))
+          (Testbed.kernels tb);
+        Printf.printf "hypercalls (nr: calls):";
+        List.iter (fun (n, c) -> Printf.printf " %d:%d" n c) (Hv.hypercall_stats hv);
+        Printf.printf "   failed: %d\n" hv.Hv.hypercalls_failed;
+        `Ok ()
+  in
+  let mode_arg =
+    Arg.(value & opt string "injection" & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"exploit|injection")
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(ret (const run $ use_case_arg $ mode_arg $ version_arg))
+
+let field_study_cmd =
+  let doc = "Render the advisory field study and the risk-driven campaign plan." in
+  let run () = print_endline (Ii_advisory.Field_study.render ()) in
+  Cmd.v (Cmd.info "field-study" ~doc) Term.(const run $ const ())
+
+let defense_cmd =
+  let doc =
+    "Evaluate the page-table integrity guard with injected erroneous states."
+  in
+  let run version =
+    print_endline (Ii_exploits.Defense_eval.render (Ii_exploits.Defense_eval.matrix ~version ()))
+  in
+  Cmd.v (Cmd.info "defense" ~doc) Term.(const run $ version_arg)
+
+let ims_cmd =
+  let doc = "List the intrusion-model catalog and injector coverage." in
+  let run verbose =
+    print_endline (Im_catalog.render ());
+    if verbose then
+      List.iter
+        (fun e ->
+          List.iter
+            (fun m -> Format.printf "@.%a@." Intrusion_model.pp_long m)
+            e.Im_catalog.models)
+        Im_catalog.catalog
+  in
+  Cmd.v (Cmd.info "ims" ~doc) Term.(const run $ verbose_arg)
+
+let main_cmd =
+  let doc = "intrusion injection for virtualized systems (DSN'23 reproduction)" in
+  Cmd.group
+    (Cmd.info "xenrepro" ~version:"1.0.0" ~doc)
+    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,1 @@
+examples/acid_cloud.ml: Addr Domain Errno Format Ii_apps Injector Int64 Kernel List Option Printf Testbed Version

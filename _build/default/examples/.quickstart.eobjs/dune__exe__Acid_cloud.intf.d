@@ -1,0 +1,1 @@
+examples/acid_cloud.mli:

@@ -1,0 +1,1 @@
+examples/cross_hypervisor.ml: Cross_system Format Ii_exploits Intrusion_model

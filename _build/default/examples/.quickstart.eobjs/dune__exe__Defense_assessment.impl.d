@@ -1,0 +1,1 @@
+examples/defense_assessment.ml: Defense_eval Hv Idt Ii_exploits Injector Int64 Kernel List Printf Pt_guard String Testbed Version

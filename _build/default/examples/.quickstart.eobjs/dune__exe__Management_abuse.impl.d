@@ -1,0 +1,1 @@
+examples/management_abuse.ml: Domain Errno Erroneous_state Hv Kernel List Monitor Printf String Testbed Toolstack Version Xenstore

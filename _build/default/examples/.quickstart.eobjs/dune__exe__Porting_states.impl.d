@@ -1,0 +1,1 @@
+examples/porting_states.ml: Abusive_functionality Errno Erroneous_state Format Idt Ii_advisory Injector Int64 Intrusion_model Kernel List Monitor Option Printf String Testbed Version

@@ -1,0 +1,1 @@
+examples/porting_states.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Abusive_functionality Campaign Errno Erroneous_state Format Hv Idt Injector Int64 Intrusion_model Kernel List Pipeline Printf Testbed Version

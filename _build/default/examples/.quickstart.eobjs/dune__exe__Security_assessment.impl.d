@@ -1,0 +1,1 @@
+examples/security_assessment.ml: Campaign Ii_exploits List Printf Version

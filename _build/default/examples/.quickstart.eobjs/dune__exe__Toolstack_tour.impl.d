@@ -1,0 +1,1 @@
+examples/toolstack_tour.ml: Addr Builder Bytes Domain Domctl Errno Hv List Option Phys_mem Printf Sched Snapshot Version Xenstore

@@ -1,0 +1,1 @@
+examples/toolstack_tour.mli:

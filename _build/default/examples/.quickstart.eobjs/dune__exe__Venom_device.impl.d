@@ -1,0 +1,1 @@
+examples/venom_device.ml: Fdc Format Ii_devicemodel Intrusion_model List Printf Venom_study

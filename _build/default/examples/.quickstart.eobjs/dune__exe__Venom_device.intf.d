@@ -1,0 +1,1 @@
+examples/venom_device.mli:

@@ -1,0 +1,86 @@
+(* Assessing a transactional system under hypervisor intrusions — the
+   §III-C scenario: "a transactional business-critical system that runs
+   on a public cloud. How can one assess the impact of successful
+   intrusions on the hypervisor in the ability of the transactional
+   system to ensure the ACID properties?"
+
+   The WAL-based store (Ii_apps.Wal_store) runs inside the victim
+   guest. The attacker cannot touch its pages through any legitimate
+   interface, so instead of waiting for a cross-domain exploit we
+   *inject* the erroneous states intrusions would cause, audit which
+   ACID properties broke, and measure how much the store's own WAL
+   recovery can undo.
+
+   Run with:  dune exec examples/acid_cloud.exe *)
+
+module Store = Ii_apps.Wal_store
+
+type scenario = { s_name : string; s_inject : Testbed.t -> Store.t -> unit }
+
+let frame_addr (tb : Testbed.t) pfn off =
+  let mfn = Option.get (Domain.mfn_of_pfn (Kernel.dom tb.Testbed.victim) pfn) in
+  Int64.add (Addr.maddr_of_mfn mfn) (Int64.of_int off)
+
+let inject_word tb addr v =
+  match
+    Injector.write_u64 tb.Testbed.attacker ~addr ~action:Injector.Arbitrary_write_physical v
+  with
+  | Ok () -> ()
+  | Error e -> failwith (Errno.to_string e)
+
+let scenarios =
+  [
+    { s_name = "baseline (no intrusion)"; s_inject = (fun _ _ -> ()) };
+    {
+      s_name = "corrupt a committed data value";
+      s_inject =
+        (fun tb st -> inject_word tb (frame_addr tb (Store.data_pfn st) ((3 * 32) + 8)) 0x666L);
+    };
+    {
+      s_name = "tear a record (bad checksum)";
+      s_inject =
+        (fun tb st -> inject_word tb (frame_addr tb (Store.data_pfn st) ((5 * 32) + 16)) 0L);
+    };
+    {
+      s_name = "erase a committed value";
+      s_inject =
+        (fun tb st -> inject_word tb (frame_addr tb (Store.data_pfn st) ((7 * 32) + 8)) 0L);
+    };
+    {
+      s_name = "forge a WAL commit mark";
+      s_inject =
+        (fun tb st ->
+          let base = frame_addr tb (Store.wal_pfn st) (9 * 32) in
+          inject_word tb base 9L;
+          inject_word tb (Int64.add base 8L) 77L;
+          inject_word tb (Int64.add base 16L) (Store.checksum ~key:9L ~value:77L);
+          inject_word tb (Int64.add base 24L) 1L);
+    };
+  ]
+
+let () =
+  Printf.printf "%-36s %-44s %-9s %-44s\n" "intrusion scenario" "audit after intrusion" "repaired"
+    "audit after WAL recovery";
+  List.iter
+    (fun { s_name; s_inject } ->
+      let tb = Testbed.create Version.V4_13 in
+      Injector.install tb.Testbed.hv;
+      let store = Store.create tb.Testbed.victim () in
+      for i = 0 to 7 do
+        match Store.put store ~slot:i ~key:(Int64.of_int (100 + i)) ~value:(Int64.of_int (1000 + i)) with
+        | Ok () -> ()
+        | Error e -> failwith e
+      done;
+      ignore (Store.begin_only store ~slot:8 ~key:108L ~value:1008L);
+      s_inject tb store;
+      let before = Format.asprintf "%a" Store.pp_verdict (Store.audit store) in
+      let repaired = Store.recover store in
+      let after = Format.asprintf "%a" Store.pp_verdict (Store.audit store) in
+      Printf.printf "%-36s %-44s %-9d %-44s\n" s_name before repaired after)
+    scenarios;
+  print_newline ();
+  print_endline
+    "Data-page corruption is detected by checksums and undone by WAL replay; a forged\n\
+     commit mark in the WAL itself defeats the application layer entirely. Exactly the\n\
+     kind of finding §III-C says intrusion injection should enable for systems that\n\
+     merely run *on top of* the virtualized infrastructure."

@@ -1,0 +1,53 @@
+(* Evaluating a defence mechanism with intrusion injection — the first
+   applicability scenario of §III-C: "Assuming a deployed mechanism to
+   prevent unauthorized modification of page tables, the effectiveness
+   of this mechanism can be tested using our approach."
+
+   The mechanism is a page-table integrity guard (golden copies of all
+   table pages + the IDT + the M2P, refreshed along the hypervisor's
+   validated update stream, audited periodically). The test drives the
+   four evaluation erroneous states into the *vulnerable* Xen 4.6 —
+   something one could never arrange on demand with real exploits alone
+   — and measures what each guard deployment actually stops.
+
+   Run with:  dune exec examples/defense_assessment.exe *)
+
+open Ii_exploits
+
+let () =
+  print_endline (Defense_eval.render (Defense_eval.matrix ()));
+  print_newline ();
+
+  (* A narrated single run showing the guard working in real time. *)
+  print_endline "Narrated: detect+repair racing the XSA-212-crash state";
+  let tb = Testbed.create Version.V4_6 in
+  Injector.install tb.Testbed.hv;
+  let guard = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_and_repair in
+  Pt_guard.enable_periodic guard ~every:1;
+  Printf.printf "  guard deployed over %d frames (page tables, IDT, M2P)\n"
+    (List.length (Pt_guard.protected_frames guard));
+  let k = tb.Testbed.attacker in
+  let gate = Int64.add (Kernel.sidt k) (Int64.of_int (Idt.handler_offset Idt.vector_page_fault)) in
+  (match Injector.write_u64 k ~addr:gate ~action:Injector.Arbitrary_write_linear 0xbadL with
+  | Ok () -> print_endline "  injected: IDT page-fault gate overwritten"
+  | Error _ -> print_endline "  injection failed");
+  Pt_guard.on_tick guard;
+  Printf.printf "  periodic audit ran (%d total); detections so far: %d\n"
+    (Pt_guard.audits_run guard)
+    (List.length (Pt_guard.detections guard));
+  ignore (Kernel.read_u64 k 0xdead_0000L);
+  Printf.printf "  attacker triggers a page fault... host crashed: %b\n"
+    (Hv.is_crashed tb.Testbed.hv);
+  print_newline ();
+  print_endline "--- Xen console ---";
+  List.iter print_endline
+    (List.filter
+       (fun l ->
+         let rec c i = i + 8 <= String.length l && (String.sub l i 8 = "pt-guard" || c (i + 1)) in
+         c 0)
+       (Hv.console_lines tb.Testbed.hv));
+  print_newline ();
+  print_endline
+    "Without intrusion injection this measurement needs a working exploit for every state;\n\
+     with it, the guard's coverage is measured directly — including against states whose\n\
+     vulnerabilities are not known yet."

@@ -1,0 +1,49 @@
+(* The management-interface intrusion model (§IX future work,
+   implemented): a compromised toolstack — or a XenStore vulnerability —
+   shrinks a victim's memory target; the guest's own balloon driver then
+   faithfully gives its pages away. The erroneous state is a tampered
+   XenStore node; the violation is availability loss, observed by the
+   monitor without any cooperation from the victim.
+
+   Run with:  dune exec examples/management_abuse.exe *)
+
+let () =
+  let tb = Testbed.create Version.V4_13 in
+  let victim = tb.Testbed.victim in
+  let victim_id = Kernel.domid victim in
+  let path = Xenstore.domain_path victim_id "memory/target" in
+
+  Printf.printf "victim %s: %d pages, memory/target = %s\n" (Kernel.hostname victim)
+    (List.length (Domain.populated_pfns (Kernel.dom victim)))
+    (match Toolstack.memory_target tb.Testbed.hv ~domid:victim_id with
+    | Some n -> string_of_int n
+    | None -> "?");
+
+  (* 1. the attacker guest cannot reach the node through the API *)
+  (match Toolstack.set_memory_target tb.Testbed.attacker ~domid:victim_id ~pages:16 with
+  | Error e -> Printf.printf "attacker's xenstore write refused: %s (as it must be)\n" (Errno.to_string e)
+  | Ok () -> print_endline "BUG: unprivileged write accepted");
+
+  (* 2. the intrusion model: inject the tampered node directly *)
+  let before = Monitor.snapshot tb in
+  Xenstore.inject_write tb.Testbed.hv.Hv.xenstore path "40";
+  let audit =
+    Erroneous_state.audit tb.Testbed.hv
+      (Erroneous_state.Xenstore_tampered { path; legitimate = "96" })
+  in
+  Printf.printf "\ninjected erroneous state: %s\n"
+    (String.concat "; " audit.Erroneous_state.evidence);
+
+  (* 3. the victim schedules; its balloon driver honours the forged target *)
+  Testbed.tick_all tb;
+  Printf.printf "after one scheduling round: victim has %d pages\n"
+    (List.length (Domain.populated_pfns (Kernel.dom victim)));
+  List.iter (fun l -> Printf.printf "  victim dmesg: %s\n" l)
+    (List.filteri (fun i _ -> i < 5) (Kernel.klog victim));
+
+  (* 4. the monitor reports the violation *)
+  let after = Monitor.snapshot tb in
+  print_newline ();
+  match Monitor.violations ~before ~after with
+  | [] -> print_endline "no violation observed (unexpected)"
+  | vs -> List.iter (fun v -> Printf.printf "violation: %s\n" (Monitor.violation_to_string v)) vs

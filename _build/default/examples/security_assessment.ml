@@ -1,0 +1,47 @@
+(* Security assessment across versions (the paper's RQ3 and the
+   cloud-provider scenario of §III-C): inject the same erroneous states
+   into different Xen versions and compare how each handles them.
+
+   Run with:  dune exec examples/security_assessment.exe *)
+
+let () =
+  print_endline "Injecting the four use-case erroneous states into every Xen version...";
+  print_newline ();
+  let rows =
+    Campaign.run_matrix Ii_exploits.All_exploits.use_cases ~versions:Version.all
+      ~modes:[ Campaign.Injection ]
+  in
+  print_endline (Campaign.table3 rows);
+  print_newline ();
+
+  (* Score each version: how many injected states did it handle? *)
+  let scores =
+    List.map
+      (fun version ->
+        let mine = List.filter (fun r -> r.Campaign.r_version = version) rows in
+        let handled =
+          List.length (List.filter (fun r -> r.Campaign.r_state && not (Campaign.violated r)) mine)
+        in
+        (version, List.length mine, handled))
+      Version.all
+  in
+  print_endline "Assessment: erroneous states handled per version";
+  List.iter
+    (fun (version, total, handled) ->
+      Printf.printf "  Xen %-5s handled %d of %d injected states%s\n" (Version.to_string version)
+        handled total
+        (if handled > 0 then "  <- hardening visible" else ""))
+    scores;
+  print_newline ();
+
+  (* The paper's §VIII conclusion, recomputed from the data. *)
+  let handled_of v = match List.find_opt (fun (v', _, _) -> v' = v) scores with
+    | Some (_, _, h) -> h
+    | None -> 0
+  in
+  if handled_of Version.V4_13 > handled_of Version.V4_8 then
+    print_endline
+      "Conclusion: Xen 4.13 handles erroneous states that 4.6/4.8 do not — the post-XSA-213\n\
+       hardening (removal of the 512GiB RWX linear-page-table window) reflects a different\n\
+       security level, exactly as §VIII reports."
+  else print_endline "Unexpected: no hardening difference observed."

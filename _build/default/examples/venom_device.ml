@@ -1,0 +1,26 @@
+(* The VENOM illustration of §III, executable: the same erroneous state
+   (corrupted FDC request-handler pointer in the device model) produced
+   two ways — by the real FIFO overflow on a vulnerable build, and by
+   the injector on any build — and assessed against a build with
+   handler validation.
+
+   Run with:  dune exec examples/venom_device.exe *)
+
+open Ii_devicemodel
+
+let () =
+  Format.printf "intrusion model:@.%a@.@." Intrusion_model.pp_long Venom_study.im;
+  let outcomes = Venom_study.matrix () in
+  print_endline (Venom_study.render outcomes);
+  print_newline ();
+  print_endline "Narrated run (vulnerable build, real exploit):";
+  let o = Venom_study.run { Fdc.venom_vulnerable = true; handler_validation = false } Venom_study.Exploit in
+  List.iter (fun l -> Printf.printf "  %s\n" l) o.Venom_study.o_log;
+  print_newline ();
+  print_endline "Narrated run (fixed build, injection — same state, same verdict):";
+  let o = Venom_study.run { Fdc.venom_vulnerable = false; handler_validation = false } Venom_study.Injection in
+  List.iter (fun l -> Printf.printf "  %s\n" l) o.Venom_study.o_log;
+  print_newline ();
+  print_endline "Narrated run (validated build, injection — the state is handled):";
+  let o = Venom_study.run { Fdc.venom_vulnerable = false; handler_validation = true } Venom_study.Injection in
+  List.iter (fun l -> Printf.printf "  %s\n" l) o.Venom_study.o_log

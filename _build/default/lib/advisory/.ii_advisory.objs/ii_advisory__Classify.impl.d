@@ -1,0 +1,1 @@
+lib/advisory/classify.ml: Abusive_functionality Corpus List String

@@ -1,0 +1,1 @@
+lib/advisory/classify.mli: Abusive_functionality Corpus

@@ -1,0 +1,1 @@
+lib/advisory/corpus.ml: Abusive_functionality Array List Printf Report String

@@ -1,0 +1,1 @@
+lib/advisory/corpus.mli: Abusive_functionality

@@ -1,0 +1,1 @@
+lib/advisory/field_study.ml: Abusive_functionality Buffer Corpus Hashtbl Ii_core List Option Printf

@@ -1,0 +1,1 @@
+lib/advisory/field_study.mli: Abusive_functionality Ii_core

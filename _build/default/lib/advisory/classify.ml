@@ -1,0 +1,45 @@
+module Af = Abusive_functionality
+
+let rules =
+  [
+    (Af.Read_unauthorized_memory, [ "leak hypervisor memory contents"; "uninitialized" ]);
+    (Af.Write_unauthorized_memory, [ "out-of-bounds write corrupts adjacent" ]);
+    (Af.Write_unauthorized_arbitrary_memory, [ "arbitrary write to hypervisor memory" ]);
+    (Af.Rw_unauthorized_memory, [ "read/write access to memory outside" ]);
+    (Af.Fail_memory_access, [ "memory access to fail" ]);
+    (Af.Corrupt_virtual_memory_mapping, [ "corrupts the virtual memory mapping" ]);
+    (Af.Corrupt_page_reference, [ "corrupts a page reference" ]);
+    (Af.Decrease_page_mapping_availability, [ "reduces page mapping availability" ]);
+    (Af.Guest_writable_page_table_entry, [ "guest-writable page table entry" ]);
+    (Af.Fail_memory_mapping, [ "memory mapping to fail" ]);
+    (Af.Uncontrolled_memory_allocation, [ "unbounded allocation" ]);
+    (Af.Keep_page_access, [ "retain access to a page after releasing" ]);
+    (Af.Induce_fatal_exception, [ "fatal exception"; "bug() assertion" ]);
+    (Af.Induce_memory_exception, [ "induce a memory exception" ]);
+    (Af.Induce_hang_state, [ "hang the cpu" ]);
+    (Af.Uncontrolled_interrupt_requests, [ "uncontrolled rate"; "interrupt storm" ]);
+  ]
+
+let contains haystack needle =
+  let h = String.lowercase_ascii haystack and n = String.lowercase_ascii needle in
+  let hl = String.length h and nl = String.length n in
+  let rec go i = if i + nl > hl then false else String.sub h i nl = n || go (i + 1) in
+  nl > 0 && go 0
+
+let classify (e : Corpus.entry) =
+  List.filter_map
+    (fun (af, phrases) ->
+      if List.exists (contains e.Corpus.summary) phrases then Some af else None)
+    rules
+
+let confusion () =
+  List.filter_map
+    (fun e ->
+      let got = classify e in
+      let want = List.sort compare e.Corpus.afs in
+      if List.sort compare got = want then None else Some (e, got))
+    Corpus.corpus
+
+let accuracy () =
+  let wrong = List.length (confusion ()) in
+  float_of_int (Corpus.size - wrong) /. float_of_int Corpus.size

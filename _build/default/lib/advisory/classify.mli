@@ -1,0 +1,20 @@
+(** The metadata classifier of §IV-D.
+
+    The study assessed each vulnerability "by going through all related
+    metadata for some context" and derived the abusive functionalities
+    an adversary could acquire. This module mechanizes that step as an
+    ordered keyword ruleset over the advisory summary text. *)
+
+val classify : Corpus.entry -> Abusive_functionality.t list
+(** All functionalities whose rules match the entry's summary, in
+    taxonomy order. *)
+
+val rules : (Abusive_functionality.t * string list) list
+(** The keyword phrases behind each functionality (for inspection). *)
+
+val accuracy : unit -> float
+(** Fraction of corpus entries whose classification matches the ground
+    truth exactly. *)
+
+val confusion : unit -> (Corpus.entry * Abusive_functionality.t list) list
+(** Entries the classifier got wrong, with what it produced. *)

@@ -1,0 +1,235 @@
+type entry = {
+  xsa : int option;
+  cve : string;
+  year : int;
+  title : string;
+  component : string;
+  summary : string;
+  afs : Abusive_functionality.t list;
+  synthetic : bool;
+}
+
+module Af = Abusive_functionality
+
+(* --- anchors: the advisories the paper names ------------------------- *)
+
+let anchor ~xsa ~cve ~year ~title ~component ~summary afs =
+  { xsa = Some xsa; cve; year; title; component; summary; afs; synthetic = false }
+
+let anchors =
+  [
+    anchor ~xsa:108 ~cve:"CVE-2014-7188" ~year:2014
+      ~title:"Improper MSR range used for x2APIC emulation" ~component:"x86 emulator"
+      ~summary:
+        "A malicious HVM guest can leak hypervisor memory contents by reading uninitialized \
+         data through the emulated x2APIC MSR range."
+      [ Af.Read_unauthorized_memory ];
+    anchor ~xsa:133 ~cve:"CVE-2015-3456" ~year:2015 ~title:"Privilege escalation via emulated floppy disk drive"
+      ~component:"qemu device model"
+      ~summary:
+        "VENOM: the floppy disk controller does not restrict the size of its input; an \
+         out-of-bounds write corrupts adjacent device-model memory that should be inaccessible."
+      [ Af.Write_unauthorized_memory ];
+    anchor ~xsa:148 ~cve:"CVE-2015-7835" ~year:2015
+      ~title:"Uncontrolled creation of large page mappings by PV guests"
+      ~component:"memory management"
+      ~summary:
+        "A missing check on the PSE invariant of L2 page-table entries leaves a guest-writable \
+         page table entry reachable from an unprivileged PV guest."
+      [ Af.Guest_writable_page_table_entry ];
+    anchor ~xsa:182 ~cve:"CVE-2016-6258" ~year:2016
+      ~title:"x86: Privilege escalation in PV guests" ~component:"memory management"
+      ~summary:
+        "The fast path that revalidates pre-existing L4 page tables wrongly treats the RW bit \
+         as safe, leaving a guest-writable page table entry via a recursive self-mapping."
+      [ Af.Guest_writable_page_table_entry ];
+    anchor ~xsa:212 ~cve:"CVE-2017-7228" ~year:2017
+      ~title:"x86: broken check in memory_exchange() permits PV guest breakout"
+      ~component:"memory management"
+      ~summary:
+        "An insufficient check on the output address of memory_exchange allows an arbitrary \
+         write to hypervisor memory from an unprivileged guest."
+      [ Af.Write_unauthorized_arbitrary_memory ];
+    anchor ~xsa:345 ~cve:"CVE-2020-27672" ~year:2020
+      ~title:"x86: Race condition in Xen mapping code" ~component:"memory management"
+      ~summary:
+        "A race in the mapping code corrupts the virtual memory mapping under concurrent \
+         updates, and the retry logic can hang the CPU while it spins on the broken state."
+      [ Af.Corrupt_virtual_memory_mapping; Af.Induce_hang_state ];
+    anchor ~xsa:387 ~cve:"CVE-2021-28701" ~year:2021
+      ~title:"Grant table v2 status pages may remain accessible after de-allocation"
+      ~component:"grant tables"
+      ~summary:
+        "Status pages that should be released to Xen when a guest switches from grant table v2 \
+         to v1 are not; the guest can retain access to a page after releasing it to the \
+         hypervisor."
+      [ Af.Keep_page_access ];
+    anchor ~xsa:393 ~cve:"XSA-393" ~year:2021
+      ~title:"arm: Guest frontends can retain access to backend-released pages"
+      ~component:"memory management"
+      ~summary:
+        "The code that removes a page mapping, activated when XENMEM_decrease_reservation is \
+         issued after a cache maintenance instruction, lets a guest retain access to a page \
+         after releasing it to the hypervisor."
+      [ Af.Keep_page_access ];
+    anchor ~xsa:156 ~cve:"CVE-2015-5307" ~year:2015
+      ~title:"x86: CPU lockup during exception delivery" ~component:"vcpu context switch"
+      ~summary:
+        "A benign #AC/#DB exception loop with guest-controlled loop condition can hang the CPU \
+         indefinitely."
+      [ Af.Induce_hang_state ];
+    anchor ~xsa:284 ~cve:"CVE-2019-17343" ~year:2019
+      ~title:"x86: PV guest INVLPG-like flushes may leave stale mediated access"
+      ~component:"memory management"
+      ~summary:
+        "A flush-handling error grants transient read/write access to memory outside the \
+         guest's allocation, and an unaligned follow-up access lets a guest induce a memory \
+         exception inside the hypervisor."
+      [ Af.Rw_unauthorized_memory; Af.Induce_memory_exception ];
+  ]
+
+(* --- synthetic remainder ---------------------------------------------- *)
+
+(* One advisory-style sentence per functionality; each contains the
+   keyword phrase the classifier keys on, so classifier accuracy over
+   the corpus is a meaningful test. *)
+let phrase = function
+  | Af.Read_unauthorized_memory ->
+      "allows a malicious guest to leak hypervisor memory contents via uninitialized padding"
+  | Af.Write_unauthorized_memory ->
+      "an out-of-bounds write corrupts adjacent hypervisor memory"
+  | Af.Write_unauthorized_arbitrary_memory ->
+      "insufficient pointer validation allows an arbitrary write to hypervisor memory"
+  | Af.Rw_unauthorized_memory ->
+      "grants read/write access to memory outside the guest's allocation"
+  | Af.Fail_memory_access -> "causes a legitimate guest memory access to fail spuriously"
+  | Af.Corrupt_virtual_memory_mapping ->
+      "stale state corrupts the virtual memory mapping maintained by the hypervisor"
+  | Af.Corrupt_page_reference -> "a reference counting error corrupts a page reference"
+  | Af.Decrease_page_mapping_availability ->
+      "an error path reduces page mapping availability for other domains"
+  | Af.Guest_writable_page_table_entry ->
+      "a missing validation step leaves a guest-writable page table entry reachable"
+  | Af.Fail_memory_mapping -> "causes a requested memory mapping to fail silently"
+  | Af.Uncontrolled_memory_allocation ->
+      "can trigger unbounded allocation and exhaust hypervisor memory"
+  | Af.Keep_page_access ->
+      "lets a guest retain access to a page after releasing it to the hypervisor"
+  | Af.Induce_fatal_exception ->
+      "a reachable BUG() assertion lets a guest trigger a fatal exception"
+  | Af.Induce_memory_exception ->
+      "an unaligned access lets a guest induce a memory exception inside the hypervisor"
+  | Af.Induce_hang_state -> "a guest-controlled loop condition can hang the CPU"
+  | Af.Uncontrolled_interrupt_requests ->
+      "spurious interrupts can be raised at an uncontrolled rate"
+
+let components =
+  [|
+    "memory management"; "grant tables"; "event channels"; "x86 emulator"; "p2m";
+    "shadow paging"; "IOMMU"; "qemu device model"; "balloon driver"; "mmio handling";
+    "vcpu context switch"; "scheduler";
+  |]
+
+(* Per-functionality synthetic single-label counts: Table I minus the
+   anchors above, minus the six dual-label entries below. *)
+let synthetic_singles =
+  [
+    (Af.Read_unauthorized_memory, 11);
+    (Af.Write_unauthorized_memory, 6);
+    (Af.Write_unauthorized_arbitrary_memory, 4);
+    (Af.Rw_unauthorized_memory, 5);
+    (Af.Fail_memory_access, 3);
+    (Af.Corrupt_virtual_memory_mapping, 3);
+    (Af.Corrupt_page_reference, 3);
+    (Af.Decrease_page_mapping_availability, 6);
+    (Af.Guest_writable_page_table_entry, 5);
+    (Af.Fail_memory_mapping, 1);
+    (Af.Uncontrolled_memory_allocation, 4);
+    (Af.Keep_page_access, 8);
+    (Af.Induce_fatal_exception, 5);
+    (Af.Induce_memory_exception, 3);
+    (Af.Induce_hang_state, 15);
+    (Af.Uncontrolled_interrupt_requests, 2);
+  ]
+
+let synthetic_duals =
+  [
+    [ Af.Read_unauthorized_memory; Af.Write_unauthorized_memory ];
+    [ Af.Induce_hang_state; Af.Induce_fatal_exception ];
+    [ Af.Keep_page_access; Af.Corrupt_page_reference ];
+    [ Af.Decrease_page_mapping_availability; Af.Fail_memory_mapping ];
+    [ Af.Induce_memory_exception; Af.Induce_hang_state ];
+    [ Af.Uncontrolled_memory_allocation; Af.Induce_hang_state ];
+  ]
+
+let synthetic_entry index afs =
+  let component = components.(index mod Array.length components) in
+  let year = 2013 + (index mod 9) in
+  let summary =
+    String.concat "; moreover, " (List.map phrase afs)
+    ^ Printf.sprintf " (reachable via the %s component)." component
+  in
+  {
+    xsa = None;
+    cve = Printf.sprintf "CVE-%d-9%03d" year (100 + index);
+    year;
+    title =
+      Printf.sprintf "Reconstructed advisory #%d (%s)" (index + 1)
+        (String.concat " + " (List.map Af.to_string afs));
+    component;
+    summary;
+    afs;
+    synthetic = true;
+  }
+
+let synthetics =
+  let singles =
+    List.concat_map (fun (af, n) -> List.init n (fun _ -> [ af ])) synthetic_singles
+  in
+  List.mapi synthetic_entry (singles @ synthetic_duals)
+
+let corpus = anchors @ synthetics
+let size = List.length corpus
+let classifications = List.fold_left (fun acc e -> acc + List.length e.afs) 0 corpus
+
+let counts () =
+  List.map
+    (fun af ->
+      (af, List.fold_left (fun acc e -> if List.mem af e.afs then acc + 1 else acc) 0 corpus))
+    Af.all
+
+let class_totals () =
+  let counts = counts () in
+  List.map
+    (fun cls ->
+      ( cls,
+        List.fold_left (fun acc (af, n) -> if Af.cls_of af = cls then acc + n else acc) 0 counts
+      ))
+    Af.cls_all
+
+let entries_for af = List.filter (fun e -> List.mem af e.afs) corpus
+let find_xsa n = List.find_opt (fun e -> e.xsa = Some n) corpus
+
+let table1 () =
+  let counts = counts () in
+  let rows =
+    List.concat_map
+      (fun cls ->
+        let total = List.assoc cls (class_totals ()) in
+        [ Printf.sprintf "%s - %d CVEs" (Af.cls_to_string cls) total; "" ]
+        |> fun header_row ->
+        (match header_row with
+        | [ h; _ ] -> [ [ h; "" ] ]
+        | _ -> [])
+        @ List.filter_map
+            (fun (af, n) ->
+              if Af.cls_of af = cls then Some [ "  " ^ Af.to_string af; string_of_int n ]
+              else None)
+            counts)
+      Af.cls_all
+  in
+  Report.table
+    ~title:
+      "TABLE I: Abusive functionalities obtainable from activating Xen vulnerabilities (100 \
+       CVEs, 108 classifications)"
+    ~header:[ "Abusive Functionality"; "CVEs" ] rows

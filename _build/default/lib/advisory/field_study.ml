@@ -1,0 +1,81 @@
+module Af = Abusive_functionality
+
+let tally key_of =
+  let tbl = Hashtbl.create 17 in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun key ->
+          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+        (key_of e))
+    Corpus.corpus;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+
+let by_year () =
+  List.sort (fun (a, _) (b, _) -> compare a b) (tally (fun e -> [ e.Corpus.year ]))
+
+let by_component () =
+  List.sort
+    (fun (_, a) (_, b) -> compare b a)
+    (tally (fun e -> [ e.Corpus.component ]))
+
+let by_class () =
+  List.sort
+    (fun (_, a) (_, b) -> compare b a)
+    (tally (fun e -> List.map Af.cls_of e.Corpus.afs))
+
+let prevalence () =
+  List.sort (fun (_, a) (_, b) -> compare b a) (tally (fun e -> e.Corpus.afs))
+
+let campaign_plan ~top =
+  let ranked = prevalence () in
+  let injectable =
+    List.filter_map
+      (fun (af, _) ->
+        let entry = Ii_core.Im_catalog.find af in
+        if Ii_core.Im_catalog.implemented entry then Some (af, entry) else None)
+      ranked
+  in
+  List.filteri (fun i _ -> i < top) injectable
+
+let injectable_share () =
+  let total, covered =
+    List.fold_left
+      (fun (total, covered) (af, n) ->
+        let ok = Ii_core.Im_catalog.implemented (Ii_core.Im_catalog.find af) in
+        (total + n, if ok then covered + n else covered))
+      (0, 0) (prevalence ())
+  in
+  if total = 0 then 0.0 else float_of_int covered /. float_of_int total
+
+let render () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Ii_core.Report.table ~title:"Field study: abusive-functionality prevalence"
+       ~header:[ "Abusive Functionality"; "CVEs"; "Injectable" ]
+       (List.map
+          (fun (af, n) ->
+            [
+              Af.to_string af;
+              string_of_int n;
+              (if Ii_core.Im_catalog.implemented (Ii_core.Im_catalog.find af) then "yes" else "no");
+            ])
+          (prevalence ())));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Ii_core.Report.table ~title:"Field study: CVEs per component"
+       ~header:[ "Component"; "CVEs" ]
+       (List.map (fun (c, n) -> [ c; string_of_int n ]) (by_component ())));
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf
+    (Printf.sprintf
+       "Injector coverage of the observed threat landscape: %.1f%% of classifications.\n"
+       (100. *. injectable_share ()));
+  Buffer.add_string buf "Risk-driven campaign plan (top five prevalent, injectable):\n";
+  List.iter
+    (fun (af, entry) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-44s -> %d intrusion model(s)\n" (Af.to_string af)
+           (List.length entry.Ii_core.Im_catalog.models)))
+    (campaign_plan ~top:5);
+  Buffer.contents buf

@@ -1,0 +1,34 @@
+(** The field study behind intrusion-model selection.
+
+    §IV-D closes with: "An extended study to cover all vulnerabilities
+    on Xen is planned for future work. We want to study in detail known
+    vulnerabilities and their abusive functionalities to properly
+    understand what are the possible set of erroneous states that we
+    may inject and which IMs we can abstract from them." This module is
+    that machinery over the reconstructed corpus: prevalence rankings,
+    per-component and per-year views, and a bridge into the
+    {!Ii_core.Im_catalog} that turns prevalence into a concrete,
+    injectable campaign plan. *)
+
+val by_year : unit -> (int * int) list
+(** (year, CVEs) ascending by year. *)
+
+val by_component : unit -> (string * int) list
+(** (component, CVEs) descending by count. *)
+
+val by_class : unit -> (Abusive_functionality.cls * int) list
+
+val prevalence : unit -> (Abusive_functionality.t * int) list
+(** Functionalities ranked by corpus prevalence, descending. *)
+
+val campaign_plan : top:int -> (Abusive_functionality.t * Ii_core.Im_catalog.entry) list
+(** The [top] most prevalent functionalities that have a working
+    injector, paired with their catalog entries — what a risk-driven
+    campaign would run first (§III-C's hardening scenario). *)
+
+val injectable_share : unit -> float
+(** Fraction of the corpus's classifications whose functionality has a
+    working injector — how much of the observed threat landscape the
+    current injector set covers. *)
+
+val render : unit -> string

@@ -1,0 +1,1 @@
+lib/apps/wal_store.ml: Addr Domain Format Int64 Kernel Result

@@ -1,0 +1,1 @@
+lib/apps/wal_store.mli: Addr Format Kernel

@@ -1,0 +1,96 @@
+type t = { k : Kernel.t; wal : Addr.pfn; data : Addr.pfn; n_slots : int }
+
+let checksum_magic = 0x5EED_5EED_5EED_5EEDL
+let checksum ~key ~value = Int64.logxor (Int64.logxor key value) checksum_magic
+let slot_size = 32
+
+let create k ?(wal_pfn = 40) ?(data_pfn = 41) ?(slots = 16) () =
+  if slots <= 0 || slots * slot_size > Addr.page_size then invalid_arg "Wal_store.create";
+  { k; wal = wal_pfn; data = data_pfn; n_slots = slots }
+
+let slots t = t.n_slots
+let wal_pfn t = t.wal
+let data_pfn t = t.data
+
+let field_addr page slot off =
+  Int64.add (Domain.kernel_vaddr_of_pfn page) (Int64.of_int ((slot * slot_size) + off))
+
+let write_field t page slot off v =
+  match Kernel.write_u64 t.k (field_addr page slot off) v with
+  | Ok () -> Ok ()
+  | Error _ -> Error "store page unreachable"
+
+let read_field t page slot off =
+  match Kernel.read_u64 t.k (field_addr page slot off) with
+  | Ok v -> Some v
+  | Error _ -> None
+
+let check_slot t slot = if slot < 0 || slot >= t.n_slots then Error "slot out of range" else Ok ()
+
+let write_record t page slot ~key ~value ~committed =
+  let ( let* ) = Result.bind in
+  let* () = check_slot t slot in
+  let* () = write_field t page slot 0 key in
+  let* () = write_field t page slot 8 value in
+  let* () = write_field t page slot 16 (checksum ~key ~value) in
+  write_field t page slot 24 (if committed then 1L else 0L)
+
+let begin_only t ~slot ~key ~value = write_record t t.wal slot ~key ~value ~committed:false
+
+let put t ~slot ~key ~value =
+  let ( let* ) = Result.bind in
+  let* () = write_record t t.wal slot ~key ~value ~committed:false in
+  let* () = write_record t t.data slot ~key ~value ~committed:true in
+  write_record t t.wal slot ~key ~value ~committed:true
+
+type record = { r_key : int64; r_value : int64; r_sum : int64; r_committed : bool }
+
+let read_record t page slot =
+  match
+    (read_field t page slot 0, read_field t page slot 8, read_field t page slot 16,
+     read_field t page slot 24)
+  with
+  | Some r_key, Some r_value, Some r_sum, Some c ->
+      Some { r_key; r_value; r_sum; r_committed = c = 1L }
+  | _ -> None
+
+let record_valid r = r.r_sum = checksum ~key:r.r_key ~value:r.r_value
+
+let get t ~slot =
+  match read_record t t.data slot with
+  | Some r when r.r_committed && record_valid r -> Some (r.r_key, r.r_value)
+  | Some _ | None -> None
+
+type verdict = { atomicity : bool; consistency : bool; durability : bool }
+
+let audit t =
+  let v = ref { atomicity = true; consistency = true; durability = true } in
+  for slot = 0 to t.n_slots - 1 do
+    match (read_record t t.wal slot, read_record t t.data slot) with
+    | Some w, Some d when w.r_committed ->
+        if not (record_valid w) then v := { !v with consistency = false };
+        if not (record_valid d) then v := { !v with consistency = false };
+        if d.r_key <> w.r_key || d.r_value <> w.r_value then v := { !v with atomicity = false };
+        if d.r_value = 0L && w.r_value <> 0L then v := { !v with durability = false }
+    | _ -> ()
+  done;
+  !v
+
+let recover t =
+  let repaired = ref 0 in
+  for slot = 0 to t.n_slots - 1 do
+    match (read_record t t.wal slot, read_record t t.data slot) with
+    | Some w, Some d when w.r_committed && record_valid w ->
+        if (not (record_valid d)) || d.r_key <> w.r_key || d.r_value <> w.r_value then begin
+          match write_record t t.data slot ~key:w.r_key ~value:w.r_value ~committed:true with
+          | Ok () -> incr repaired
+          | Error _ -> ()
+        end
+    | _ -> ()
+  done;
+  !repaired
+
+let pp_verdict ppf { atomicity; consistency; durability } =
+  let mark b = if b then "ok" else "VIOLATED" in
+  Format.fprintf ppf "atomicity=%s consistency=%s durability=%s" (mark atomicity)
+    (mark consistency) (mark durability)

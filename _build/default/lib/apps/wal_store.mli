@@ -1,0 +1,44 @@
+(** A write-ahead-logged key/value store running inside a guest — the
+    "transactional business-critical system on a public cloud" of
+    §III-C, built so its ACID properties can be audited under injected
+    hypervisor intrusions.
+
+    Records live in two of the guest's own pages (a WAL page and a data
+    page), written through the guest's normal memory path. Every record
+    carries a checksum; transactions go intent → data → commit mark, so
+    the audit can distinguish atomicity, consistency and durability
+    damage; and {!recover} replays committed WAL records over divergent
+    data, measuring how much of an intrusion the application layer can
+    undo by itself. *)
+
+type t
+
+val create : Kernel.t -> ?wal_pfn:Addr.pfn -> ?data_pfn:Addr.pfn -> ?slots:int -> unit -> t
+(** Defaults: WAL at pfn 40, data at pfn 41, 16 slots. *)
+
+val slots : t -> int
+val wal_pfn : t -> Addr.pfn
+val data_pfn : t -> Addr.pfn
+val checksum : key:int64 -> value:int64 -> int64
+
+val put : t -> slot:int -> key:int64 -> value:int64 -> (unit, string) result
+(** A full transaction: WAL intent, data write, WAL commit mark. *)
+
+val begin_only : t -> slot:int -> key:int64 -> value:int64 -> (unit, string) result
+(** Intent without data or commit — an in-flight transaction. *)
+
+val get : t -> slot:int -> (int64 * int64) option
+(** The slot's committed key/value, [None] when absent or the data
+    record fails its checksum. *)
+
+type verdict = { atomicity : bool; consistency : bool; durability : bool }
+
+val audit : t -> verdict
+(** Check every committed WAL record against the data page. *)
+
+val recover : t -> int
+(** Replay committed, checksum-valid WAL records over divergent data
+    records. Returns slots repaired. Damage to the WAL itself is not
+    recoverable at this layer. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,1 @@
+lib/core/abusive_functionality.mli: Format

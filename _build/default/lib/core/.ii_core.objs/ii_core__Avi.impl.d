@@ -1,0 +1,1 @@
+lib/core/avi.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/core/campaign.mli: Erroneous_state Intrusion_model Monitor Testbed Version

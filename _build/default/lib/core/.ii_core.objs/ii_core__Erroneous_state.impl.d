@@ -1,0 +1,1 @@
+lib/core/erroneous_state.ml: Addr Cpu Domain Errno Event_channel Format Frame Hv Idt Layout List Paging Phys_mem Printf Pte Sched Xenstore

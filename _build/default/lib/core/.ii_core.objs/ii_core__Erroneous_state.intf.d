@@ -1,0 +1,1 @@
+lib/core/erroneous_state.mli: Addr Format Hv

@@ -1,0 +1,1 @@
+lib/core/im_catalog.ml: Abusive_functionality Intrusion_model List Printf Report

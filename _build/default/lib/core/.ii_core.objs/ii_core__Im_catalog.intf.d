@@ -1,0 +1,1 @@
+lib/core/im_catalog.mli: Abusive_functionality Intrusion_model

@@ -1,0 +1,1 @@
+lib/core/injector.ml: Addr Array Bytes Domain Errno Hv Hypercall Int64 Kernel Layout Phys_mem Printf Uaccess Version

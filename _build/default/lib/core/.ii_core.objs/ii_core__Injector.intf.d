@@ -1,0 +1,1 @@
+lib/core/injector.mli: Addr Errno Hv Kernel

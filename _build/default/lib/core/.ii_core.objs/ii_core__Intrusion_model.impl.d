@@ -1,0 +1,1 @@
+lib/core/intrusion_model.ml: Abusive_functionality Format Printf String

@@ -1,0 +1,1 @@
+lib/core/intrusion_model.mli: Abusive_functionality Format

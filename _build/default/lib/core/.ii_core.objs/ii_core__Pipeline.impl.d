@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Campaign Erroneous_state Format Injector Intrusion_model List Monitor Printf Testbed

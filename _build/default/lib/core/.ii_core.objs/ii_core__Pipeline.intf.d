@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Campaign Erroneous_state Format Intrusion_model Monitor Testbed

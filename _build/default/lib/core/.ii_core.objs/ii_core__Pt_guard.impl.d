@@ -1,0 +1,1 @@
+lib/core/pt_guard.ml: Addr Array Domain Frame Hashtbl Hv List Phys_mem Printf

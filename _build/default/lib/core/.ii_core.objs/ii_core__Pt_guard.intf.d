@@ -1,0 +1,1 @@
+lib/core/pt_guard.mli: Addr Hv

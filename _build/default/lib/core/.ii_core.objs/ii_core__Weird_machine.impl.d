@@ -1,0 +1,1 @@
+lib/core/weird_machine.ml: List Option

@@ -1,0 +1,104 @@
+type cls = Memory_access | Memory_management | Exceptional_conditions | Non_memory_related
+
+type t =
+  | Read_unauthorized_memory
+  | Write_unauthorized_memory
+  | Write_unauthorized_arbitrary_memory
+  | Rw_unauthorized_memory
+  | Fail_memory_access
+  | Corrupt_virtual_memory_mapping
+  | Corrupt_page_reference
+  | Decrease_page_mapping_availability
+  | Guest_writable_page_table_entry
+  | Fail_memory_mapping
+  | Uncontrolled_memory_allocation
+  | Keep_page_access
+  | Induce_fatal_exception
+  | Induce_memory_exception
+  | Induce_hang_state
+  | Uncontrolled_interrupt_requests
+
+let all =
+  [
+    Read_unauthorized_memory;
+    Write_unauthorized_memory;
+    Write_unauthorized_arbitrary_memory;
+    Rw_unauthorized_memory;
+    Fail_memory_access;
+    Corrupt_virtual_memory_mapping;
+    Corrupt_page_reference;
+    Decrease_page_mapping_availability;
+    Guest_writable_page_table_entry;
+    Fail_memory_mapping;
+    Uncontrolled_memory_allocation;
+    Keep_page_access;
+    Induce_fatal_exception;
+    Induce_memory_exception;
+    Induce_hang_state;
+    Uncontrolled_interrupt_requests;
+  ]
+
+let cls_all = [ Memory_access; Memory_management; Exceptional_conditions; Non_memory_related ]
+
+let cls_of = function
+  | Read_unauthorized_memory | Write_unauthorized_memory | Write_unauthorized_arbitrary_memory
+  | Rw_unauthorized_memory | Fail_memory_access ->
+      Memory_access
+  | Corrupt_virtual_memory_mapping | Corrupt_page_reference | Decrease_page_mapping_availability
+  | Guest_writable_page_table_entry | Fail_memory_mapping | Uncontrolled_memory_allocation
+  | Keep_page_access ->
+      Memory_management
+  | Induce_fatal_exception | Induce_memory_exception -> Exceptional_conditions
+  | Induce_hang_state | Uncontrolled_interrupt_requests -> Non_memory_related
+
+let to_string = function
+  | Read_unauthorized_memory -> "Read Unauthorized Memory"
+  | Write_unauthorized_memory -> "Write Unauthorized Memory"
+  | Write_unauthorized_arbitrary_memory -> "Write Unauthorized Arbitrary Memory"
+  | Rw_unauthorized_memory -> "R/W Unauthorized Memory"
+  | Fail_memory_access -> "Fail a Memory Access"
+  | Corrupt_virtual_memory_mapping -> "Corrupt Virtual Memory Mapping"
+  | Corrupt_page_reference -> "Corrupt a Page Reference"
+  | Decrease_page_mapping_availability -> "Decrease Page Mapping Availability"
+  | Guest_writable_page_table_entry -> "Guest-Writable Page Table Entry"
+  | Fail_memory_mapping -> "Fail a memory mapping"
+  | Uncontrolled_memory_allocation -> "Uncontrolled Memory Allocation"
+  | Keep_page_access -> "Keep Page Access"
+  | Induce_fatal_exception -> "Induce a Fatal Exception"
+  | Induce_memory_exception -> "Induce a Memory Exception"
+  | Induce_hang_state -> "Induce a Hang State"
+  | Uncontrolled_interrupt_requests -> "Uncontrolled Arbitrary Interrupts Requests"
+
+let cls_to_string = function
+  | Memory_access -> "Memory Access"
+  | Memory_management -> "Memory Management"
+  | Exceptional_conditions -> "Exceptional Conditions"
+  | Non_memory_related -> "Non-Memory Related"
+
+let of_string s = List.find_opt (fun af -> to_string af = s) all
+
+let paper_count = function
+  | Read_unauthorized_memory -> 13
+  | Write_unauthorized_memory -> 8
+  | Write_unauthorized_arbitrary_memory -> 5
+  | Rw_unauthorized_memory -> 6
+  | Fail_memory_access -> 3
+  | Corrupt_virtual_memory_mapping -> 4
+  | Corrupt_page_reference -> 4
+  | Decrease_page_mapping_availability -> 7
+  | Guest_writable_page_table_entry -> 7
+  | Fail_memory_mapping -> 2
+  | Uncontrolled_memory_allocation -> 5
+  | Keep_page_access -> 11
+  | Induce_fatal_exception -> 6
+  | Induce_memory_exception -> 5
+  | Induce_hang_state -> 20
+  | Uncontrolled_interrupt_requests -> 2
+
+let paper_class_total = function
+  | Memory_access -> 35
+  | Memory_management -> 40
+  | Exceptional_conditions -> 11
+  | Non_memory_related -> 22
+
+let pp ppf af = Format.pp_print_string ppf (to_string af)

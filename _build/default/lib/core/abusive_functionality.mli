@@ -1,0 +1,54 @@
+(** The taxonomy of abusive functionalities (Table I).
+
+    An abusive functionality is "the essential characteristic that can
+    be generalized from a collection of exploits": the unintended
+    capability an attacker acquires by activating a vulnerability
+    (§III-B, §IV-D). The paper's preliminary study classified 100
+    memory-related Xen CVEs into four classes and the functionalities
+    below; some CVEs exhibit more than one functionality, so the 108
+    classifications exceed the 100 CVEs. *)
+
+type cls =
+  | Memory_access
+  | Memory_management
+  | Exceptional_conditions
+  | Non_memory_related
+
+type t =
+  (* Memory Access *)
+  | Read_unauthorized_memory
+  | Write_unauthorized_memory
+  | Write_unauthorized_arbitrary_memory
+  | Rw_unauthorized_memory
+  | Fail_memory_access
+  (* Memory Management *)
+  | Corrupt_virtual_memory_mapping
+  | Corrupt_page_reference
+  | Decrease_page_mapping_availability
+  | Guest_writable_page_table_entry
+  | Fail_memory_mapping
+  | Uncontrolled_memory_allocation
+  | Keep_page_access
+  (* Exceptional Conditions *)
+  | Induce_fatal_exception
+  | Induce_memory_exception
+  (* Non-Memory Related *)
+  | Induce_hang_state
+  | Uncontrolled_interrupt_requests
+
+val all : t list
+val cls_of : t -> cls
+val cls_all : cls list
+val to_string : t -> string
+(** The Table I row label, e.g. ["Write Unauthorized Arbitrary Memory"]. *)
+
+val cls_to_string : cls -> string
+val of_string : string -> t option
+
+val paper_count : t -> int
+(** The per-row CVE count of Table I. Class totals (35/40/11/22) are
+    printed in the paper; rows whose digits did not survive text
+    extraction are reconstructed to sum to them (see EXPERIMENTS.md). *)
+
+val paper_class_total : cls -> int
+val pp : Format.formatter -> t -> unit

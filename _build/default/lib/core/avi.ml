@@ -1,0 +1,54 @@
+type state =
+  | Correct
+  | Vulnerable of string
+  | Erroneous of string
+  | Violated of string
+  | Handled of string
+
+type event =
+  | Introduce_vulnerability of string
+  | Attack of { exploit : string; activates : bool }
+  | Error_handling of string
+  | Propagate
+
+let step state event =
+  match (state, event) with
+  | Correct, Introduce_vulnerability v -> Vulnerable v
+  | Correct, (Attack _ | Error_handling _ | Propagate) -> Correct
+  | Vulnerable v, Attack { exploit; activates } ->
+      if activates then Erroneous (Printf.sprintf "%s exploited by %s" v exploit) else Vulnerable v
+  | Vulnerable _, Introduce_vulnerability v' -> Vulnerable v'
+  | (Vulnerable _ as s), (Error_handling _ | Propagate) -> s
+  | Erroneous e, Error_handling mech -> Handled (Printf.sprintf "%s contained by %s" e mech)
+  | Erroneous e, Propagate -> Violated (Printf.sprintf "%s led to a security violation" e)
+  | (Erroneous _ as s), (Introduce_vulnerability _ | Attack _) -> s
+  | (Violated _ as s), _ -> s
+  | (Handled _ as s), _ -> s
+
+let run start events =
+  let final, rev_trace =
+    List.fold_left
+      (fun (s, trace) e ->
+        let s' = step s e in
+        (s', s' :: trace))
+      (start, [ start ])
+      events
+  in
+  (final, List.rev rev_trace)
+
+let venom_scenario =
+  [
+    Introduce_vulnerability "XSA-133: FDC accepts over-long input buffers";
+    Attack { exploit = "crafted kernel module floods the FDC FIFO"; activates = true };
+    Propagate;
+  ]
+
+let state_to_string = function
+  | Correct -> "correct service"
+  | Vulnerable v -> Printf.sprintf "vulnerable (%s)" v
+  | Erroneous e -> Printf.sprintf "erroneous state (%s)" e
+  | Violated e -> Printf.sprintf "security violation (%s)" e
+  | Handled e -> Printf.sprintf "handled (%s)" e
+
+let pp ppf s = Format.pp_print_string ppf (state_to_string s)
+let reachable_violation events = match run Correct events with Violated _, _ -> true | _ -> false

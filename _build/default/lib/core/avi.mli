@@ -1,0 +1,37 @@
+(** The chain of dependability threats with the extended-AVI model
+    (Fig 1): fault -> error -> failure, specialized for malicious
+    faults as attack + vulnerability -> intrusion -> erroneous state ->
+    security violation.
+
+    The chain is an explicit state machine so its structural properties
+    — no erroneous state without both an attack and a vulnerability, no
+    violation out of a handled state — can be exercised and
+    property-tested. *)
+
+type state =
+  | Correct  (** service as specified, no latent fault *)
+  | Vulnerable of string  (** a latent fault (vulnerability) is present *)
+  | Erroneous of string  (** an intrusion produced an erroneous state *)
+  | Violated of string  (** a security attribute failed *)
+  | Handled of string  (** the erroneous state was processed in time *)
+
+type event =
+  | Introduce_vulnerability of string  (** design/development/operation fault *)
+  | Attack of { exploit : string; activates : bool }
+      (** an intentional attempt; it causes an intrusion only when it
+          activates the vulnerability *)
+  | Error_handling of string  (** fault tolerance processes the state *)
+  | Propagate  (** nothing stops the erroneous state *)
+
+val step : state -> event -> state
+val run : state -> event list -> state * state list
+(** Final state and the visited trace (including the start). *)
+
+val venom_scenario : event list
+(** The §III-A illustration: the XSA-133 (VENOM) FDC overflow. *)
+
+val state_to_string : state -> string
+val pp : Format.formatter -> state -> unit
+
+val reachable_violation : event list -> bool
+(** True when the event sequence drives [Correct] into [Violated]. *)

@@ -1,0 +1,118 @@
+type attempt = {
+  transcript : string list;
+  states : Erroneous_state.spec list;
+  rc : int option;
+}
+
+type use_case = {
+  uc_name : string;
+  uc_xsa : string;
+  uc_description : string;
+  im : Intrusion_model.t;
+  run_exploit : Testbed.t -> attempt;
+  run_injection : Testbed.t -> attempt;
+}
+
+type mode = Real_exploit | Injection
+
+type result_row = {
+  r_use_case : string;
+  r_version : Version.t;
+  r_mode : mode;
+  r_state : bool;
+  r_state_evidence : string list;
+  r_violations : Monitor.violation list;
+  r_transcript : string list;
+  r_rc : int option;
+}
+
+let mode_to_string = function Real_exploit -> "exploit" | Injection -> "injection"
+
+let scheduler_rounds = 3
+
+let run ?frames uc mode version =
+  let tb = Testbed.create ?frames version in
+  if mode = Injection then Injector.install tb.Testbed.hv;
+  let before = Monitor.snapshot tb in
+  let attempt =
+    match mode with Real_exploit -> uc.run_exploit tb | Injection -> uc.run_injection tb
+  in
+  (* Let every domain run: vDSO hooks (and thus installed backdoors)
+     execute during normal scheduling. *)
+  for _ = 1 to scheduler_rounds do
+    Testbed.tick_all tb
+  done;
+  let audits = List.map (Erroneous_state.audit tb.Testbed.hv) attempt.states in
+  let r_state = attempt.states <> [] && List.for_all (fun a -> a.Erroneous_state.holds) audits in
+  let r_state_evidence = List.concat_map (fun a -> a.Erroneous_state.evidence) audits in
+  let after = Monitor.snapshot tb in
+  {
+    r_use_case = uc.uc_name;
+    r_version = version;
+    r_mode = mode;
+    r_state;
+    r_state_evidence;
+    r_violations = Monitor.violations ~before ~after;
+    r_transcript = attempt.transcript;
+    r_rc = attempt.rc;
+  }
+
+let run_matrix ?frames ucs ~versions ~modes =
+  List.concat_map
+    (fun uc ->
+      List.concat_map
+        (fun version -> List.map (fun mode -> run ?frames uc mode version) modes)
+        versions)
+    ucs
+
+let violated r = r.r_violations <> []
+
+let validate_rq1 ?frames ucs =
+  List.map
+    (fun uc ->
+      let e = run ?frames uc Real_exploit Version.V4_6 in
+      let i = run ?frames uc Injection Version.V4_6 in
+      let same_state = e.r_state && i.r_state in
+      let same_violation = Monitor.same_class e.r_violations i.r_violations in
+      (uc.uc_name, same_state, same_violation))
+    ucs
+
+let table2 ucs =
+  Report.table ~title:"TABLE II: Use case -> abusive functionality"
+    ~header:[ "Use Case"; "Abusive Functionality" ]
+    (List.map
+       (fun uc ->
+         [ uc.uc_name; Abusive_functionality.to_string uc.im.Intrusion_model.functionality ])
+       ucs)
+
+let table3 rows =
+  let injections = List.filter (fun r -> r.r_mode = Injection) rows in
+  let use_cases = List.sort_uniq compare (List.map (fun r -> r.r_use_case) injections) in
+  let versions = List.sort_uniq compare (List.map (fun r -> r.r_version) injections) in
+  let cell uc version =
+    match
+      List.find_opt (fun r -> r.r_use_case = uc && r.r_version = version) injections
+    with
+    | None -> [ "?"; "?" ]
+    | Some r ->
+        [
+          Report.check r.r_state;
+          (if violated r then Report.check true
+           else if r.r_state then Report.shield
+           else "");
+        ]
+  in
+  let header =
+    "Use Case"
+    :: List.concat_map
+         (fun v ->
+           [ Printf.sprintf "%s Err.State" (Version.to_string v);
+             Printf.sprintf "%s Sec.Viol." (Version.to_string v) ])
+         versions
+  in
+  let rows = List.map (fun uc -> uc :: List.concat_map (cell uc) versions) use_cases in
+  Report.table
+    ~title:
+      "TABLE III: Results of the injection campaign (shield = erroneous state handled by the \
+       system)"
+    ~header rows

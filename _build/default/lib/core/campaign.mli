@@ -1,0 +1,65 @@
+(** Campaign orchestration: the experimental strategy of Fig 4.
+
+    A {e use case} packages a third-party exploit together with the
+    injection script that reproduces its erroneous state and the
+    intrusion model both derive from. Running a use case on a fresh
+    testbed in either mode yields a result row: did the erroneous state
+    hold (audited against live machine state), and which security
+    violations did the monitor observe?
+
+    The use cases themselves live in the [ii_exploits] library and plug
+    in here — the campaign engine is exploit-agnostic, as an injection
+    tool must be. *)
+
+type attempt = {
+  transcript : string list;  (** guest/attacker console output *)
+  states : Erroneous_state.spec list;  (** states this attempt should establish *)
+  rc : int option;  (** hypercall return code if the attempt was refused *)
+}
+
+type use_case = {
+  uc_name : string;  (** e.g. "XSA-212-crash" *)
+  uc_xsa : string;
+  uc_description : string;
+  im : Intrusion_model.t;
+  run_exploit : Testbed.t -> attempt;
+  run_injection : Testbed.t -> attempt;
+}
+
+type mode = Real_exploit | Injection
+
+type result_row = {
+  r_use_case : string;
+  r_version : Version.t;
+  r_mode : mode;
+  r_state : bool;  (** the erroneous state holds (audited) *)
+  r_state_evidence : string list;
+  r_violations : Monitor.violation list;
+  r_transcript : string list;
+  r_rc : int option;
+}
+
+val mode_to_string : mode -> string
+
+val run : ?frames:int -> use_case -> mode -> Version.t -> result_row
+(** Fresh testbed, snapshot, run the attempt (the injector hypercall is
+    installed first in [Injection] mode), let every domain schedule a
+    few times, audit the states, snapshot again and diff. *)
+
+val run_matrix :
+  ?frames:int -> use_case list -> versions:Version.t list -> modes:mode list -> result_row list
+
+val validate_rq1 :
+  ?frames:int -> use_case list -> (string * bool * bool) list
+(** For each use case on the vulnerable version (4.6): does injection
+    reproduce the same erroneous state, and the same violation class,
+    as the real exploit? (§VI) *)
+
+val table2 : use_case list -> string
+(** Use case -> abusive functionality (Table II). *)
+
+val table3 : result_row list -> string
+(** The Err.State / Sec.Violation matrix for the injection campaign
+    (Table III; a handled state renders as the shield). *)
+
+val violated : result_row -> bool

@@ -1,0 +1,235 @@
+module Af = Abusive_functionality
+
+type injector_impl =
+  | Via_arbitrary_access
+  | Via_component_hook of string
+  | Unimplemented of string
+
+type entry = {
+  functionality : Af.t;
+  models : Intrusion_model.t list;
+  injector : injector_impl;
+  example_states : string list;
+}
+
+let im name af ?(source = Intrusion_model.Unprivileged_guest)
+    ?(interface = Intrusion_model.Hypercall_interface "arbitrary_access")
+    ?(target = Intrusion_model.Memory_management_component) ?(represents = []) description =
+  Intrusion_model.make ~name ~source ~interface ~target ~functionality:af
+    ~representative_of:represents description
+
+let catalog =
+  [
+    {
+      functionality = Af.Read_unauthorized_memory;
+      models =
+        [
+          im "IM-read-unauthorized" Af.Read_unauthorized_memory ~represents:[ "XSA-108" ]
+            "A guest reads hypervisor or foreign-domain memory it was never granted.";
+        ];
+      injector = Via_arbitrary_access;
+      example_states =
+        [ "foreign start_info/vDSO contents disclosed"; "hypervisor heap words read" ];
+    };
+    {
+      functionality = Af.Write_unauthorized_memory;
+      models =
+        [
+          im "IM-write-unauthorized" Af.Write_unauthorized_memory
+            ~interface:(Intrusion_model.Device_emulation "fdc")
+            ~target:Intrusion_model.Device_model ~represents:[ "XSA-133" ]
+            "Adjacent memory beyond a device buffer is corrupted (VENOM class).";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "FDC request-handler pointer overwritten" ];
+    };
+    {
+      functionality = Af.Write_unauthorized_arbitrary_memory;
+      models =
+        [
+          im "IM-write-arbitrary-memory" Af.Write_unauthorized_arbitrary_memory
+            ~interface:(Intrusion_model.Hypercall_interface "memory_exchange")
+            ~represents:[ "XSA-212" ]
+            "A hypercall writes an attacker-chosen hypervisor address (CWE-123).";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "IDT page-fault gate overwritten"; "PUD entry links a forged PMD" ];
+    };
+    {
+      functionality = Af.Rw_unauthorized_memory;
+      models =
+        [
+          im "IM-rw-unauthorized" Af.Rw_unauthorized_memory ~represents:[ "CVE-2019-17343" ]
+            "A transient window grants both read and write outside the allocation.";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "read-modify-write of a foreign frame" ];
+    };
+    {
+      functionality = Af.Fail_memory_access;
+      models = [];
+      injector =
+        Unimplemented
+          "advisory metadata is too unspecific to model faithfully (§IV-D: \"we can only infer \
+           that somehow the operation fails\")";
+      example_states = [];
+    };
+    {
+      functionality = Af.Corrupt_virtual_memory_mapping;
+      models =
+        [
+          im "IM-corrupt-vmm" Af.Corrupt_virtual_memory_mapping ~represents:[ "CVE-2020-27672" ]
+            "A racing update leaves a stale or wrong mapping installed.";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "leaf PTE retargeted to the wrong frame" ];
+    };
+    {
+      functionality = Af.Corrupt_page_reference;
+      models =
+        [
+          im "IM-corrupt-page-ref" Af.Corrupt_page_reference ~represents:[ "XSA-387" ]
+            "Reference bookkeeping diverges from the mappings that actually exist.";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "unaccounted leaf mapping planted next to live refcounts" ];
+    };
+    {
+      functionality = Af.Decrease_page_mapping_availability;
+      models =
+        [
+          im "IM-mapping-availability" Af.Decrease_page_mapping_availability
+            ~source:Intrusion_model.Management_interface
+            ~interface:(Intrusion_model.Hypercall_interface "xenstore")
+            ~represents:[ "XSA-27" ]
+            "A tampered management node makes the victim surrender its own pages.";
+        ];
+      injector = Via_component_hook "Xenstore.inject_write (memory/target)";
+      example_states = [ "memory/target forged below the working set; balloon complies" ];
+    };
+    {
+      functionality = Af.Guest_writable_page_table_entry;
+      models =
+        [
+          im "IM-guest-writable-pte" Af.Guest_writable_page_table_entry
+            ~interface:(Intrusion_model.Hypercall_interface "mmu_update")
+            ~represents:[ "XSA-148"; "XSA-182" ]
+            "The guest acquires a writable mapping of its own page tables.";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "PSE superpage over page-table frames"; "writable L4 self-mapping" ];
+    };
+    {
+      functionality = Af.Fail_memory_mapping;
+      models = [];
+      injector =
+        Unimplemented
+          "advisory metadata is too unspecific to model faithfully (§IV-D, same caveat as Fail \
+           a Memory Access)";
+      example_states = [];
+    };
+    {
+      functionality = Af.Uncontrolled_memory_allocation;
+      models =
+        [
+          im "IM-memory-exhaustion" Af.Uncontrolled_memory_allocation
+            ~interface:(Intrusion_model.Hypercall_interface "memory_op")
+            "A guest-reachable path allocates hypervisor memory without bound.";
+        ];
+      injector = Via_component_hook "Hv.exhaust_memory";
+      example_states = [ "free-frame pool drained into the Xen heap" ];
+    };
+    {
+      functionality = Af.Keep_page_access;
+      models =
+        [
+          im "IM-keep-page-access" Af.Keep_page_access
+            ~interface:(Intrusion_model.Hypercall_interface "XENMEM_decrease_reservation")
+            ~represents:[ "XSA-387"; "XSA-393" ]
+            "The guest retains a usable mapping of a page after releasing it to Xen.";
+          im "IM-keep-grant-status" Af.Keep_page_access
+            ~interface:(Intrusion_model.Hypercall_interface "grant_table_op")
+            ~target:Intrusion_model.Grant_tables_component ~represents:[ "XSA-387" ]
+            "Grant-v2 status frames stay mapped after the switch back to v1.";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "stale leaf mapping of a freed-and-reallocated frame" ];
+    };
+    {
+      functionality = Af.Induce_fatal_exception;
+      models =
+        [
+          im "IM-fatal-exception" Af.Induce_fatal_exception ~represents:[ "XSA-156" ]
+            "Exception plumbing is corrupted until delivery escalates fatally.";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "corrupted gate escalates #PF to a double-fault panic" ];
+    };
+    {
+      functionality = Af.Induce_memory_exception;
+      models =
+        [
+          im "IM-memory-exception" Af.Induce_memory_exception ~represents:[ "CVE-2019-17343" ]
+            "A live mapping is destroyed so the next legitimate access faults.";
+        ];
+      injector = Via_arbitrary_access;
+      example_states = [ "kernel mapping zeroed; next access takes a paging exception" ];
+    };
+    {
+      functionality = Af.Induce_hang_state;
+      models =
+        [
+          im "IM-hang-state" Af.Induce_hang_state
+            ~interface:Intrusion_model.Instruction_interception
+            ~target:Intrusion_model.Scheduler_component ~represents:[ "XSA-156" ]
+            "A vcpu loops inside the hypervisor and pins the pCPU.";
+        ];
+      injector = Via_component_hook "Sched.hang_vcpu";
+      example_states = [ "vcpu stuck in hypervisor; watchdog or starvation follows" ];
+    };
+    {
+      functionality = Af.Uncontrolled_interrupt_requests;
+      models =
+        [
+          im "IM-interrupt-storm" Af.Uncontrolled_interrupt_requests
+            ~interface:(Intrusion_model.Hypercall_interface "event_channel_op")
+            ~target:Intrusion_model.Interrupt_virtualization
+            "Event-channel pending state is raised at an uncontrolled rate.";
+        ];
+      injector = Via_component_hook "Event_channel.force_pending_all";
+      example_states = [ "every port pending regardless of binding" ];
+    };
+  ]
+
+let find af = List.find (fun e -> e.functionality = af) catalog
+
+let implemented e =
+  match e.injector with
+  | Via_arbitrary_access | Via_component_hook _ -> true
+  | Unimplemented _ -> false
+
+let coverage () =
+  (List.length (List.filter implemented catalog), List.length catalog)
+
+let render () =
+  let impl_to_string = function
+    | Via_arbitrary_access -> "arbitrary_access (hypercall 40)"
+    | Via_component_hook h -> "hook: " ^ h
+    | Unimplemented why -> "unimplemented: " ^ why
+  in
+  let rows =
+    List.map
+      (fun e ->
+        [
+          Af.to_string e.functionality;
+          string_of_int (List.length e.models);
+          impl_to_string e.injector;
+        ])
+      catalog
+  in
+  let got, total = coverage () in
+  Report.table
+    ~title:
+      (Printf.sprintf "Intrusion-model catalog: injector coverage %d/%d functionalities" got total)
+    ~header:[ "Abusive Functionality"; "IMs"; "Injector" ]
+    rows

@@ -1,0 +1,40 @@
+(** The intrusion-model catalog: every abusive functionality of Table I
+    mapped to instantiated intrusion models and to the injector
+    implementation that can produce its erroneous states.
+
+    The paper envisions "each system having its own injector, providing
+    abusive functionality interfaces" (§IX-A) and concedes that "for
+    complex IMs, one may not be able to find viable solutions to expose
+    an interface that enables injection" (§IX-D). The catalog makes
+    that coverage explicit: memory-backed states go through the
+    [arbitrary_access] hypercall; states living in non-memory
+    hypervisor structures go through component hooks; and the
+    functionalities the §IV-D study found under-specified are recorded
+    as such rather than papered over. *)
+
+type injector_impl =
+  | Via_arbitrary_access
+      (** the state is memory bytes; hypercall 40 plants it *)
+  | Via_component_hook of string
+      (** a component-specific injector, e.g. ["Sched.hang_vcpu"] *)
+  | Unimplemented of string
+      (** what an implementation would take *)
+
+type entry = {
+  functionality : Abusive_functionality.t;
+  models : Intrusion_model.t list;  (** instantiated IMs *)
+  injector : injector_impl;
+  example_states : string list;  (** concrete erroneous states covered *)
+}
+
+val catalog : entry list
+(** Exactly one entry per taxonomy functionality, in Table I order. *)
+
+val find : Abusive_functionality.t -> entry
+
+val implemented : entry -> bool
+
+val coverage : unit -> int * int
+(** (functionalities with a working injector, total). *)
+
+val render : unit -> string

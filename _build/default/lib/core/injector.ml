@@ -1,0 +1,117 @@
+let hypercall_number = 40
+let hypercall_name = "arbitrary_access"
+
+type action =
+  | Arbitrary_read_linear
+  | Arbitrary_write_linear
+  | Arbitrary_read_physical
+  | Arbitrary_write_physical
+
+let action_code = function
+  | Arbitrary_read_linear -> 0L
+  | Arbitrary_write_linear -> 1L
+  | Arbitrary_read_physical -> 2L
+  | Arbitrary_write_physical -> 3L
+
+let action_of_code = function
+  | 0L -> Some Arbitrary_read_linear
+  | 1L -> Some Arbitrary_write_linear
+  | 2L -> Some Arbitrary_read_physical
+  | 3L -> Some Arbitrary_write_physical
+  | _ -> None
+
+let action_to_string = function
+  | Arbitrary_read_linear -> "ARBITRARY_READ_LINEAR"
+  | Arbitrary_write_linear -> "ARBITRARY_WRITE_LINEAR"
+  | Arbitrary_read_physical -> "ARBITRARY_READ_PHYSICAL"
+  | Arbitrary_write_physical -> "ARBITRARY_WRITE_PHYSICAL"
+
+let scratch_pfn = 2
+
+(* Resolve the target to a machine address. Linear addresses must
+   already be mapped in the hypervisor (its direct map); physical
+   addresses are mapped on demand — in this machine model, through the
+   same direct map, mirroring the map_domain_page path of the real
+   prototype. *)
+let resolve_target hv ~addr ~len ~physical =
+  let ma = if physical then Some addr else Layout.maddr_of_directmap addr in
+  match ma with
+  | None -> Error Errno.EINVAL
+  | Some ma ->
+      let last = Int64.add ma (Int64.of_int (max 0 (len - 1))) in
+      let mfn_ok a = Phys_mem.is_valid_mfn hv.Hv.mem (Addr.mfn_of_maddr a) in
+      if len <= 0 || (not (mfn_ok ma)) || not (mfn_ok last) then Error Errno.EINVAL else Ok ma
+
+let handler hv dom (args : int64 array) =
+  if Array.length args <> 4 then Error Errno.EINVAL
+  else
+    let addr = args.(0) and buf = args.(1) and len = Int64.to_int args.(2) in
+    match action_of_code args.(3) with
+    | None -> Error Errno.EINVAL
+    | Some action -> (
+        let physical =
+          match action with
+          | Arbitrary_read_physical | Arbitrary_write_physical -> true
+          | Arbitrary_read_linear | Arbitrary_write_linear -> false
+        in
+        match resolve_target hv ~addr ~len ~physical with
+        | Error e -> Error e
+        | Ok ma -> (
+            match action with
+            | Arbitrary_write_linear | Arbitrary_write_physical -> (
+                (* __copy_from_user: fetch the payload from the guest. *)
+                match Uaccess.copy_from_guest hv dom buf len with
+                | Error e -> Error e
+                | Ok data ->
+                    Phys_mem.write_bytes hv.Hv.mem ma data;
+                    Ok 0L)
+            | Arbitrary_read_linear | Arbitrary_read_physical -> (
+                let data = Phys_mem.read_bytes hv.Hv.mem ma len in
+                match Uaccess.copy_to_guest hv dom buf data with
+                | Error e -> Error e
+                | Ok () -> Ok 0L)))
+
+let installed hv = Hv.lookup_hypercall hv hypercall_number <> None
+
+let install hv =
+  if not (installed hv) then begin
+    Hv.register_hypercall hv ~number:hypercall_number ~name:hypercall_name handler;
+    Hv.log hv
+      (Printf.sprintf "intrusion-injector: hypercall %d (%s) added to the %s call table"
+         hypercall_number hypercall_name
+         (Version.to_string hv.Hv.version))
+  end
+
+(* --- guest-side wrappers ---------------------------------------------- *)
+
+let scratch_va = Domain.kernel_vaddr_of_pfn scratch_pfn
+
+let raw_call k ~addr ~buf ~len ~action =
+  Kernel.hypercall k
+    (Hypercall.Raw { number = hypercall_number; args = [| addr; buf; Int64.of_int len; action_code action |] })
+
+let write k ~addr ~action data =
+  match Kernel.write_bytes k scratch_va data with
+  | Error _ -> Error Errno.EFAULT
+  | Ok () -> (
+      match raw_call k ~addr ~buf:scratch_va ~len:(Bytes.length data) ~action with
+      | Ok _ -> Ok ()
+      | Error e -> Error e)
+
+let write_u64 k ~addr ~action v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  write k ~addr ~action b
+
+let read k ~addr ~action ~len =
+  match raw_call k ~addr ~buf:scratch_va ~len ~action with
+  | Error e -> Error e
+  | Ok _ -> (
+      match Kernel.read_bytes k scratch_va len with
+      | Ok b -> Ok b
+      | Error _ -> Error Errno.EFAULT)
+
+let read_u64 k ~addr ~action =
+  match read k ~addr ~action ~len:8 with
+  | Ok b -> Ok (Bytes.get_int64_le b 0)
+  | Error e -> Error e

@@ -1,0 +1,66 @@
+type trigger_source =
+  | Unprivileged_guest
+  | Privileged_guest
+  | Guest_userspace
+  | Device_driver
+  | Management_interface
+
+type interface =
+  | Hypercall_interface of string
+  | Device_emulation of string
+  | Instruction_interception
+
+type target_component =
+  | Memory_management_component
+  | Interrupt_virtualization
+  | Grant_tables_component
+  | Device_model
+  | Scheduler_component
+
+type t = {
+  im_name : string;
+  source : trigger_source;
+  interface : interface;
+  target : target_component;
+  functionality : Abusive_functionality.t;
+  description : string;
+  representative_of : string list;
+}
+
+let make ~name ~source ~interface ~target ~functionality ?(representative_of = []) description =
+  { im_name = name; source; interface; target; functionality; description; representative_of }
+
+let source_to_string = function
+  | Unprivileged_guest -> "unprivileged guest VM"
+  | Privileged_guest -> "privileged guest (dom0)"
+  | Guest_userspace -> "guest user space"
+  | Device_driver -> "device driver"
+  | Management_interface -> "management interface"
+
+let interface_to_string = function
+  | Hypercall_interface h -> Printf.sprintf "hypercall (%s)" h
+  | Device_emulation d -> Printf.sprintf "device emulation (%s)" d
+  | Instruction_interception -> "intercepted instruction"
+
+let target_to_string = function
+  | Memory_management_component -> "memory management"
+  | Interrupt_virtualization -> "interrupt virtualization"
+  | Grant_tables_component -> "grant tables"
+  | Device_model -> "device model"
+  | Scheduler_component -> "scheduler"
+
+let compatible a b =
+  a.functionality = b.functionality && a.target = b.target && a.source = b.source
+
+let pp ppf t =
+  Format.fprintf ppf "%s [%a via %s on %s]" t.im_name Abusive_functionality.pp t.functionality
+    (interface_to_string t.interface) (target_to_string t.target)
+
+let pp_long ppf t =
+  Format.fprintf ppf
+    "@[<v2>IM %s:@ source: %s@ interface: %s@ target: %s@ abusive functionality: %a@ represents: \
+     %s@ %s@]"
+    t.im_name (source_to_string t.source) (interface_to_string t.interface)
+    (target_to_string t.target) Abusive_functionality.pp t.functionality
+    (match t.representative_of with [] -> "(unspecified)" | l -> String.concat ", " l)
+    t.description

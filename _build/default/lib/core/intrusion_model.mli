@@ -1,0 +1,59 @@
+(** Intrusion models (IMs).
+
+    An IM "abstracts how an erroneous state is achieved when using an
+    abusive functionality through a given interface" (§IV-B). An
+    instantiation fixes a triggering source, an interaction interface
+    and a target component for a concrete virtualized system and
+    evaluation objective (§IV-C). *)
+
+type trigger_source =
+  | Unprivileged_guest  (** a domU kernel user *)
+  | Privileged_guest  (** dom0 *)
+  | Guest_userspace
+  | Device_driver
+  | Management_interface
+
+type interface =
+  | Hypercall_interface of string  (** e.g. ["memory_exchange"] *)
+  | Device_emulation of string  (** e.g. ["fdc"] — the VENOM surface *)
+  | Instruction_interception
+
+type target_component =
+  | Memory_management_component
+  | Interrupt_virtualization
+  | Grant_tables_component
+  | Device_model
+  | Scheduler_component
+
+type t = {
+  im_name : string;
+  source : trigger_source;
+  interface : interface;
+  target : target_component;
+  functionality : Abusive_functionality.t;
+  description : string;
+  representative_of : string list;  (** XSAs/CVEs this IM generalizes *)
+}
+
+val make :
+  name:string ->
+  source:trigger_source ->
+  interface:interface ->
+  target:target_component ->
+  functionality:Abusive_functionality.t ->
+  ?representative_of:string list ->
+  string ->
+  t
+(** [make ~name ... description]. *)
+
+val source_to_string : trigger_source -> string
+val interface_to_string : interface -> string
+val target_to_string : target_component -> string
+
+val compatible : t -> t -> bool
+(** Two IMs are compatible (generalize to the same injections) when
+    they share functionality, target and source — the §IV-B observation
+    that XSA-148 and XSA-182 "lead to the same erroneous state". *)
+
+val pp : Format.formatter -> t -> unit
+val pp_long : Format.formatter -> t -> unit

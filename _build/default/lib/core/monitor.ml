@@ -1,0 +1,271 @@
+type violation =
+  | Hypervisor_crash of string
+  | Privilege_escalation of string
+  | Unauthorized_disclosure of string
+  | Integrity_violation of string
+  | Guest_crash of string
+  | Availability_degradation of string
+
+type snapshot = {
+  crashed : bool;
+  crash_reason : string option;
+  root_artifacts : (string * string) list;
+  root_shells : (string * string) list;
+  disclosed : string list;
+  guest_crashes : string list;
+  pending_events : (string * int) list;
+  pt_exposure : (string * int) list;
+  m2p_mismatches : int;
+  domain_pages : (string * int) list;
+  sched_stalled : int;
+  free_frames : int;
+}
+
+(* The M2P must stay the inverse of every domain's P2M — a hypervisor
+   invariant any auditing monitor can check from outside the guests. *)
+let m2p_mismatch_count hv =
+  List.fold_left
+    (fun acc dom ->
+      List.fold_left
+        (fun acc pfn ->
+          match Domain.mfn_of_pfn dom pfn with
+          | Some mfn when Hv.m2p_lookup hv mfn <> Some pfn -> acc + 1
+          | Some _ | None -> acc)
+        acc (Domain.populated_pfns dom))
+    0 hv.Hv.domains
+
+(* Walk a domain's live page tables exactly like the MMU would, counting
+   leaf (and PSE superpage) mappings that grant guest-privilege write
+   access to frames currently typed as page tables. The address-space
+   layout filter is what lets hardened versions "handle" states that
+   older layouts expose. *)
+let writable_pt_exposure hv dom =
+  let mem = hv.Hv.mem in
+  let hardened = Hv.hardened hv in
+  let typed_pt mfn =
+    Phys_mem.is_valid_mfn mem mfn
+    &&
+    let info = Page_info.get hv.Hv.pages mfn in
+    Page_info.table_level info.Page_info.ptype <> None && info.Page_info.type_count > 0
+  in
+  let guest_writable va = Layout.guest_access ~hardened (Addr.canonical va) = Layout.Read_write in
+  let count = ref 0 in
+  let shift level = Addr.page_shift + (9 * (level - 1)) in
+  let rec scan level table_mfn va_prefix rw =
+    if Phys_mem.is_valid_mfn mem table_mfn then
+      let frame = Phys_mem.frame mem table_mfn in
+      for index = 0 to Addr.entries_per_table - 1 do
+        let e = Frame.get_entry frame index in
+        if Pte.is_present e then begin
+          let va = Int64.logor va_prefix (Int64.shift_left (Int64.of_int index) (shift level)) in
+          let rw = rw && Pte.test Pte.Rw e in
+          if level = 1 then begin
+            if rw && typed_pt (Pte.mfn e) && guest_writable va then incr count
+          end
+          else if level = 2 && Pte.test Pte.Pse e then begin
+            if rw && guest_writable va then begin
+              let base = Pte.mfn e land lnot 0x1ff in
+              for m = base to base + 511 do
+                if typed_pt m then incr count
+              done
+            end
+          end
+          else scan (level - 1) (Pte.mfn e) va rw
+        end
+      done
+  in
+  scan 4 dom.Domain.l4_mfn 0L true;
+  !count
+
+let root_secrets kernel =
+  let fs = Kernel.fs kernel in
+  List.filter_map
+    (fun path ->
+      match Fs.read fs path with
+      | Some { Fs.uid = 0; content; _ } when content <> "" -> Some (path, content)
+      | Some _ | None -> None)
+    (Fs.paths fs)
+
+let snapshot (tb : Testbed.t) =
+  let kernels = Testbed.kernels tb in
+  let root_artifacts =
+    List.concat_map
+      (fun k ->
+        List.map (fun (path, _) -> (Kernel.hostname k, path)) (root_secrets k))
+      kernels
+  in
+  let connections =
+    Netsim.connections_to tb.Testbed.net ~host:tb.Testbed.remote_host ~port:1234
+  in
+  let root_shells =
+    List.filter_map
+      (fun c -> if c.Netsim.conn_uid = 0 then Some (c.Netsim.from_host, c.Netsim.to_host) else None)
+      connections
+  in
+  (* A secret is disclosed when its content shows up in the transcript
+     of a cross-host connection. *)
+  let disclosed =
+    List.concat_map
+      (fun k ->
+        List.filter_map
+          (fun (path, content) ->
+            let leaked =
+              List.exists
+                (fun c ->
+                  c.Netsim.from_host = Kernel.hostname k
+                  &&
+                  let t = Netsim.transcript c in
+                  let n = String.length content and m = String.length t in
+                  let rec search i =
+                    if i + n > m then false
+                    else if String.sub t i n = content then true
+                    else search (i + 1)
+                  in
+                  n > 0 && search 0)
+                connections
+            in
+            if leaked then Some (Printf.sprintf "%s:%s" (Kernel.hostname k) path) else None)
+          (root_secrets k))
+      kernels
+  in
+  let guest_crashes =
+    List.filter_map
+      (fun k -> if (Kernel.dom k).Domain.dom_crashed then Some (Kernel.hostname k) else None)
+      kernels
+  in
+  let pending_events =
+    List.map
+      (fun k ->
+        ( Kernel.hostname k,
+          List.length (Event_channel.pending_ports (Kernel.dom k).Domain.events) ))
+      kernels
+  in
+  let pt_exposure =
+    List.map
+      (fun k -> (Kernel.hostname k, writable_pt_exposure tb.Testbed.hv (Kernel.dom k)))
+      kernels
+  in
+  {
+    crashed = Hv.is_crashed tb.Testbed.hv;
+    crash_reason =
+      (match tb.Testbed.hv.Hv.crashed with Some { Hv.reason; _ } -> Some reason | None -> None);
+    root_artifacts;
+    root_shells;
+    disclosed;
+    guest_crashes;
+    pending_events;
+    pt_exposure;
+    m2p_mismatches = m2p_mismatch_count tb.Testbed.hv;
+    domain_pages =
+      List.map
+        (fun k ->
+          (Kernel.hostname k, List.length (Domain.populated_pfns (Kernel.dom k))))
+        kernels;
+    sched_stalled = Sched.stalled_slices tb.Testbed.hv.Hv.sched;
+    free_frames = Phys_mem.free_frames tb.Testbed.hv.Hv.mem;
+  }
+
+let subtract l before = List.filter (fun x -> not (List.mem x before)) l
+
+let violations ~before ~after =
+  let crash =
+    if after.crashed && not before.crashed then
+      [ Hypervisor_crash (Option.value ~default:"crash" after.crash_reason) ]
+    else []
+  in
+  let escalations =
+    List.map
+      (fun (host, path) -> Privilege_escalation (Printf.sprintf "root file %s on %s" path host))
+      (subtract after.root_artifacts before.root_artifacts)
+    @ List.map
+        (fun (victim, remote) ->
+          Privilege_escalation (Printf.sprintf "root shell from %s to %s" victim remote))
+        (subtract after.root_shells before.root_shells)
+  in
+  let disclosures =
+    List.map (fun s -> Unauthorized_disclosure s) (subtract after.disclosed before.disclosed)
+  in
+  let guest_crashes =
+    List.map (fun h -> Guest_crash h) (subtract after.guest_crashes before.guest_crashes)
+  in
+  let storms =
+    List.filter_map
+      (fun (host, n) ->
+        match List.assoc_opt host before.pending_events with
+        | Some n0 when n - n0 >= 16 ->
+            Some (Availability_degradation (Printf.sprintf "interrupt storm on %s (+%d)" host (n - n0)))
+        | Some _ | None -> None)
+      after.pending_events
+  in
+  let integrity =
+    List.filter_map
+      (fun (host, n) ->
+        match List.assoc_opt host before.pt_exposure with
+        | Some n0 when n > n0 ->
+            Some
+              (Integrity_violation
+                 (Printf.sprintf "guest-writable page-table mappings on %s (+%d)" host (n - n0)))
+        | Some _ | None -> None)
+      after.pt_exposure
+  in
+  let m2p =
+    if after.m2p_mismatches > before.m2p_mismatches then
+      [
+        Integrity_violation
+          (Printf.sprintf "M2P/P2M divergence (+%d entries)"
+             (after.m2p_mismatches - before.m2p_mismatches));
+      ]
+    else []
+  in
+  let memory_loss =
+    List.filter_map
+      (fun (host, n) ->
+        match List.assoc_opt host before.domain_pages with
+        | Some n0 when n0 - n >= 8 ->
+            Some
+              (Availability_degradation
+                 (Printf.sprintf "%s lost %d pages to balloon pressure" host (n0 - n)))
+        | Some _ | None -> None)
+      after.domain_pages
+  in
+  let stalls =
+    if after.sched_stalled > before.sched_stalled then
+      [
+        Availability_degradation
+          (Printf.sprintf "pCPU stalled for %d scheduler slices" after.sched_stalled);
+      ]
+    else []
+  in
+  let exhaustion =
+    if before.free_frames > 0 && after.free_frames * 2 < before.free_frames then
+      [
+        Availability_degradation
+          (Printf.sprintf "host memory exhaustion (%d -> %d free frames)" before.free_frames
+             after.free_frames);
+      ]
+    else []
+  in
+  crash @ escalations @ disclosures @ integrity @ m2p @ guest_crashes @ storms @ memory_loss
+  @ stalls @ exhaustion
+
+let violation_to_string = function
+  | Hypervisor_crash r -> Printf.sprintf "hypervisor crash (%s)" r
+  | Privilege_escalation e -> Printf.sprintf "privilege escalation (%s)" e
+  | Unauthorized_disclosure e -> Printf.sprintf "unauthorized disclosure (%s)" e
+  | Integrity_violation e -> Printf.sprintf "integrity violation (%s)" e
+  | Guest_crash h -> Printf.sprintf "guest crash (%s)" h
+  | Availability_degradation e -> Printf.sprintf "availability degradation (%s)" e
+
+let pp_violation ppf v = Format.pp_print_string ppf (violation_to_string v)
+
+let class_of = function
+  | Hypervisor_crash _ -> 0
+  | Privilege_escalation _ -> 1
+  | Unauthorized_disclosure _ -> 2
+  | Integrity_violation _ -> 3
+  | Guest_crash _ -> 4
+  | Availability_degradation _ -> 5
+
+let same_class a b =
+  let sig_of l = List.sort compare (List.map class_of l) in
+  sig_of a = sig_of b

@@ -1,0 +1,60 @@
+(** System monitoring (the final stage of Fig 2).
+
+    A security violation "may happen or not, depending on the capacity
+    of the system to deal with intrusions" (§IV-A); the monitor decides
+    which by comparing snapshots of the whole testbed taken before and
+    after an exploit or an injection. *)
+
+type violation =
+  | Hypervisor_crash of string  (** panic reason *)
+  | Privilege_escalation of string  (** evidence *)
+  | Unauthorized_disclosure of string
+  | Integrity_violation of string
+      (** a hypervisor integrity invariant broke: a guest holds a
+          reachable writable mapping of a page-table page *)
+  | Guest_crash of string
+  | Availability_degradation of string
+
+type snapshot = {
+  crashed : bool;
+  crash_reason : string option;
+  root_artifacts : (string * string) list;  (** (host, path) of root-owned files *)
+  root_shells : (string * string) list;  (** (victim host, remote host) *)
+  disclosed : string list;  (** secrets visible outside their domain *)
+  guest_crashes : string list;
+  pending_events : (string * int) list;
+  pt_exposure : (string * int) list;
+      (** per host: guest-reachable writable mappings of page-table
+          frames, found by walking the live tables like the MMU would
+          and filtering by the version's address-space layout *)
+  m2p_mismatches : int;
+      (** populated P2M entries whose M2P inverse disagrees — the
+          hypervisor invariant randomized M2P corruption breaks *)
+  domain_pages : (string * int) list;
+      (** per host: populated pages; a sharp drop between snapshots is
+          balloon pressure (the management-interface violation) *)
+  sched_stalled : int;
+      (** consecutive scheduler slices lost to a hung vcpu *)
+  free_frames : int;
+      (** free host frames; halving between snapshots is exhaustion *)
+}
+
+val snapshot : Testbed.t -> snapshot
+
+val writable_pt_exposure : Hv.t -> Domain.t -> int
+(** The integrity audit behind [pt_exposure]: how many leaf (or
+    superpage) mappings give this domain, at guest privilege, write
+    access to frames currently typed as page tables. Always 0 on a
+    healthy direct-paging system. *)
+
+val violations : before:snapshot -> after:snapshot -> violation list
+(** Violations that appeared between the two snapshots, most severe
+    first. An empty list means the system handled the state (the
+    shield of Table III). *)
+
+val violation_to_string : violation -> string
+val pp_violation : Format.formatter -> violation -> unit
+
+val same_class : violation list -> violation list -> bool
+(** Same multiset of violation classes (ignoring evidence strings) —
+    the comparison RQ1 makes between exploit and injection runs. *)

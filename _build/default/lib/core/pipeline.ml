@@ -1,0 +1,54 @@
+type stage_record = { stage : string; detail : string list }
+
+type trace = {
+  p_im : Intrusion_model.t;
+  p_injected : bool;
+  p_audits : (Erroneous_state.spec * Erroneous_state.audit) list;
+  p_violations : Monitor.violation list;
+  p_stages : stage_record list;
+}
+
+let run tb ~im ~inject =
+  let stages = ref [] in
+  let record stage detail = stages := { stage; detail } :: !stages in
+  record "intrusion-model"
+    [ Format.asprintf "%a" Intrusion_model.pp im ];
+  Injector.install tb.Testbed.hv;
+  record "injector" [ Printf.sprintf "hypercall %d installed" Injector.hypercall_number ];
+  let before = Monitor.snapshot tb in
+  let attempt = inject tb in
+  record "erroneous-state" attempt.Campaign.transcript;
+  for _ = 1 to 3 do
+    Testbed.tick_all tb
+  done;
+  let audits =
+    List.map (fun s -> (s, Erroneous_state.audit tb.Testbed.hv s)) attempt.Campaign.states
+  in
+  record "audit"
+    (List.map
+       (fun (s, a) ->
+         Printf.sprintf "%s: %s" (Erroneous_state.describe s)
+           (if a.Erroneous_state.holds then "present" else "absent"))
+       audits);
+  let after = Monitor.snapshot tb in
+  let violations = Monitor.violations ~before ~after in
+  record "monitor"
+    (match violations with
+    | [] -> [ "no security violation: the system handled the erroneous state" ]
+    | vs -> List.map Monitor.violation_to_string vs);
+  {
+    p_im = im;
+    p_injected = List.for_all (fun (_, a) -> a.Erroneous_state.holds) audits && audits <> [];
+    p_audits = audits;
+    p_violations = violations;
+    p_stages = List.rev !stages;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun { stage; detail } ->
+      Format.fprintf ppf "== %s ==@," stage;
+      List.iter (fun line -> Format.fprintf ppf "   %s@," line) detail)
+    t.p_stages;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,24 @@
+(** Fig 2: the methodology's key components, end to end.
+
+    [run] drives one injection through the named stages — intrusion
+    model selection, injector invocation, erroneous-state audit, system
+    monitoring — and records what each stage produced. It is a
+    transparent, narrated version of what {!Campaign.run} does in bulk. *)
+
+type stage_record = { stage : string; detail : string list }
+
+type trace = {
+  p_im : Intrusion_model.t;
+  p_injected : bool;
+  p_audits : (Erroneous_state.spec * Erroneous_state.audit) list;
+  p_violations : Monitor.violation list;
+  p_stages : stage_record list;
+}
+
+val run :
+  Testbed.t ->
+  im:Intrusion_model.t ->
+  inject:(Testbed.t -> Campaign.attempt) ->
+  trace
+
+val pp : Format.formatter -> trace -> unit

@@ -1,0 +1,24 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = (if seed = 0L then 0x9E3779B97F4A7C15L else seed) }
+let copy t = { state = t.state }
+
+(* xorshift64* (Vigna) *)
+let next t =
+  let x = t.state in
+  let x = Int64.logxor x (Int64.shift_right_logical x 12) in
+  let x = Int64.logxor x (Int64.shift_left x 25) in
+  let x = Int64.logxor x (Int64.shift_right_logical x 27) in
+  t.state <- x;
+  Int64.mul x 0x2545F4914F6CDD1DL
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let int64 = next
+let bool t = Int64.logand (next t) 1L = 1L
+
+let choose t = function
+  | [] -> invalid_arg "Prng.choose: empty list"
+  | l -> List.nth l (int t ~bound:(List.length l))

@@ -1,0 +1,20 @@
+(** A small deterministic PRNG (xorshift64 variant) for randomized injection
+    campaigns.
+
+    Campaigns must be reproducible from a seed — results are compared
+    across hypervisor versions, so the same trial sequence has to hit
+    the same targets on each. The standard library's [Random] is
+    deliberately not used. *)
+
+type t
+
+val create : seed:int64 -> t
+val copy : t -> t
+val next : t -> int64
+val int : t -> bound:int -> int
+(** Uniform-ish in [0, bound). [bound] must be positive. *)
+
+val int64 : t -> int64
+val bool : t -> bool
+val choose : t -> 'a list -> 'a
+(** Raises [Invalid_argument] on an empty list. *)

@@ -1,0 +1,106 @@
+type policy = Detect_only | Detect_and_repair
+
+type detection = { d_mfn : Addr.mfn; d_offsets : int list; repaired : bool }
+
+type t = {
+  hv : Hv.t;
+  guard_policy : policy;
+  golden : (Addr.mfn, Frame.t) Hashtbl.t;
+  mutable history : detection list;
+  mutable audit_count : int;
+  mutable period : int option;
+  mutable tick_clock : int;
+}
+
+let snapshot t mfn = Hashtbl.replace t.golden mfn (Frame.copy (Phys_mem.frame t.hv.Hv.mem mfn))
+
+let protect t mfn = snapshot t mfn
+
+let initial_protected hv =
+  let pt_frames =
+    List.concat_map
+      (fun dom -> dom.Domain.l4_mfn :: dom.Domain.pt_pages)
+      hv.Hv.domains
+  in
+  let critical = hv.Hv.idt_mfn :: Array.to_list hv.Hv.m2p_mfns in
+  List.sort_uniq compare (critical @ pt_frames)
+
+let deploy hv guard_policy =
+  let t =
+    {
+      hv;
+      guard_policy;
+      golden = Hashtbl.create 64;
+      history = [];
+      audit_count = 0;
+      period = None;
+      tick_clock = 0;
+    }
+  in
+  List.iter (fun mfn -> snapshot t mfn) (initial_protected hv);
+  (* The authorized update stream: validated MMU writes refresh the
+     golden copy, so only out-of-band writes ever diverge. *)
+  hv.Hv.pt_write_hook <- Some (fun mfn -> if Hashtbl.mem t.golden mfn then snapshot t mfn);
+  t
+
+let policy t = t.guard_policy
+
+let protected_frames t =
+  List.sort compare (Hashtbl.fold (fun mfn _ acc -> mfn :: acc) t.golden [])
+
+let audit t =
+  t.audit_count <- t.audit_count + 1;
+  let found =
+    Hashtbl.fold
+      (fun mfn golden acc ->
+        if not (Phys_mem.is_valid_mfn t.hv.Hv.mem mfn) then acc
+        else
+          let live = Phys_mem.frame t.hv.Hv.mem mfn in
+          if Frame.equal live golden then acc
+          else begin
+            let offsets = ref [] in
+            for i = (Addr.page_size / 8) - 1 downto 0 do
+              if Frame.get_u64 live (8 * i) <> Frame.get_u64 golden (8 * i) then
+                offsets := (8 * i) :: !offsets
+            done;
+            let repaired =
+              match t.guard_policy with
+              | Detect_only -> false
+              | Detect_and_repair ->
+                  List.iter
+                    (fun off -> Frame.set_u64 live off (Frame.get_u64 golden off))
+                    !offsets;
+                  true
+            in
+            if repaired then
+              Hv.log t.hv
+                (Printf.sprintf "pt-guard: repaired %d corrupted words in frame 0x%x"
+                   (List.length !offsets) mfn)
+            else
+              Hv.log t.hv
+                (Printf.sprintf "pt-guard: detected %d corrupted words in frame 0x%x"
+                   (List.length !offsets) mfn);
+            { d_mfn = mfn; d_offsets = !offsets; repaired } :: acc
+          end)
+      t.golden []
+  in
+  t.history <- found @ t.history;
+  found
+
+let detections t = t.history
+let audits_run t = t.audit_count
+
+let enable_periodic t ~every =
+  if every <= 0 then invalid_arg "Pt_guard.enable_periodic";
+  t.period <- Some every;
+  t.tick_clock <- 0
+
+let on_tick t =
+  match t.period with
+  | None -> ()
+  | Some every ->
+      t.tick_clock <- t.tick_clock + 1;
+      if t.tick_clock >= every then begin
+        t.tick_clock <- 0;
+        ignore (audit t)
+      end

@@ -1,0 +1,53 @@
+(** A deployable defence mechanism: a page-table integrity guard.
+
+    §III-C proposes exactly this evaluation: "Assuming a deployed
+    mechanism to prevent unauthorized modification of page tables, the
+    effectiveness of this mechanism can be tested using our approach."
+    This module is that mechanism; {!Defense_eval} is that test.
+
+    The guard keeps golden copies of every protected frame (all
+    validated page-table pages, the IDT, and the M2P) and tracks the
+    {e authorized} update stream through the hypervisor's
+    [pt_write_hook] — the same trick real integrity monitors use by
+    hooking the validated MMU path. An {!audit} compares live bytes
+    against the golden copies: divergence means an unauthorized write
+    happened behind the hypervisor's back (an injected or exploited
+    erroneous state). Policy [Detect_and_repair] additionally restores
+    the golden bytes. *)
+
+type policy = Detect_only | Detect_and_repair
+
+type detection = {
+  d_mfn : Addr.mfn;
+  d_offsets : int list;  (** corrupted 8-byte-word offsets *)
+  repaired : bool;
+}
+
+type t
+
+val deploy : Hv.t -> policy -> t
+(** Snapshot all protected frames and hook the authorized update
+    stream. One guard per hypervisor; redeploying replaces the hook. *)
+
+val policy : t -> policy
+val protected_frames : t -> Addr.mfn list
+val protect : t -> Addr.mfn -> unit
+(** Add a frame to the protected set (snapshotting it now). *)
+
+val audit : t -> detection list
+(** Compare live state against the golden copies (and the authorized
+    update stream); repair if the policy says so. Returns this audit's
+    detections. *)
+
+val detections : t -> detection list
+(** Everything detected so far, most recent first. *)
+
+val audits_run : t -> int
+
+val enable_periodic : t -> every:int -> unit
+(** Piggyback on the scheduler: run {!audit} every [every] validated
+    scheduler slices (via {!Testbed.tick_all}'s sched path this means
+    every [every] ticks). Requires the caller to invoke {!on_tick}. *)
+
+val on_tick : t -> unit
+(** Advance the periodic-audit clock (call once per scheduler round). *)

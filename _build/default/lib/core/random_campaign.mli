@@ -1,0 +1,71 @@
+(** Randomized erroneous-state campaigns (§IV-C).
+
+    "One possibility is to randomize inputs to an injector, creating an
+    approach that resembles fuzzing testing but in another level of
+    interaction, in a post-attack phase." This module implements that
+    idea: each trial synthesizes an erroneous state within a target
+    class, injects it through the [arbitrary_access] hypercall, runs an
+    activation workload, and classifies what the monitor observed. It
+    also implements plain accidental bit flips — the classic SWIFI
+    faultload — so intrusion injection can be contrasted with
+    fault injection on the same system (§II).
+
+    Campaigns are deterministic in their seed, so the same trial
+    sequence can be replayed against different hypervisor versions for
+    comparison (the risk-assessment scenario of §III-C). *)
+
+type target_class =
+  | Idt_gates  (** overwrite descriptor-table handler words *)
+  | Page_table_entries  (** forge random PTEs in the attacker's tables *)
+  | M2p_entries  (** corrupt machine-to-physical entries *)
+  | Arbitrary_physical  (** random word anywhere in RAM *)
+  | Soft_error_bit_flip  (** a single accidental bit flip (not an IM) *)
+  | Component_hooks
+      (** the non-memory injector hooks: vcpu hang, interrupt storm,
+          management-plane tampering, allocator exhaustion *)
+
+val target_to_string : target_class -> string
+val all_targets : target_class list
+val intrusion_targets : target_class list
+(** [all_targets] minus the accidental-fault class. *)
+
+val memory_targets : target_class list
+(** The classes the [arbitrary_access] hypercall covers. *)
+
+type outcome_class =
+  | Crashed  (** hypervisor panic *)
+  | Violated  (** non-crash security violation(s) *)
+  | State_only  (** state audited present, no violation: handled *)
+  | No_effect  (** nothing observable *)
+  | Refused  (** the injector rejected the target *)
+
+val outcome_to_string : outcome_class -> string
+
+type trial = {
+  index : int;
+  target : target_class;
+  t_addr : int64;
+  t_value : int64;
+  outcome : outcome_class;
+  t_violations : Monitor.violation list;
+}
+
+type summary = {
+  s_version : Version.t;
+  s_seed : int64;
+  s_trials : int;
+  tally : (outcome_class * int) list;  (** all five classes, in order *)
+  trials : trial list;
+}
+
+val run :
+  ?seed:int64 -> ?trials:int -> ?targets:target_class list -> Version.t -> summary
+(** Defaults: seed 42, 60 trials, all intrusion targets. A crashed host
+    is rebooted (fresh testbed) before the next trial, like a real
+    campaign would power-cycle the machine. *)
+
+val compare_versions :
+  ?seed:int64 -> ?trials:int -> ?targets:target_class list -> Version.t list -> summary list
+(** The same trial sequence against each version. *)
+
+val render : summary list -> string

@@ -1,0 +1,10 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+val table : ?title:string -> header:string list -> string list list -> string
+(** Render rows in an aligned ASCII grid. *)
+
+val check : bool -> string
+(** "Y" for a checkmark cell, "" for an empty one (Table III style). *)
+
+val shield : string
+(** The Table III shield: an erroneous state handled by the system. *)

@@ -1,0 +1,51 @@
+type outcome = Running of int | Erroneous_reached of string
+
+type concrete = {
+  transitions : (int * string * int) list;
+  initial : int;
+  vulnerability : int * string * string;
+}
+
+let run_concrete machine inputs =
+  let v_state, v_input, v_label = machine.vulnerability in
+  let rec go state = function
+    | [] -> Running state
+    | input :: rest ->
+        if state = v_state && input = v_input then Erroneous_reached v_label
+        else
+          let next =
+            List.find_map
+              (fun (s, i, s') -> if s = state && i = input then Some s' else None)
+              machine.transitions
+          in
+          go (Option.value ~default:state next) rest
+  in
+  go machine.initial inputs
+
+type abstraction = { abusive_input : string list; erroneous_label : string }
+
+let abstract machine ~inputs =
+  match run_concrete machine inputs with
+  | Erroneous_reached label -> Some { abusive_input = inputs; erroneous_label = label }
+  | Running _ -> None
+
+let run_abstract a inputs =
+  if inputs = a.abusive_input then Erroneous_reached a.erroneous_label else Running 0
+
+let equivalent machine ~inputs =
+  match (run_concrete machine inputs, abstract machine ~inputs) with
+  | Erroneous_reached l, Some a -> (
+      match run_abstract a inputs with
+      | Erroneous_reached l' -> l = l'
+      | Running _ -> false)
+  | Running _, None -> true
+  | Erroneous_reached _, None | Running _, Some _ -> false
+
+(* Fig 3's narrative: state 1 processes instruction set a and moves to
+   state 2, keeps processing until the activation transition fires. *)
+let xsa_example =
+  {
+    transitions = [ (1, "a", 2); (2, "b", 3); (3, "c", 1); (2, "a", 2) ];
+    initial = 1;
+    vulnerability = (3, "crafted-hypercall", "malicious return address on the stack");
+  }

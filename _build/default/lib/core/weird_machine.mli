@@ -1,0 +1,40 @@
+(** Fig 3: the intrusion's internal impact vs. its abstraction.
+
+    The left of Fig 3 is the system as a concrete state machine whose
+    transitions consume instruction sets until a vulnerability
+    activation moves it into an erroneous state. The right is the
+    external (attacker) view: a single {e abusive functionality} that
+    maps the initial state straight to the erroneous state. Both are
+    "equivalent in functionality"; this module makes that equivalence
+    executable (and property-testable). *)
+
+type outcome = Running of int  (** internal state id *) | Erroneous_reached of string
+
+type concrete = {
+  transitions : (int * string * int) list;  (** (state, instruction set, state') *)
+  initial : int;
+  vulnerability : int * string * string;
+      (** (state, triggering input, erroneous-state label) *)
+}
+
+val run_concrete : concrete -> string list -> outcome
+(** Feed input instruction sets one by one; unknown inputs leave the
+    state unchanged (the system ignores them). *)
+
+type abstraction = {
+  abusive_input : string list;  (** the inputs that drive the abuse *)
+  erroneous_label : string;
+}
+
+val abstract : concrete -> inputs:string list -> abstraction option
+(** The attacker's abstraction of a successful input sequence: [None]
+    when the sequence does not reach the erroneous state. *)
+
+val run_abstract : abstraction -> string list -> outcome
+
+val equivalent : concrete -> inputs:string list -> bool
+(** Both machines agree on whether [inputs] reaches the erroneous
+    state — the Fig 3 claim. *)
+
+val xsa_example : concrete
+(** A 4-state machine modelled on the paper's Fig 3 narrative. *)

@@ -1,0 +1,1 @@
+lib/devicemodel/blk_study.ml: Abusive_functionality Addr Blkdev Bytes Domain Errno Injector Int64 Intrusion_model Kernel List Option Report String Testbed Version

@@ -1,0 +1,1 @@
+lib/devicemodel/blk_study.mli: Intrusion_model

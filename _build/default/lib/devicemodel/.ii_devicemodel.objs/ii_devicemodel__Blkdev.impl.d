@@ -1,0 +1,1 @@
+lib/devicemodel/blkdev.ml: Addr Array Domain Errno Frame Grant_table Hv Hypercall Int64 Kernel Option Phys_mem Printf Pte

@@ -1,0 +1,1 @@
+lib/devicemodel/blkdev.mli: Addr Domain Errno Hv Kernel Paging

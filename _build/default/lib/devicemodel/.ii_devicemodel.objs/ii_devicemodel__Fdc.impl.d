@@ -1,0 +1,1 @@
+lib/devicemodel/fdc.ml: Bytes Char

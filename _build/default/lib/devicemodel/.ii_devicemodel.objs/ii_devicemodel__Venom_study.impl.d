@@ -1,0 +1,1 @@
+lib/devicemodel/venom_study.ml: Abusive_functionality Bytes Fdc Intrusion_model List Printf Report

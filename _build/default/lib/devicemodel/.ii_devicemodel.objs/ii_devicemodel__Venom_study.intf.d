@@ -1,0 +1,1 @@
+lib/devicemodel/venom_study.mli: Fdc Intrusion_model

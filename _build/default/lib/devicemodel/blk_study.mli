@@ -1,0 +1,25 @@
+(** The block-backend study: exploit vs. injection on the split-driver
+    stack.
+
+    A guest frontend asks the backend for the one-past-the-end sector.
+    On an off-by-one backend the request succeeds and the adjacent
+    backend secret lands in the guest's data page (disclosure); a fixed
+    backend answers -EINVAL. The injector reproduces the same erroneous
+    state — secret bytes in the guest-readable data page — regardless
+    of the backend build, which is how one assesses the blast radius of
+    backend bugs that are not known yet. *)
+
+type mode = Exploit | Injection
+
+type outcome = {
+  o_mode : mode;
+  o_off_by_one : bool;
+  o_status : int64 option;  (** backend's answer to the OOB request *)
+  o_state : bool;  (** secret bytes present in the guest data page *)
+  o_disclosure : bool;
+}
+
+val im : Intrusion_model.t
+val run : off_by_one:bool -> mode -> outcome
+val matrix : unit -> outcome list
+val render : outcome list -> string

@@ -1,0 +1,28 @@
+(** The VENOM mini-study: exploit vs. injection on the device model,
+    across configurations — the §III narrative made executable.
+
+    The study mirrors the main campaign's structure at device-model
+    scale: the same erroneous state (corrupted FDC request handler) is
+    produced by the real overflow on vulnerable builds and by the
+    injector on all builds; whether code execution follows depends on
+    the build's handler validation. *)
+
+type mode = Exploit | Injection
+
+type outcome = {
+  o_mode : mode;
+  o_cfg : Fdc.config;
+  o_state : bool;  (** handler corrupted (audited) *)
+  o_violation : bool;  (** attacker-controlled dispatch happened *)
+  o_log : string list;
+}
+
+val im : Intrusion_model.t
+(** Write Unauthorized Memory via the FDC device-emulation interface. *)
+
+val run : Fdc.config -> mode -> outcome
+
+val matrix : unit -> outcome list
+(** All four configurations x both modes. *)
+
+val render : outcome list -> string

@@ -1,0 +1,1 @@
+lib/guest/fs.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/guest/kernel.ml: Abi Addr Builder Bytes Char Cpu Domain Event_channel Format Frame Fs Hashtbl Hv Hypercall Idt Int64 List Netsim Paging Phys_mem Printf Process Pte Shell String Xenstore

@@ -1,0 +1,1 @@
+lib/guest/kernel.mli: Addr Domain Errno Fs Hv Hypercall Netsim Paging Process Pte

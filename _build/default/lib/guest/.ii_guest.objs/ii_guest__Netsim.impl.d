@@ -1,0 +1,1 @@
+lib/guest/netsim.ml: Buffer List Printf

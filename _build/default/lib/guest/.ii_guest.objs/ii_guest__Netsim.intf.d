@@ -1,0 +1,1 @@
+lib/guest/netsim.mli: Buffer

@@ -1,0 +1,1 @@
+lib/guest/shell.ml: Buffer Fs List Printf String

@@ -1,0 +1,1 @@
+lib/guest/shell.mli: Fs

@@ -1,0 +1,1 @@
+lib/guest/testbed.ml: Builder Hv Kernel List Netsim Sched

@@ -1,0 +1,1 @@
+lib/guest/testbed.mli: Hv Kernel Netsim Version

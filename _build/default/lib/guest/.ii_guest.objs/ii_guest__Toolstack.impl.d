@@ -1,0 +1,1 @@
+lib/guest/toolstack.ml: Hv Kernel String Xenstore

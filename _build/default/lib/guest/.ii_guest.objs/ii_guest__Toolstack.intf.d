@@ -1,0 +1,1 @@
+lib/guest/toolstack.mli: Errno Hv Kernel

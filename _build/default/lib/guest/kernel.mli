@@ -1,0 +1,112 @@
+(** A PV guest kernel.
+
+    Wraps a {!Ii_xen.Domain.t} with the guest-side machinery the
+    evaluation needs: a printk log with dmesg-style timestamps, a tiny
+    filesystem and shell, hypercall wrappers, memory accessors that
+    route faults through Xen's IDT (so a corrupted IDT turns any guest
+    fault into the paper's double-fault panic), and the vDSO execution
+    hook that makes an installed backdoor actually run. *)
+
+type t
+
+val create : Hv.t -> Domain.t -> Netsim.t -> t
+val hv : t -> Hv.t
+val dom : t -> Domain.t
+val fs : t -> Fs.t
+val hostname : t -> string
+val ip : t -> string
+val domid : t -> int
+
+(** {1 Kernel log} *)
+
+val printk : t -> string -> unit
+val printk_tagged : t -> tag:string -> string -> unit
+(** [printk_tagged ~tag:"xen_exploit" "..."] renders
+    ["[  ...] xen_exploit:   ..."] like the paper's transcripts. *)
+
+val klog : t -> string list
+(** Log lines, oldest first. *)
+
+(** {1 Hypercalls and privileged instructions} *)
+
+val hypercall : t -> Hypercall.call -> (int64, Errno.t) result
+val hypercall_rc : t -> Hypercall.call -> int
+(** Guest-visible return code ([-14] for [EFAULT]...). *)
+
+val raw_hypercall :
+  t -> number:int -> ?rdi:int64 -> ?rsi:int64 -> ?rdx:int64 -> ?r10:int64 -> unit -> int
+(** The register-level path ({!Ii_xen.Abi}): argument structures are
+    fetched from this kernel's memory, exactly like a real PV stub. *)
+
+val sidt : t -> Addr.vaddr
+val pt_base_mfn : t -> Addr.mfn
+(** From the start_info page, like a real PV kernel learns it. *)
+
+val start_info_vaddr : t -> Addr.vaddr
+val vdso_mfn : t -> Addr.mfn
+
+val pt_entry : t -> table_mfn:Addr.mfn -> index:int -> Pte.t option
+(** Read one of the kernel's own page-table entries through its
+    read-only kernel mapping of the table page ([None] when the frame
+    is not mapped in the kernel area — e.g. a Xen-owned table). *)
+
+(** {1 Memory access (kernel privilege)}
+
+    On a page fault these deliver the exception through Xen's IDT
+    first; if Xen survives (gate intact) the kernel logs the usual
+    "unable to handle kernel paging request" and the access fails. *)
+
+val read_u64 : t -> Addr.vaddr -> (int64, Paging.fault) result
+val write_u64 : t -> Addr.vaddr -> int64 -> (unit, Paging.fault) result
+val read_bytes : t -> Addr.vaddr -> int -> (bytes, Paging.fault) result
+val write_bytes : t -> Addr.vaddr -> bytes -> (unit, Paging.fault) result
+
+val user_write_u64 : t -> Addr.vaddr -> int64 -> (unit, Paging.fault) result
+(** Same, with user privilege (used by the XSA-182 test's final
+    user-space write). *)
+
+val user_read_u64 : t -> Addr.vaddr -> (int64, Paging.fault) result
+
+(** {1 Event-channel delivery} *)
+
+val bind_irq_handler : t -> port:int -> (unit -> unit) -> unit
+(** Register the kernel's handler for a local event-channel port. *)
+
+val irqs_handled : t -> int
+(** Events consumed so far. Each {!tick} drains at most a fixed budget
+    of pending ports, so an injected interrupt storm shows up as a
+    persistent backlog rather than an infinite loop. *)
+
+(** {1 Shell and processes} *)
+
+val shell : t -> uid:int -> string -> string
+(** Run a command line; [ps] is resolved against the kernel's process
+    table, everything else by {!Shell}. *)
+
+val processes : t -> Process.t
+
+(** {1 The vDSO hook} *)
+
+module Backdoor : sig
+  val magic : string
+
+  type payload =
+    | Run_as_root of string  (** shell command *)
+    | Reverse_shell of { host : string; port : int }
+
+  val encode : payload -> bytes
+  (** The byte blob an attacker writes at the vDSO code offset. *)
+
+  val decode : bytes -> payload option
+end
+
+val balloon : t -> unit
+(** Honour the XenStore [memory/target] node by releasing the highest
+    releasable data pages back to the hypervisor (page-table and
+    special pages are never ballooned). Runs on every {!tick}. *)
+
+val tick : t -> unit
+(** One scheduler tick: the balloon driver runs, then user processes
+    execute the vDSO; if its code area carries a backdoor, the payload
+    runs with root privilege. This is how patching another domain's
+    vDSO becomes a privilege escalation. *)

@@ -1,0 +1,63 @@
+type connection = {
+  conn_id : int;
+  from_host : string;
+  from_ip : string;
+  to_host : string;
+  port : int;
+  conn_uid : int;
+  exec : string -> string;
+  transcript : Buffer.t;
+}
+
+type t = {
+  mutable listeners : (string * int) list;
+  mutable connections : connection list;
+  mutable next_id : int;
+}
+
+let create () = { listeners = []; connections = []; next_id = 0 }
+
+let listen t ~host ~port =
+  if not (List.mem (host, port) t.listeners) then t.listeners <- (host, port) :: t.listeners
+
+let is_listening t ~host ~port = List.mem (host, port) t.listeners
+
+let connect t ~from_host ~from_ip ~host ~port ~uid ~exec =
+  if not (is_listening t ~host ~port) then
+    Error (Printf.sprintf "connect: connection refused to %s:%d" host port)
+  else begin
+    let transcript = Buffer.create 256 in
+    Buffer.add_string transcript (Printf.sprintf "Listening on [0.0.0.0] (family 0, port %d)\n" port);
+    Buffer.add_string transcript
+      (Printf.sprintf "Connection from [%s] port %d [tcp/*] accepted\n" from_ip port);
+    let conn =
+      {
+        conn_id = t.next_id;
+        from_host;
+        from_ip;
+        to_host = host;
+        port;
+        conn_uid = uid;
+        exec;
+        transcript;
+      }
+    in
+    t.next_id <- t.next_id + 1;
+    t.connections <- conn :: t.connections;
+    Ok conn
+  end
+
+let run_command conn cmd =
+  let out = conn.exec cmd in
+  Buffer.add_string conn.transcript cmd;
+  Buffer.add_char conn.transcript '\n';
+  if out <> "" then begin
+    Buffer.add_string conn.transcript out;
+    Buffer.add_char conn.transcript '\n'
+  end;
+  out
+
+let connections_to t ~host ~port =
+  List.filter (fun c -> c.to_host = host && c.port = port) t.connections
+
+let transcript conn = Buffer.contents conn.transcript

@@ -1,0 +1,125 @@
+type ctx = { hostname : string; fs : Fs.t; uid : int }
+
+let user_name = function 0 -> "root" | 1000 -> "xen" | n -> Printf.sprintf "user%d" n
+
+let id_string uid =
+  let name = user_name uid in
+  Printf.sprintf "uid=%d(%s) gid=%d(%s) groups=%d(%s)" uid name uid name uid name
+
+(* --- tokenizing ------------------------------------------------------ *)
+
+let split_words line =
+  let words = ref [] in
+  let buf = Buffer.create 16 in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      words := Buffer.contents buf :: !words;
+      Buffer.clear buf
+    end
+  in
+  let n = String.length line in
+  let rec go i in_quote =
+    if i >= n then flush ()
+    else
+      let c = line.[i] in
+      match (in_quote, c) with
+      | None, (' ' | '\t') ->
+          flush ();
+          go (i + 1) None
+      | None, ('"' | '\'') -> go (i + 1) (Some c)
+      | Some q, c when c = q -> go (i + 1) None
+      | _, c ->
+          Buffer.add_char buf c;
+          go (i + 1) in_quote
+  in
+  go 0 None;
+  List.rev !words
+
+let split_on_string sep s =
+  let seplen = String.length sep in
+  let rec go acc start =
+    match
+      let rec find i =
+        if i + seplen > String.length s then None
+        else if String.sub s i seplen = sep then Some i
+        else find (i + 1)
+      in
+      find start
+    with
+    | Some i -> go (String.sub s start (i - start) :: acc) (i + seplen)
+    | None -> List.rev (String.sub s start (String.length s - start) :: acc)
+  in
+  go [] 0
+
+(* --- substitution: $(cmd), $HOSTNAME --------------------------------- *)
+
+let rec substitute ctx s =
+  let buf = Buffer.create (String.length s) in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then ()
+    else if i + 1 < n && s.[i] = '$' && s.[i + 1] = '(' then begin
+      (* find matching close paren *)
+      let rec close j depth =
+        if j >= n then None
+        else if s.[j] = '(' then close (j + 1) (depth + 1)
+        else if s.[j] = ')' then if depth = 0 then Some j else close (j + 1) (depth - 1)
+        else close (j + 1) depth
+      in
+      match close (i + 2) 0 with
+      | Some j ->
+          Buffer.add_string buf (run ctx (String.sub s (i + 2) (j - i - 2)));
+          go (j + 1)
+      | None ->
+          Buffer.add_char buf s.[i];
+          go (i + 1)
+    end
+    else if i + 8 < n && String.sub s i 9 = "$HOSTNAME" then begin
+      Buffer.add_string buf ctx.hostname;
+      go (i + 9)
+    end
+    else if i + 8 < n && String.sub s i 9 = "$hostname" then begin
+      Buffer.add_string buf ctx.hostname;
+      go (i + 9)
+    end
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go 0;
+  Buffer.contents buf
+
+(* --- execution -------------------------------------------------------- *)
+
+and run_simple ctx line =
+  match split_words line with
+  | [] -> ""
+  | cmd :: args -> (
+      match (cmd, args) with
+      | "echo", args -> String.concat " " args
+      | "id", [] -> id_string ctx.uid
+      | "whoami", [] -> user_name ctx.uid
+      | "hostname", [] -> ctx.hostname
+      | "true", _ -> ""
+      | "ls", [] -> String.concat "\n" (Fs.paths ctx.fs)
+      | "cat", [ path ] -> (
+          match Fs.read ctx.fs path with
+          | None -> Printf.sprintf "cat: %s: No such file or directory" path
+          | Some file ->
+              if Fs.readable_by file ~uid:ctx.uid then file.Fs.content
+              else Printf.sprintf "cat: %s: Permission denied" path)
+      | cmd, _ -> Printf.sprintf "sh: %s: command not found" cmd)
+
+and run_redirecting ctx line =
+  match split_on_string " > " line with
+  | [ cmd; path ] ->
+      let out = run_simple ctx (substitute ctx cmd) in
+      Fs.write ctx.fs ~path:(String.trim path) ~uid:ctx.uid out;
+      ""
+  | _ -> run_simple ctx (substitute ctx line)
+
+and run ctx line =
+  let parts = split_on_string "&&" line in
+  let outputs = List.map (fun part -> run_redirecting ctx (String.trim part)) parts in
+  String.concat "\n" (List.filter (fun s -> s <> "") outputs)

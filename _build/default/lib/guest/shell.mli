@@ -1,0 +1,22 @@
+(** A miniature shell interpreter for the guest transcripts.
+
+    The exploits and the backdoors they install run shell commands on
+    compromised domains ("echo \"|$(id)|@$(hostname)\" >
+    /tmp/injector_log", "whoami && hostname", "cat /root/root_msg").
+    This interpreter supports exactly the features those transcripts
+    exercise: command substitution, [&&] chains, output redirection and
+    a handful of builtins, each executing with a caller-chosen uid. *)
+
+type ctx = { hostname : string; fs : Fs.t; uid : int }
+
+val user_name : int -> string
+(** 0 -> "root", 1000 -> "xen", n -> "user<n>". *)
+
+val id_string : int -> string
+(** The [id] output for a uid, e.g.
+    ["uid=0(root) gid=0(root) groups=0(root)"]. *)
+
+val run : ctx -> string -> string
+(** Execute a command line; returns its standard output (no trailing
+    newline). Never raises: unknown commands report
+    ["sh: ...: command not found"]. *)

@@ -1,0 +1,39 @@
+type t = {
+  hv : Hv.t;
+  net : Netsim.t;
+  dom0 : Kernel.t;
+  attacker : Kernel.t;
+  victim : Kernel.t;
+  remote_host : string;
+}
+
+let create ?(frames = 2048) ?(dom0_pages = 128) ?(guest_pages = 96) version =
+  let hv = Hv.boot ~version ~frames in
+  let net = Netsim.create () in
+  let dom0 = Builder.create_domain hv ~name:"xen3" ~privileged:true ~pages:dom0_pages in
+  let victim = Builder.create_domain hv ~name:"guest01" ~privileged:false ~pages:guest_pages in
+  let attacker = Builder.create_domain hv ~name:"guest03" ~privileged:false ~pages:guest_pages in
+  {
+    hv;
+    net;
+    dom0 = Kernel.create hv dom0 net;
+    victim = Kernel.create hv victim net;
+    attacker = Kernel.create hv attacker net;
+    remote_host = "xen2";
+  }
+
+let kernels t = [ t.dom0; t.victim; t.attacker ]
+
+let kernel_of t domid =
+  List.find_opt (fun k -> Kernel.domid k = domid) (kernels t)
+
+(* One scheduling round: every vcpu gets (at most) one slice; a hung
+   vcpu pins the pCPU and nobody else runs. *)
+let tick_all t =
+  for _ = 1 to List.length (kernels t) do
+    match Hv.sched_tick t.hv with
+    | Sched.Scheduled domid -> (
+        match kernel_of t domid with Some k -> Kernel.tick k | None -> ())
+    | Sched.Cpu_stalled _ | Sched.Idle -> ()
+  done
+let remote_listen t ~port = Netsim.listen t.net ~host:t.remote_host ~port

@@ -1,0 +1,28 @@
+(** The paper's experimental environment: one host running a given Xen
+    version, a privileged dom0 ("xen3"), an attacker-controlled guest
+    ("guest03"), a victim guest ("guest01") and a remote attacker host
+    ("xen2") on the simulated network.
+
+    Everything but the Xen version is identical across instantiations,
+    matching §IX-C ("the only difference was the Xen version"). *)
+
+type t = {
+  hv : Hv.t;
+  net : Netsim.t;
+  dom0 : Kernel.t;
+  attacker : Kernel.t;
+  victim : Kernel.t;
+  remote_host : string;
+}
+
+val create : ?frames:int -> ?dom0_pages:int -> ?guest_pages:int -> Version.t -> t
+(** Defaults: 2048 frames, 128 dom0 pages, 96 pages per guest. *)
+
+val kernels : t -> Kernel.t list
+(** All guest kernels, dom0 first. *)
+
+val tick_all : t -> unit
+(** One scheduler round on every domain (vDSO hooks run). *)
+
+val remote_listen : t -> port:int -> unit
+(** Start a listener on the remote attacker host. *)

@@ -1,0 +1,16 @@
+let set_memory_target k ~domid ~pages =
+  Xenstore.write (Kernel.hv k).Hv.xenstore ~caller:(Kernel.domid k)
+    (Xenstore.domain_path domid "memory/target")
+    (string_of_int pages)
+
+let memory_target hv ~domid =
+  match Xenstore.read hv.Hv.xenstore ~caller:0 (Xenstore.domain_path domid "memory/target") with
+  | Ok s -> int_of_string_opt (String.trim s)
+  | Error _ -> None
+
+let guest_name k ~domid =
+  Xenstore.read (Kernel.hv k).Hv.xenstore ~caller:(Kernel.domid k)
+    (Xenstore.domain_path domid "name")
+
+let list_domain_nodes k =
+  Xenstore.list_prefix (Kernel.hv k).Hv.xenstore ~caller:(Kernel.domid k) "/local/domain/"

@@ -1,0 +1,20 @@
+(** The dom0 toolstack's management operations over XenStore.
+
+    This is the management interface whose abuse the paper's §IX names
+    as a next intrusion-model family: a legitimate toolstack tunes
+    guests through their XenStore subtrees (memory targets above all);
+    a compromised toolstack — or an injected XenStore corruption — uses
+    the same channel against them. *)
+
+val set_memory_target : Kernel.t -> domid:int -> pages:int -> (unit, Errno.t) result
+(** Write a guest's [memory/target]. The caller must be dom0; XenStore
+    refuses everyone else with [EACCES]. The guest's balloon driver
+    honours the target on its next scheduling tick. *)
+
+val memory_target : Hv.t -> domid:int -> int option
+(** Hypervisor-side read of the current target node. *)
+
+val guest_name : Kernel.t -> domid:int -> (string, Errno.t) result
+
+val list_domain_nodes : Kernel.t -> (string list, Errno.t) result
+(** All XenStore paths under /local/domain/ visible to the caller. *)

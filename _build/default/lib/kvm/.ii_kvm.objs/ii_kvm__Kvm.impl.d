@@ -1,0 +1,1 @@
+lib/kvm/kvm.ml: Addr Buffer Bytes Errno Frame Idt Int64 Layout Nested Phys_mem Printf Pte String

@@ -1,0 +1,1 @@
+lib/kvm/kvm.mli: Addr Errno Nested Phys_mem

@@ -1,0 +1,1 @@
+lib/kvm/nested.ml: Addr Frame Int64 Paging Phys_mem Pte

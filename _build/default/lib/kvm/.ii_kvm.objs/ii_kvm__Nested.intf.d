@@ -1,0 +1,1 @@
+lib/kvm/nested.mli: Addr Phys_mem

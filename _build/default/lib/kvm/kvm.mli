@@ -1,0 +1,73 @@
+(** A minimal KVM-style hardware-assisted hypervisor — the "hypervisor
+    B" of §IX-A's cross-system scenario.
+
+    The architecture differs from the Xen PV substrate on purpose:
+    - guests own their page tables outright (no hypervisor validation
+      of guest entries — isolation comes from the EPT instead);
+    - the guest's IDT lives in {e guest} memory, so corrupting it harms
+      only that guest;
+    - the host-critical control structure is the per-VM VMCS, held in
+      host memory: corrupting it makes the next VM entry fail and KVM
+      kills the VM — the host survives.
+
+    The same intrusion model ("corrupt a descriptor-table handler")
+    therefore has a different blast radius here than on Xen, which is
+    exactly the kind of finding cross-system injection exists to
+    surface. The injector is an ioctl-style host interface
+    ({!arbitrary_access}) with the same four actions as the Xen
+    prototype, so test scripts port across systems. *)
+
+type vm_state = Vm_running | Vm_crashed of string
+
+type vm = {
+  vm_id : int;
+  vm_name : string;
+  ept_root : Addr.mfn;
+  vmcs_mfn : Addr.mfn;  (** host-owned control structure *)
+  guest_pages : int;
+  guest_cr3_gpa : Nested.gpa;
+  idt_gpa : Nested.gpa;  (** the guest's own IDT, in guest memory *)
+  mutable state : vm_state;
+}
+
+type t
+
+val boot : frames:int -> t
+val mem : t -> Phys_mem.t
+val console : t -> string list
+val vms : t -> vm list
+
+val create_vm : t -> name:string -> pages:int -> vm
+(** Guest-physical pages 0..pages-1 mapped through a fresh EPT; a
+    kernel-style guest address space built {e by the guest} in its own
+    memory; a guest IDT at a fixed guest-physical page; a VMCS in host
+    memory. *)
+
+val vmcs_magic : int64
+val vmcs_entry_handler : int64
+(** The legitimate VMCS fields [vm_entry] checks. *)
+
+val vm_entry : t -> vm -> (unit, string) result
+(** Run the VM for a slice: validates the VMCS first; corruption fails
+    the entry and kills the VM ("KVM: VM-entry failed"). *)
+
+val deliver_guest_fault : t -> vm -> vector:int -> (unit, string) result
+(** Deliver an exception through the {e guest's} IDT: a corrupted gate
+    panics the guest kernel (the VM), never the host. *)
+
+val guest_read_u64 : t -> vm -> Addr.vaddr -> (int64, Nested.fault) result
+val guest_write_u64 : t -> vm -> Addr.vaddr -> int64 -> (unit, Nested.fault) result
+(** Guest accesses through the full two-dimensional walk. *)
+
+val gpa_to_maddr : t -> vm -> Nested.gpa -> (Addr.maddr, Nested.fault) result
+
+(** {1 The KVM injector (ioctl-style)} *)
+
+type action = Read_host_linear | Write_host_linear | Read_host_physical | Write_host_physical
+
+val arbitrary_access :
+  t -> addr:int64 -> action -> data:bytes -> (bytes option, Errno.t) result
+(** The host-side injector: same action surface as the Xen hypercall
+    prototype ([linear] resolves through the host direct map). Write
+    actions consume [data]; read actions return bytes of
+    [Bytes.length data]. *)

@@ -1,0 +1,41 @@
+(** Two-dimensional (nested) paging — the KVM/EPT memory architecture.
+
+    Unlike Xen PV's direct paging (guest tables hold machine frame
+    numbers, validated by the hypervisor), a hardware-assisted
+    hypervisor gives each VM its own {e guest-physical} address space:
+    guest page tables hold guest-physical frame numbers, and a second,
+    hypervisor-owned table (the EPT) maps guest-physical to
+    host-physical. Every step of the guest walk is itself translated
+    through the EPT.
+
+    The EPT reuses the 4-level walker ({!Ii_machine.Paging}) over
+    guest-physical addresses; the guest dimension is walked here, with
+    each table pointer resolved through the EPT first. *)
+
+type gpa = int64
+(** Guest-physical address. *)
+
+type fault =
+  | Ept_violation of gpa  (** no EPT mapping for this guest-physical page *)
+  | Guest_not_present of int  (** guest walk stopped at this level *)
+  | Guest_protection  (** guest-level permission denial *)
+
+val ept_translate : Phys_mem.t -> ept_root:Addr.mfn -> gpa -> (Addr.maddr, fault) result
+(** One-dimensional: guest-physical to host-physical through the EPT. *)
+
+val translate :
+  Phys_mem.t ->
+  ept_root:Addr.mfn ->
+  guest_cr3_gpa:gpa ->
+  write:bool ->
+  Addr.vaddr ->
+  (Addr.maddr, fault) result
+(** Full two-dimensional walk: guest virtual -> guest physical (via the
+    guest's own tables, themselves read through the EPT) -> host
+    physical. *)
+
+val map_gpa :
+  Phys_mem.t -> alloc:(unit -> Addr.mfn) -> ept_root:Addr.mfn -> gpa -> Addr.mfn ->
+  unit
+(** Install an EPT mapping (allocating intermediate EPT tables from the
+    host as needed). *)

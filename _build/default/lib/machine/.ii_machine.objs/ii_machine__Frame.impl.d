@@ -1,0 +1,1 @@
+lib/machine/frame.ml: Addr Bytes Char Printf String

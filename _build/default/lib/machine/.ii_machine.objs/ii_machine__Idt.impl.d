@@ -1,0 +1,1 @@
+lib/machine/idt.ml: Addr Frame Int64 Phys_mem

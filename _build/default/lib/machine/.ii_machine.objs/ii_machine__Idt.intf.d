@@ -1,0 +1,1 @@
+lib/machine/idt.mli: Addr Phys_mem

@@ -1,0 +1,1 @@
+lib/machine/paging.mli: Addr Format Layout Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/machine/phys_mem.ml: Addr Array Bytes Char Frame Int64 List

@@ -1,0 +1,1 @@
+lib/machine/phys_mem.mli: Addr Frame

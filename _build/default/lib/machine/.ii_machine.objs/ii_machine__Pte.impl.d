@@ -1,0 +1,1 @@
+lib/machine/pte.ml: Format Int64 List String

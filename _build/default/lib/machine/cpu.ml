@@ -1,0 +1,112 @@
+type ring = Hyp | Kernel | User
+
+type t = {
+  mem : Phys_mem.t;
+  hardened : bool;
+  mutable idt : Addr.mfn option;
+  handlers : (Addr.vaddr, string) Hashtbl.t;
+}
+
+type 'a access_result = ('a, Paging.fault) result
+
+let create mem ~hardened = { mem; hardened; idt = None; handlers = Hashtbl.create 31 }
+let mem t = t.mem
+let hardened t = t.hardened
+let set_idt t mfn = t.idt <- Some mfn
+let idt_mfn t = t.idt
+
+let sidt t =
+  match t.idt with
+  | Some mfn -> Layout.directmap_of_maddr (Addr.maddr_of_mfn mfn)
+  | None -> failwith "Cpu.sidt: no IDT installed"
+
+let register_handler t va label = Hashtbl.replace t.handlers va label
+let handler_name t va = Hashtbl.find_opt t.handlers va
+
+let fault va kind reason = Error { Paging.fault_vaddr = va; fault_kind = kind; reason }
+
+let layout_permits access kind =
+  match (access, kind) with
+  | Layout.Read_write, _ -> true
+  | Layout.Read_only, (Paging.Read | Paging.Exec) -> true
+  | Layout.Read_only, Paging.Write -> false
+  | Layout.No_access, _ -> false
+
+let resolve t ~ring ~cr3 ~kind va =
+  let va = Addr.canonical va in
+  match ring with
+  | Hyp -> (
+      match Layout.maddr_of_directmap va with
+      | Some ma when Phys_mem.is_valid_mfn t.mem (Addr.mfn_of_maddr ma) -> Ok ma
+      | Some _ | None -> fault va kind (Paging.Not_present 4))
+  | Kernel | User ->
+      let access = Layout.guest_access ~hardened:t.hardened va in
+      if not (layout_permits access kind) then
+        fault va kind (Paging.Layout_denied (Layout.region_of_vaddr va))
+      else
+        let user = ring = User in
+        Result.map
+          (fun tr -> tr.Paging.t_maddr)
+          (Paging.translate t.mem ~cr3 ~kind ~user va)
+
+let read_u64 t ~ring ~cr3 va =
+  Result.map (Phys_mem.read_u64 t.mem) (resolve t ~ring ~cr3 ~kind:Paging.Read va)
+
+let write_u64 t ~ring ~cr3 va v =
+  Result.map (fun ma -> Phys_mem.write_u64 t.mem ma v) (resolve t ~ring ~cr3 ~kind:Paging.Write va)
+
+(* Byte-range transfers translate page by page, so a range crossing a page
+   boundary succeeds only when every page translates. *)
+let rec fold_pages t ~ring ~cr3 ~kind va len f =
+  if len <= 0 then Ok ()
+  else
+    let in_page = Addr.page_size - Addr.page_offset va in
+    let chunk = min len in_page in
+    match resolve t ~ring ~cr3 ~kind va with
+    | Error e -> Error e
+    | Ok ma ->
+        f ma chunk;
+        fold_pages t ~ring ~cr3 ~kind (Int64.add va (Int64.of_int chunk)) (len - chunk) f
+
+let read_bytes t ~ring ~cr3 va len =
+  let buf = Bytes.create len in
+  let pos = ref 0 in
+  let copy ma chunk =
+    Bytes.blit (Phys_mem.read_bytes t.mem ma chunk) 0 buf !pos chunk;
+    pos := !pos + chunk
+  in
+  Result.map (fun () -> buf) (fold_pages t ~ring ~cr3 ~kind:Paging.Read va len copy)
+
+let write_bytes t ~ring ~cr3 va data =
+  let pos = ref 0 in
+  let copy ma chunk =
+    Phys_mem.write_bytes t.mem ma (Bytes.sub data !pos chunk);
+    pos := !pos + chunk
+  in
+  fold_pages t ~ring ~cr3 ~kind:Paging.Write va (Bytes.length data) copy
+
+type exception_outcome =
+  | Handled of { vector : int; handler : Addr.vaddr; handler_label : string }
+  | Double_fault_panic of { first_vector : int; bad_handler : int64 }
+  | Triple_fault
+
+let gate_valid t gate =
+  gate.Idt.gate_present && Hashtbl.mem t.handlers gate.Idt.handler
+
+let deliver_exception t ~vector =
+  match t.idt with
+  | None -> Triple_fault
+  | Some idt_mfn ->
+      let gate = Idt.read_gate t.mem idt_mfn vector in
+      if gate_valid t gate then
+        Handled
+          {
+            vector;
+            handler = gate.Idt.handler;
+            handler_label = Option.value ~default:"?" (handler_name t gate.Idt.handler);
+          }
+      else
+        let df = Idt.read_gate t.mem idt_mfn Idt.vector_double_fault in
+        if gate_valid t df then
+          Double_fault_panic { first_vector = vector; bad_handler = gate.Idt.handler }
+        else Triple_fault

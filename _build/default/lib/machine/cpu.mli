@@ -1,0 +1,58 @@
+(** CPU-level memory access and exception delivery.
+
+    Three privilege contexts exist:
+    - [Hyp]: hypervisor code; resolves addresses through Xen's direct
+      map, bypassing guest page tables (this is the privilege the
+      intrusion injector executes with);
+    - [Kernel]: PV guest kernel; walks the guest's CR3 with supervisor
+      semantics, filtered by the address-space layout;
+    - [User]: guest user space; additionally requires the US flag.
+
+    Exception delivery reads gates from the in-memory IDT. A corrupted
+    gate makes the first fault escalate to a double fault; Xen's double
+    fault handler panics — reproducing the XSA-212-crash violation. *)
+
+type ring = Hyp | Kernel | User
+
+type t
+
+val create : Phys_mem.t -> hardened:bool -> t
+val mem : t -> Phys_mem.t
+val hardened : t -> bool
+val set_idt : t -> Addr.mfn -> unit
+val idt_mfn : t -> Addr.mfn option
+
+val sidt : t -> Addr.vaddr
+(** Linear (direct-map) address of the IDT, as the unprivileged [sidt]
+    instruction leaks it. Raises [Failure] when no IDT is installed. *)
+
+val register_handler : t -> Addr.vaddr -> string -> unit
+(** Declare a handler address valid (Xen installs its entry points). *)
+
+val handler_name : t -> Addr.vaddr -> string option
+
+(** {1 Memory access} *)
+
+type 'a access_result = ('a, Paging.fault) result
+
+val read_u64 : t -> ring:ring -> cr3:Addr.mfn -> Addr.vaddr -> int64 access_result
+val write_u64 : t -> ring:ring -> cr3:Addr.mfn -> Addr.vaddr -> int64 -> unit access_result
+val read_bytes : t -> ring:ring -> cr3:Addr.mfn -> Addr.vaddr -> int -> bytes access_result
+val write_bytes : t -> ring:ring -> cr3:Addr.mfn -> Addr.vaddr -> bytes -> unit access_result
+
+val resolve :
+  t -> ring:ring -> cr3:Addr.mfn -> kind:Paging.access_kind -> Addr.vaddr ->
+  Addr.maddr access_result
+(** Translation only, no data transfer. *)
+
+(** {1 Exceptions} *)
+
+type exception_outcome =
+  | Handled of { vector : int; handler : Addr.vaddr; handler_label : string }
+  | Double_fault_panic of { first_vector : int; bad_handler : int64 }
+      (** the first handler was corrupt; Xen's double-fault handler ran
+          and the hypervisor must panic *)
+  | Triple_fault
+      (** both the first and the double-fault gates were corrupt *)
+
+val deliver_exception : t -> vector:int -> exception_outcome

@@ -1,0 +1,39 @@
+(** A single 4 KiB frame of simulated physical memory.
+
+    Frames hold raw bytes. Page-table pages, the IDT, guest kernel pages
+    and attacker payloads all live in frames, so forged data is
+    indistinguishable from legitimate data — exactly the property the
+    exploits rely on. *)
+
+type t
+
+val create : unit -> t
+(** A zero-filled frame. *)
+
+val copy : t -> t
+
+val get_u8 : t -> int -> int
+val set_u8 : t -> int -> int -> unit
+
+val get_u64 : t -> int -> int64
+(** Little-endian 64-bit load at byte offset [off] (0 <= off <= 4088). *)
+
+val set_u64 : t -> int -> int64 -> unit
+
+val get_entry : t -> int -> int64
+(** Read page-table entry [i] (0..511): [get_u64 t (8*i)]. *)
+
+val set_entry : t -> int -> int64 -> unit
+
+val read_bytes : t -> int -> int -> bytes
+(** [read_bytes t off len] copies [len] bytes starting at [off]. *)
+
+val write_bytes : t -> int -> bytes -> unit
+val write_string : t -> int -> string -> unit
+val fill : t -> char -> unit
+
+val find_string : t -> string -> int option
+(** Offset of the first occurrence of a byte pattern, if any. *)
+
+val equal : t -> t -> bool
+val to_bytes : t -> bytes

@@ -1,0 +1,37 @@
+type gate = { handler : Addr.vaddr; selector : int; gate_present : bool }
+
+let vector_page_fault = 14
+let vector_double_fault = 8
+let vector_general_protection = 13
+let xen_code_selector = 0xe008
+let gate_size = 16
+
+let check_vector v = if v < 0 || v > 255 then invalid_arg "Idt: vector out of range"
+
+let handler_offset v =
+  check_vector v;
+  v * gate_size
+
+let init mem mfn = Frame.fill (Phys_mem.frame mem mfn) '\000'
+
+let present_bit = 0x8000L
+
+let write_gate mem mfn v { handler; selector; gate_present } =
+  check_vector v;
+  let frame = Phys_mem.frame mem mfn in
+  Frame.set_u64 frame (handler_offset v) handler;
+  let word =
+    Int64.logor (Int64.of_int (selector land 0xffff)) (if gate_present then present_bit else 0L)
+  in
+  Frame.set_u64 frame (handler_offset v + 8) word
+
+let read_gate mem mfn v =
+  check_vector v;
+  let frame = Phys_mem.frame mem mfn in
+  let handler = Frame.get_u64 frame (handler_offset v) in
+  let word = Frame.get_u64 frame (handler_offset v + 8) in
+  {
+    handler;
+    selector = Int64.to_int (Int64.logand word 0xffffL);
+    gate_present = Int64.logand word present_bit <> 0L;
+  }

@@ -1,0 +1,31 @@
+(** The interrupt descriptor table, stored in a physical frame.
+
+    Each of the 256 vectors has a 16-byte gate: the handler's linear
+    address followed by a selector/flags word. Because the table is
+    ordinary memory, an arbitrary write primitive can corrupt a gate —
+    the erroneous state behind the XSA-212-crash use case. *)
+
+type gate = { handler : Addr.vaddr; selector : int; gate_present : bool }
+
+val vector_page_fault : int
+(** 14 *)
+
+val vector_double_fault : int
+(** 8 *)
+
+val vector_general_protection : int
+(** 13 *)
+
+val xen_code_selector : int
+(** 0xe008, as printed in Xen crash dumps. *)
+
+val gate_size : int
+val handler_offset : int -> int
+(** Byte offset, within the IDT page, of vector [v]'s handler address —
+    the address the XSA-212-crash exploit targets. *)
+
+val init : Phys_mem.t -> Addr.mfn -> unit
+(** Reset every gate to not-present. *)
+
+val write_gate : Phys_mem.t -> Addr.mfn -> int -> gate -> unit
+val read_gate : Phys_mem.t -> Addr.mfn -> int -> gate

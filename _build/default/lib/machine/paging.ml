@@ -1,0 +1,113 @@
+type access_kind = Read | Write | Exec
+
+type fault_reason =
+  | Not_present of int
+  | Write_to_readonly
+  | User_access_to_supervisor
+  | Nx_violation
+  | Non_canonical
+  | Layout_denied of Layout.region
+
+type fault = { fault_vaddr : Addr.vaddr; fault_kind : access_kind; reason : fault_reason }
+type step = { level : int; table_mfn : Addr.mfn; index : int; entry : Pte.t }
+
+type translation = {
+  t_maddr : Addr.maddr;
+  writable : bool;
+  user : bool;
+  executable : bool;
+  superpage : bool;
+  path : step list;
+}
+
+let index_at level va =
+  match level with
+  | 4 -> Addr.l4_index va
+  | 3 -> Addr.l3_index va
+  | 2 -> Addr.l2_index va
+  | 1 -> Addr.l1_index va
+  | _ -> invalid_arg "Paging.index_at"
+
+let read_entry mem table_mfn index =
+  if Phys_mem.is_valid_mfn mem table_mfn then Frame.get_entry (Phys_mem.frame mem table_mfn) index
+  else Pte.none
+
+(* Superpage base frame: hardware ignores/requires-zero the low 9 MFN bits
+   of a PSE L2 entry; we round down, so an exploit forging a PSE mapping
+   over its page-table pages covers the whole 2 MiB-aligned group. *)
+let superpage_base_mfn entry = Pte.mfn entry land lnot 0x1ff
+
+let walk_general mem ~cr3 va =
+  let va = Addr.canonical va in
+  let rec go level table_mfn acc ~rw ~us ~nx =
+    let index = index_at level va in
+    let entry = read_entry mem table_mfn index in
+    let acc = { level; table_mfn; index; entry } :: acc in
+    if not (Pte.is_present entry) then (List.rev acc, Error (Not_present level))
+    else
+      let rw = rw && Pte.test Pte.Rw entry in
+      let us = us && Pte.test Pte.User entry in
+      let nx = nx || Pte.test Pte.Nx entry in
+      if level = 1 then
+        let maddr =
+          Int64.add (Addr.maddr_of_mfn (Pte.mfn entry)) (Int64.of_int (Addr.page_offset va))
+        in
+        ( List.rev acc,
+          Ok
+            {
+              t_maddr = maddr;
+              writable = rw;
+              user = us;
+              executable = not nx;
+              superpage = false;
+              path = List.rev acc;
+            } )
+      else if level = 2 && Pte.test Pte.Pse entry then
+        let base = Addr.maddr_of_mfn (superpage_base_mfn entry) in
+        let offset = Int64.logand va (Int64.of_int (Addr.superpage_size - 1)) in
+        ( List.rev acc,
+          Ok
+            {
+              t_maddr = Int64.add base offset;
+              writable = rw;
+              user = us;
+              executable = not nx;
+              superpage = true;
+              path = List.rev acc;
+            } )
+      else go (level - 1) (Pte.mfn entry) acc ~rw ~us ~nx
+  in
+  go 4 cr3 [] ~rw:true ~us:true ~nx:false
+
+let walk mem ~cr3 va =
+  let _, result = walk_general mem ~cr3 va in
+  result
+
+let walk_path mem ~cr3 va =
+  let path, _ = walk_general mem ~cr3 va in
+  path
+
+let translate mem ~cr3 ~kind ~user va =
+  let fault reason = Error { fault_vaddr = va; fault_kind = kind; reason } in
+  if not (Addr.is_canonical va) then fault Non_canonical
+  else
+    match walk mem ~cr3 va with
+    | Error reason -> fault reason
+    | Ok tr ->
+        if user && not tr.user then fault User_access_to_supervisor
+        else if kind = Write && not tr.writable then fault Write_to_readonly
+        else if kind = Exec && not tr.executable then fault Nx_violation
+        else Ok tr
+
+let pp_fault_reason ppf = function
+  | Not_present level -> Format.fprintf ppf "not-present at L%d" level
+  | Write_to_readonly -> Format.fprintf ppf "write to read-only mapping"
+  | User_access_to_supervisor -> Format.fprintf ppf "user access to supervisor mapping"
+  | Nx_violation -> Format.fprintf ppf "NX violation"
+  | Non_canonical -> Format.fprintf ppf "non-canonical address"
+  | Layout_denied region ->
+      Format.fprintf ppf "access denied by address-space layout (%s)" (Layout.region_name region)
+
+let pp_fault ppf { fault_vaddr; fault_kind; reason } =
+  let kind = match fault_kind with Read -> "read" | Write -> "write" | Exec -> "exec" in
+  Format.fprintf ppf "#PF %s at %a: %a" kind Addr.pp_vaddr fault_vaddr pp_fault_reason reason

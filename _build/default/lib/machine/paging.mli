@@ -1,0 +1,60 @@
+(** The 4-level page walker.
+
+    The walker decodes page-table bytes exactly as the MMU would: it
+    never consults hypervisor bookkeeping, so a forged entry written by
+    an exploit (or by the intrusion injector) translates just like a
+    legitimate one. *)
+
+type access_kind = Read | Write | Exec
+
+type fault_reason =
+  | Not_present of int  (** walk stopped at this level (4..1) *)
+  | Write_to_readonly
+  | User_access_to_supervisor
+  | Nx_violation
+  | Non_canonical
+  | Layout_denied of Layout.region
+      (** guest-privilege access into a region the hypervisor keeps
+          unreachable (models the hardened address space) *)
+
+type fault = { fault_vaddr : Addr.vaddr; fault_kind : access_kind; reason : fault_reason }
+
+type step = {
+  level : int;  (** 4..1 *)
+  table_mfn : Addr.mfn;  (** page-table page holding the entry *)
+  index : int;  (** entry index within the table *)
+  entry : Pte.t;
+}
+
+type translation = {
+  t_maddr : Addr.maddr;
+  writable : bool;  (** AND of RW along the path *)
+  user : bool;  (** AND of US along the path *)
+  executable : bool;
+  superpage : bool;  (** terminated by a PSE entry at L2 *)
+  path : step list;  (** outermost (L4) first *)
+}
+
+val walk :
+  Phys_mem.t -> cr3:Addr.mfn -> Addr.vaddr -> (translation, fault_reason) result
+(** Pure translation: decode entries from physical memory, no permission
+    check beyond presence. An L2 entry with [Pse] terminates the walk as
+    a 2 MiB superpage whose base frame is the entry's MFN rounded down to
+    a 512-frame boundary (hardware alignment). *)
+
+val walk_path : Phys_mem.t -> cr3:Addr.mfn -> Addr.vaddr -> step list
+(** The steps actually decoded, even when the walk faults — the audit
+    primitive used to certify injected erroneous states. *)
+
+val translate :
+  Phys_mem.t ->
+  cr3:Addr.mfn ->
+  kind:access_kind ->
+  user:bool ->
+  Addr.vaddr ->
+  (translation, fault) result
+(** Full check: canonicality, walk, then RW/US/NX permissions. [user]
+    selects guest-privilege semantics. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_fault_reason : Format.formatter -> fault_reason -> unit

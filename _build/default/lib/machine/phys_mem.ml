@@ -1,0 +1,96 @@
+type owner = Free | Xen | Dom of int
+
+type t = {
+  frames : Frame.t array;
+  owners : owner array;
+  mutable next_hint : int;  (* lowest index possibly free, to keep alloc fast *)
+}
+
+exception Bad_maddr of Addr.maddr
+
+let create ~frames =
+  if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
+  {
+    frames = Array.init frames (fun _ -> Frame.create ());
+    owners = Array.make frames Free;
+    next_hint = 0;
+  }
+
+let total_frames t = Array.length t.frames
+let is_valid_mfn t mfn = mfn >= 0 && mfn < total_frames t
+
+let frame t mfn =
+  if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
+  t.frames.(mfn)
+
+let owner t mfn =
+  if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
+  t.owners.(mfn)
+
+let set_owner t mfn o =
+  if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
+  t.owners.(mfn) <- o
+
+let alloc t o =
+  let n = total_frames t in
+  let rec find i = if i >= n then None else if t.owners.(i) = Free then Some i else find (i + 1) in
+  match find t.next_hint with
+  | None -> failwith "Phys_mem.alloc: out of physical memory"
+  | Some mfn ->
+      t.owners.(mfn) <- o;
+      t.next_hint <- mfn + 1;
+      Frame.fill t.frames.(mfn) '\000';
+      mfn
+
+let alloc_many t o n = List.init n (fun _ -> alloc t o)
+
+let free t mfn =
+  if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
+  t.owners.(mfn) <- Free;
+  Frame.fill t.frames.(mfn) '\000';
+  if mfn < t.next_hint then t.next_hint <- mfn
+
+let free_frames t = Array.fold_left (fun acc o -> if o = Free then acc + 1 else acc) 0 t.owners
+
+let frames_owned_by t o =
+  let acc = ref [] in
+  for i = total_frames t - 1 downto 0 do
+    if t.owners.(i) = o then acc := i :: !acc
+  done;
+  !acc
+
+let split t ma len =
+  let mfn = Addr.mfn_of_maddr ma in
+  if not (is_valid_mfn t mfn) then raise (Bad_maddr ma);
+  let off = Addr.page_offset ma in
+  if off + len > Addr.page_size then raise (Bad_maddr ma) else (mfn, off)
+
+let read_u8 t ma =
+  let mfn, off = split t ma 1 in
+  Frame.get_u8 t.frames.(mfn) off
+
+let write_u8 t ma v =
+  let mfn, off = split t ma 1 in
+  Frame.set_u8 t.frames.(mfn) off v
+
+(* 64-bit accesses are required to be contained in one frame, as natural
+   alignment guarantees on real hardware. *)
+let read_u64 t ma =
+  let mfn, off = split t ma 8 in
+  Frame.get_u64 t.frames.(mfn) off
+
+let write_u64 t ma v =
+  let mfn, off = split t ma 8 in
+  Frame.set_u64 t.frames.(mfn) off v
+
+let read_bytes t ma len =
+  let buf = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.set buf i (Char.chr (read_u8 t (Int64.add ma (Int64.of_int i))))
+  done;
+  buf
+
+let write_bytes t ma b =
+  Bytes.iteri (fun i c -> write_u8 t (Int64.add ma (Int64.of_int i)) (Char.code c)) b
+
+let write_string t ma s = write_bytes t ma (Bytes.of_string s)

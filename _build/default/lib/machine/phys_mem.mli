@@ -1,0 +1,48 @@
+(** Simulated host physical memory: a finite array of 4 KiB frames.
+
+    Ownership here is only an allocation tag (who asked for the frame);
+    access control is enforced elsewhere (page tables + hypervisor
+    validation). An attacker holding a forged mapping can therefore read
+    and write frames they do not own, which is the whole point. *)
+
+type owner =
+  | Free
+  | Xen  (** owned by the hypervisor *)
+  | Dom of int  (** owned by domain [id] *)
+
+type t
+
+exception Bad_maddr of Addr.maddr
+(** Raised on access outside the installed physical memory. *)
+
+val create : frames:int -> t
+(** Fresh memory of [frames] zeroed frames, all [Free]. *)
+
+val total_frames : t -> int
+val frame : t -> Addr.mfn -> Frame.t
+
+(** {1 Allocation} *)
+
+val alloc : t -> owner -> Addr.mfn
+(** Allocate the lowest free frame, zeroed. Raises [Failure] when memory
+    is exhausted. *)
+
+val alloc_many : t -> owner -> int -> Addr.mfn list
+val free : t -> Addr.mfn -> unit
+val owner : t -> Addr.mfn -> owner
+val set_owner : t -> Addr.mfn -> owner -> unit
+val free_frames : t -> int
+val frames_owned_by : t -> owner -> Addr.mfn list
+val is_valid_mfn : t -> Addr.mfn -> bool
+
+(** {1 Byte access by machine address}
+
+    These primitives cross frame boundaries transparently. *)
+
+val read_u8 : t -> Addr.maddr -> int
+val write_u8 : t -> Addr.maddr -> int -> unit
+val read_u64 : t -> Addr.maddr -> int64
+val write_u64 : t -> Addr.maddr -> int64 -> unit
+val read_bytes : t -> Addr.maddr -> int -> bytes
+val write_bytes : t -> Addr.maddr -> bytes -> unit
+val write_string : t -> Addr.maddr -> string -> unit

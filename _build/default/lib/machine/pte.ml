@@ -1,0 +1,80 @@
+type t = int64
+
+type flag =
+  | Present
+  | Rw
+  | User
+  | Pwt
+  | Pcd
+  | Accessed
+  | Dirty
+  | Pse
+  | Global
+  | Avail0
+  | Avail1
+  | Avail2
+  | Nx
+
+let bit = function
+  | Present -> 0
+  | Rw -> 1
+  | User -> 2
+  | Pwt -> 3
+  | Pcd -> 4
+  | Accessed -> 5
+  | Dirty -> 6
+  | Pse -> 7
+  | Global -> 8
+  | Avail0 -> 9
+  | Avail1 -> 10
+  | Avail2 -> 11
+  | Nx -> 63
+
+let all_flags =
+  [ Present; Rw; User; Pwt; Pcd; Accessed; Dirty; Pse; Global; Avail0; Avail1; Avail2; Nx ]
+
+let none = 0L
+let mask f = Int64.shift_left 1L (bit f)
+let test f e = Int64.logand e (mask f) <> 0L
+let set f e = Int64.logor e (mask f)
+let clear f e = Int64.logand e (Int64.lognot (mask f))
+let with_flags fs e = List.fold_left (fun e f -> set f e) e fs
+
+(* Physical frame lives in bits 12..51 (40-bit MFN is ample here). *)
+let mfn_field_mask = 0x000F_FFFF_FFFF_F000L
+let mfn e = Int64.to_int (Int64.shift_right_logical (Int64.logand e mfn_field_mask) 12)
+
+let make ~mfn ~flags =
+  let base = Int64.logand (Int64.shift_left (Int64.of_int mfn) 12) mfn_field_mask in
+  with_flags flags base
+
+let flags e = List.filter (fun f -> test f e) all_flags
+
+let flags_equal_modulo ~ignore a b =
+  if mfn a <> mfn b then false
+  else
+    let significant = List.filter (fun f -> not (List.mem f ignore)) all_flags in
+    List.for_all (fun f -> test f a = test f b) significant
+
+let is_present = test Present
+
+let flag_to_string = function
+  | Present -> "P"
+  | Rw -> "RW"
+  | User -> "US"
+  | Pwt -> "PWT"
+  | Pcd -> "PCD"
+  | Accessed -> "A"
+  | Dirty -> "D"
+  | Pse -> "PSE"
+  | Global -> "G"
+  | Avail0 -> "AV0"
+  | Avail1 -> "AV1"
+  | Avail2 -> "AV2"
+  | Nx -> "NX"
+
+let pp ppf e =
+  if not (is_present e) then Format.fprintf ppf "<not-present:%016Lx>" e
+  else
+    Format.fprintf ppf "mfn=0x%x [%s]" (mfn e)
+      (String.concat "|" (List.map flag_to_string (flags e)))

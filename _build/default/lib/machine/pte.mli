@@ -1,0 +1,53 @@
+(** x86-64 page-table entries.
+
+    Entries are plain 64-bit values stored in page-table pages; the
+    simulated MMU decodes them exactly like hardware does. Exploits forge
+    entries by writing raw bytes, so all semantics must live in the bit
+    encoding, never in OCaml-side bookkeeping. *)
+
+type t = int64
+(** A raw page-table entry. *)
+
+type flag =
+  | Present  (** bit 0 — entry is valid *)
+  | Rw  (** bit 1 — writable *)
+  | User  (** bit 2 — accessible from user (guest) privilege *)
+  | Pwt  (** bit 3 — page write-through *)
+  | Pcd  (** bit 4 — page cache disable *)
+  | Accessed  (** bit 5 *)
+  | Dirty  (** bit 6 *)
+  | Pse  (** bit 7 — superpage at L2/L3; PAT at L1 *)
+  | Global  (** bit 8 *)
+  | Avail0  (** bit 9 — software-available (Xen uses these) *)
+  | Avail1  (** bit 10 *)
+  | Avail2  (** bit 11 *)
+  | Nx  (** bit 63 — no-execute *)
+
+val bit : flag -> int
+(** Bit position of a flag. *)
+
+val none : t
+(** The all-zero (not-present) entry. *)
+
+val make : mfn:Addr.mfn -> flags:flag list -> t
+(** Build an entry pointing at [mfn] with exactly [flags] set. *)
+
+val mfn : t -> Addr.mfn
+(** Frame number encoded in bits 12..51. *)
+
+val test : flag -> t -> bool
+val set : flag -> t -> t
+val clear : flag -> t -> t
+val with_flags : flag list -> t -> t
+
+val flags : t -> flag list
+(** All flags set in the entry, in bit order. *)
+
+val flags_equal_modulo : ignore:flag list -> t -> t -> bool
+(** [flags_equal_modulo ~ignore a b] is true when [a] and [b] encode the
+    same frame and differ at most in the [ignore] flags. This is the
+    comparison at the heart of the XSA-182 fast-path bug. *)
+
+val is_present : t -> bool
+val pp : Format.formatter -> t -> unit
+val flag_to_string : flag -> string

@@ -1,0 +1,1 @@
+lib/xen/abi.ml: Bytes Errno Hypercall Int64 List Memory_exchange Uaccess

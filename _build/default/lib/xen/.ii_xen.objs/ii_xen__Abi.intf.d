@@ -1,0 +1,1 @@
+lib/xen/abi.mli: Domain Hv Pte

@@ -1,0 +1,1 @@
+lib/xen/builder.ml: Addr Array Domain Errno Frame Hv Int64 Layout List Mm Page_info Phys_mem Printf Pte Sched Xenstore

@@ -1,0 +1,1 @@
+lib/xen/builder.mli: Addr Domain Hv

@@ -1,0 +1,1 @@
+lib/xen/domain.ml: Addr Array Event_channel Format Grant_table Int64 Layout List Phys_mem

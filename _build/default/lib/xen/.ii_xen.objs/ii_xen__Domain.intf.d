@@ -1,0 +1,1 @@
+lib/xen/domain.mli: Addr Event_channel Format Grant_table Phys_mem

@@ -1,0 +1,1 @@
+lib/xen/domctl.ml: Addr Domain Errno Event_channel Grant_table Hv List Mm Page_info Phys_mem Printf Sched Xenstore

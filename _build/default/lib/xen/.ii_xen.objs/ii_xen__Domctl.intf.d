@@ -1,0 +1,1 @@
+lib/xen/domctl.mli: Addr Domain Errno Hv

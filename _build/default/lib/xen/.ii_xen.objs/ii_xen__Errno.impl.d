@@ -1,0 +1,1 @@
+lib/xen/errno.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/xen/errno.mli: Format Stdlib

@@ -1,0 +1,1 @@
+lib/xen/grant_table.ml: Addr Array Errno Frame Hashtbl Int64 List Phys_mem

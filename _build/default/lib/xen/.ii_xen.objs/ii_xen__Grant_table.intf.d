@@ -1,0 +1,1 @@
+lib/xen/grant_table.mli: Addr Errno Frame Phys_mem

@@ -1,0 +1,1 @@
+lib/xen/hv.ml: Addr Array Buffer Cpu Domain Errno Frame Hashtbl Idt Int64 Layout List Option Page_info Phys_mem Printf Sched String Version Xenstore

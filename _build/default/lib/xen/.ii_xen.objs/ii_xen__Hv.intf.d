@@ -1,0 +1,1 @@
+lib/xen/hv.mli: Addr Buffer Cpu Domain Errno Hashtbl Page_info Phys_mem Sched Version Xenstore

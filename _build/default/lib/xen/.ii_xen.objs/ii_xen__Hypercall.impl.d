@@ -1,0 +1,1 @@
+lib/xen/hypercall.ml: Addr Domain Errno Event_channel Grant_table Hv Int64 List Memory_exchange Mm Printf Pte Result

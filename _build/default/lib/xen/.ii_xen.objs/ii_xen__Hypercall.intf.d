@@ -1,0 +1,1 @@
+lib/xen/hypercall.mli: Addr Domain Errno Grant_table Hv Memory_exchange Pte

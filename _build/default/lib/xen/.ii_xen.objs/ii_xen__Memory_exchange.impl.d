@@ -1,0 +1,1 @@
+lib/xen/memory_exchange.ml: Addr Bytes Domain Errno Hv Int64 List Uaccess Version

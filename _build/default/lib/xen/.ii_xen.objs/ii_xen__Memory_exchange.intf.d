@@ -1,0 +1,1 @@
+lib/xen/memory_exchange.mli: Addr Domain Errno Hv

@@ -1,0 +1,1 @@
+lib/xen/mm.ml: Addr Domain Errno Frame Grant_table Hv Int64 Layout List Page_info Paging Phys_mem Pte Result Version

@@ -1,0 +1,1 @@
+lib/xen/mm.mli: Addr Domain Errno Hv Pte Version

@@ -1,0 +1,1 @@
+lib/xen/page_info.ml: Array Errno Phys_mem

@@ -1,0 +1,1 @@
+lib/xen/page_info.mli: Addr Errno Phys_mem

@@ -1,0 +1,1 @@
+lib/xen/sched.ml: Errno List Printf

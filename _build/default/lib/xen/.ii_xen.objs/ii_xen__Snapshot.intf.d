@@ -1,0 +1,1 @@
+lib/xen/snapshot.mli: Addr Domain Hv

@@ -1,0 +1,1 @@
+lib/xen/uaccess.ml: Bytes Cpu Domain Errno Hv Int64 Layout Phys_mem

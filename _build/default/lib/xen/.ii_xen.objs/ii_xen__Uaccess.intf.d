@@ -1,0 +1,1 @@
+lib/xen/uaccess.mli: Addr Domain Errno Hv

@@ -1,0 +1,1 @@
+lib/xen/version.mli: Format

@@ -1,0 +1,1 @@
+lib/xen/xenstore.ml: Errno Hashtbl List Printf String

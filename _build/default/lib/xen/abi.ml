@@ -1,0 +1,134 @@
+let mmu_update_nr = 1
+let update_va_mapping_nr = 3
+let memory_op_nr = 12
+let console_io_nr = 18
+let mmuext_op_nr = 26
+let subop_decrease_reservation = 1L
+let subop_exchange = 11L
+let mmuext_pin_l1 = 0L
+let mmuext_pin_l2 = 1L
+let mmuext_pin_l3 = 2L
+let mmuext_pin_l4 = 3L
+let mmuext_unpin = 4L
+let mmuext_new_baseptr = 5L
+
+(* --- guest-side marshalling ------------------------------------------- *)
+
+let encode_words words =
+  let b = Bytes.create (8 * List.length words) in
+  List.iteri (fun i w -> Bytes.set_int64_le b (8 * i) w) words;
+  b
+
+let encode_mmu_updates updates =
+  encode_words (List.concat_map (fun (ptr, v) -> [ ptr; v ]) updates)
+
+let encode_u64_array = encode_words
+
+let encode_exchange ~in_extent_start ~nr_in ~out_extent_start =
+  encode_words [ in_extent_start; Int64.of_int nr_in; out_extent_start ]
+
+let encode_decrease ~extent_start ~nr_extents =
+  encode_words [ extent_start; Int64.of_int nr_extents ]
+
+let encode_mmuext ops = encode_words (List.concat_map (fun (cmd, mfn) -> [ cmd; mfn ]) ops)
+
+(* --- hypervisor-side decode -------------------------------------------- *)
+
+let word b i = Bytes.get_int64_le b (8 * i)
+
+let fetch hv dom ptr len k =
+  match Uaccess.copy_from_guest hv dom ptr len with
+  | Ok b -> k b
+  | Error e -> Error e
+
+(* Bound request counts like Xen does, so a guest cannot make the
+   hypervisor copy in unbounded buffers. *)
+let sane_count n = n >= 0 && n <= 1024
+
+let decode_mmu_update hv dom ~rdi ~rsi =
+  let count = Int64.to_int rsi in
+  if not (sane_count count) then Error Errno.EINVAL
+  else
+    fetch hv dom rdi (16 * count) (fun b ->
+        let updates = List.init count (fun i -> (word b (2 * i), word b ((2 * i) + 1))) in
+        Ok (Hypercall.Mmu_update updates))
+
+let decode_memory_op hv dom ~rdi ~rsi =
+  if rdi = subop_decrease_reservation then
+    fetch hv dom rsi 16 (fun b ->
+        let extent_start = word b 0 and nr = Int64.to_int (word b 1) in
+        if not (sane_count nr) then Error Errno.EINVAL
+        else
+          fetch hv dom extent_start (8 * nr) (fun pfns ->
+              Ok (Hypercall.Decrease_reservation (List.init nr (fun i -> Int64.to_int (word pfns i))))))
+  else if rdi = subop_exchange then
+    fetch hv dom rsi 24 (fun b ->
+        let in_start = word b 0 and nr = Int64.to_int (word b 1) and out_start = word b 2 in
+        if not (sane_count nr) then Error Errno.EINVAL
+        else
+          fetch hv dom in_start (8 * nr) (fun pfns ->
+              Ok
+                (Hypercall.Memory_exchange
+                   {
+                     Memory_exchange.in_pfns = List.init nr (fun i -> Int64.to_int (word pfns i));
+                     out_extent_start = out_start;
+                   })))
+  else Error Errno.ENOSYS
+
+let decode_mmuext hv dom ~rdi ~rsi k =
+  let count = Int64.to_int rsi in
+  if not (sane_count count) then Error Errno.EINVAL
+  else
+    fetch hv dom rdi (16 * count) (fun b ->
+        let ops = List.init count (fun i -> (word b (2 * i), word b ((2 * i) + 1))) in
+        k ops)
+
+let mmuext_call (cmd, mfn64) =
+  let mfn = Int64.to_int mfn64 in
+  if cmd = mmuext_pin_l1 then Ok (Hypercall.Pin_l1_table mfn)
+  else if cmd = mmuext_pin_l2 then Ok (Hypercall.Pin_l2_table mfn)
+  else if cmd = mmuext_pin_l3 then Ok (Hypercall.Pin_l3_table mfn)
+  else if cmd = mmuext_pin_l4 then Ok (Hypercall.Pin_l4_table mfn)
+  else if cmd = mmuext_unpin then Ok (Hypercall.Unpin_table mfn)
+  else if cmd = mmuext_new_baseptr then Ok (Hypercall.New_baseptr mfn)
+  else Error Errno.ENOSYS
+
+let rc = Hypercall.return_code
+
+let dispatch hv dom ~number ?(rdi = 0L) ?(rsi = 0L) ?(rdx = 0L) ?(r10 = 0L) () =
+  if number = mmu_update_nr then
+    match decode_mmu_update hv dom ~rdi ~rsi with
+    | Ok call -> rc (Hypercall.dispatch hv dom call)
+    | Error e -> Errno.to_return_code e
+  else if number = update_va_mapping_nr then
+    rc (Hypercall.dispatch hv dom (Hypercall.Update_va_mapping { va = rdi; value = rsi }))
+  else if number = memory_op_nr then
+    match decode_memory_op hv dom ~rdi ~rsi with
+    | Ok call -> rc (Hypercall.dispatch hv dom call)
+    | Error e -> Errno.to_return_code e
+  else if number = console_io_nr then begin
+    let len = Int64.to_int rsi in
+    if not (sane_count len) then Errno.to_return_code Errno.EINVAL
+    else
+      match Uaccess.copy_from_guest hv dom rdx len with
+      | Ok b -> rc (Hypercall.dispatch hv dom (Hypercall.Console_io (Bytes.to_string b)))
+      | Error e -> Errno.to_return_code e
+  end
+  else if number = mmuext_op_nr then
+    let result =
+      decode_mmuext hv dom ~rdi ~rsi (fun ops ->
+          (* apply in order; stop at the first failure like Xen *)
+          let rec go n = function
+            | [] -> Ok n
+            | op :: rest -> (
+                match mmuext_call op with
+                | Error e -> Error e
+                | Ok call -> (
+                    match Hypercall.dispatch hv dom (Hypercall.Mmuext_op call) with
+                    | Ok _ -> go (n + 1) rest
+                    | Error e -> Error e))
+          in
+          go 0 ops)
+    in
+    (match result with Ok n -> n | Error e -> Errno.to_return_code e)
+  else rc (Hypercall.dispatch hv dom (Hypercall.Raw { number; args = [| rdi; rsi; rdx; r10 |] }))

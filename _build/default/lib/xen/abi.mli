@@ -1,0 +1,60 @@
+(** The register-level hypercall ABI.
+
+    Real PV guests do not call typed OCaml functions: they load a
+    hypercall number and up to three register arguments, where pointer
+    arguments name little-endian structures in {e guest} memory that the
+    hypervisor copies in through [__copy_from_user]. This module
+    implements that boundary on top of {!Hypercall}: register decode,
+    guest-buffer fetch ([EFAULT] on bad pointers), structure layouts.
+
+    Layouts (all fields u64 LE):
+    - [mmu_update] (1): rdi = request array pointer, rsi = count;
+      each request is 16 bytes: [ptr], [val].
+    - [update_va_mapping] (3): rdi = va, rsi = new entry.
+    - [memory_op] (12): rdi = subop, rsi = struct pointer.
+      Subop 1 (decrease_reservation): 16-byte struct [extent_start]
+      (pointer to a u64 pfn array), [nr_extents].
+      Subop 11 (exchange): 24-byte struct [in_extent_start] (pointer to
+      a u64 pfn array), [nr_in], [out_extent_start].
+    - [console_io] (18): rdi = CONSOLEIO_write (0), rsi = length,
+      rdx = buffer pointer.
+    - [mmuext_op] (26): rdi = op array pointer, rsi = count; each op is
+      16 bytes: [cmd] (0..3 = pin L1..L4, 4 = unpin, 5 = new baseptr),
+      [mfn]. *)
+
+val mmu_update_nr : int
+val update_va_mapping_nr : int
+val memory_op_nr : int
+val console_io_nr : int
+val mmuext_op_nr : int
+
+val subop_decrease_reservation : int64
+val subop_exchange : int64
+
+val mmuext_pin_l1 : int64
+val mmuext_pin_l2 : int64
+val mmuext_pin_l3 : int64
+val mmuext_pin_l4 : int64
+val mmuext_unpin : int64
+val mmuext_new_baseptr : int64
+
+val dispatch :
+  Hv.t -> Domain.t -> number:int -> ?rdi:int64 -> ?rsi:int64 -> ?rdx:int64 -> ?r10:int64 ->
+  unit -> int
+(** Decode and execute; the return value is the guest-visible rax
+    (result, or a negative errno). Registers default to 0. Numbers not
+    in the static table fall through to the extension table with
+    [| rdi; rsi; rdx; r10 |] — which is exactly the injector's
+    [arbitrary_access(addr, buf, n, action)] calling convention. *)
+
+(** {1 Guest-side marshalling helpers}
+
+    Build the argument structures in guest memory (at a caller-chosen
+    scratch virtual address) exactly as a PV kernel's hypercall stubs
+    would. *)
+
+val encode_mmu_updates : (int64 * Pte.t) list -> bytes
+val encode_u64_array : int64 list -> bytes
+val encode_exchange : in_extent_start:int64 -> nr_in:int -> out_extent_start:int64 -> bytes
+val encode_decrease : extent_start:int64 -> nr_extents:int -> bytes
+val encode_mmuext : (int64 * int64) list -> bytes

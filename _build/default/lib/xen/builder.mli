@@ -1,0 +1,57 @@
+(** The PV domain builder: construct a domain's initial address space
+    the way the Xen toolstack does, then validate it through the normal
+    promotion path.
+
+    The initial layout for a domain with [pages] pseudo-physical pages:
+    - pfn 0: the start_info page (fingerprintable magic, domain id,
+      SIF_INITDOMAIN flag, pt_base, vDSO pfn — what the XSA-148 exploit
+      scans physical memory for);
+    - pfn 1: the vDSO page (ELF-like magic + domain id + code area —
+      the page the privilege-escalation exploits patch);
+    - pfns 2..: data pages;
+    - top pfns: the initial page tables. Page-table pages are mapped
+      {e read-only} in the kernel area (direct paging: all writes go
+      through the hypervisor); everything else is mapped read-write.
+
+    The M2P mapping under L4 slot 256 is built from Xen-owned,
+    per-domain table pages: the L4 entry carries RW (permissions are
+    enforced at the read-only leaves), which is exactly the latitude
+    the XSA-212-priv attack exploits when it links a forged PMD under
+    the same PUD. *)
+
+val start_info_magic : string
+(** "xen-3.0-x86_64" *)
+
+val vdso_magic : string
+val sif_initdomain : int64
+val user_vdso_va : Addr.vaddr
+(** Where the vDSO is mapped in guest user space. *)
+
+(** Byte offsets of the start_info fields. *)
+module Start_info : sig
+  val magic_off : int
+  val domid_off : int
+  val flags_off : int
+  val pt_base_off : int
+  val nr_pages_off : int
+  val vdso_pfn_off : int
+  val hostname_off : int
+end
+
+(** Byte offsets within the vDSO page. *)
+module Vdso : sig
+  val magic_off : int
+  val domid_off : int
+  val code_off : int
+  val code_len : int
+end
+
+val create_domain :
+  Hv.t -> name:string -> privileged:bool -> pages:int -> Domain.t
+(** Allocate, build, validate, pin and install the domain. Raises
+    [Failure] on resource exhaustion and [Invalid_argument] for
+    nonsensical sizes; a validation failure of the freshly built address
+    space is a bug and raises [Failure]. *)
+
+val pt_page_count : pages:int -> int
+(** Table pages the builder reserves at the top of the pfn space. *)

@@ -1,0 +1,29 @@
+(** Domain control operations — the toolstack-facing lifecycle
+    management (Xen's [domctl] interface).
+
+    Destruction exercises the page-accounting discipline end to end:
+    dropping the root references cascades through {!Mm.put_table_type},
+    un-accounting every mapping the domain held, after which its frames
+    release cleanly — except those still referenced from outside (an
+    active grant mapping, a foreign mapping). Those remain as {e zombie
+    pages}, exactly as real Xen keeps zombie domains alive until the
+    last reference drops. *)
+
+type destroy_report = {
+  freed : int;  (** frames returned to the free pool *)
+  zombie : Addr.mfn list;  (** frames still pinned by external references *)
+}
+
+val pause : Hv.t -> Domain.t -> (unit, Errno.t) result
+(** Take the domain off the run queue. *)
+
+val unpause : Hv.t -> Domain.t -> (unit, Errno.t) result
+
+val destroy : Hv.t -> Domain.t -> (destroy_report, Errno.t) result
+(** Tear the domain down: vcpu removed, event channels closed, address
+    space un-accounted, grant/status frames released, frames freed,
+    P2M/M2P and XenStore cleaned, domain delisted. Refuses ([EPERM]) to
+    destroy dom0. *)
+
+val list_domains : Hv.t -> (int * string * int) list
+(** (domid, name, populated pages) for every live domain. *)

@@ -1,0 +1,29 @@
+type t = EPERM | ENOENT | ENOMEM | EACCES | EFAULT | EBUSY | EINVAL | ENOSYS | ENOSPC
+
+let to_int = function
+  | EPERM -> 1
+  | ENOENT -> 2
+  | ENOMEM -> 12
+  | EACCES -> 13
+  | EFAULT -> 14
+  | EBUSY -> 16
+  | EINVAL -> 22
+  | ENOSYS -> 38
+  | ENOSPC -> 28
+
+let to_return_code e = -to_int e
+
+let to_string = function
+  | EPERM -> "EPERM"
+  | ENOENT -> "ENOENT"
+  | ENOMEM -> "ENOMEM"
+  | EACCES -> "EACCES"
+  | EFAULT -> "EFAULT"
+  | EBUSY -> "EBUSY"
+  | EINVAL -> "EINVAL"
+  | ENOSYS -> "ENOSYS"
+  | ENOSPC -> "ENOSPC"
+
+let pp ppf e = Format.fprintf ppf "-%s" (to_string e)
+
+type 'a result = ('a, t) Stdlib.result

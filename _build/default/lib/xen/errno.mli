@@ -1,0 +1,27 @@
+(** Xen hypercall error codes.
+
+    Hypercalls return [Ok value] or [Error errno]; the guest-visible
+    encoding is the negated errno, exactly as the paper reports
+    ("the exploit execution fails with a return code of -EFAULT"). *)
+
+type t =
+  | EPERM
+  | ENOENT
+  | ENOMEM
+  | EACCES
+  | EFAULT
+  | EBUSY
+  | EINVAL
+  | ENOSYS
+  | ENOSPC
+
+val to_int : t -> int
+(** The positive errno value (EFAULT = 14, ...). *)
+
+val to_return_code : t -> int
+(** The guest-visible negative return code. *)
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+type 'a result = ('a, t) Stdlib.result

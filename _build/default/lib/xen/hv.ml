@@ -1,0 +1,248 @@
+type crash = { reason : string; dump : string list }
+
+type t = {
+  version : Version.t;
+  mem : Phys_mem.t;
+  cpu : Cpu.t;
+  pages : Page_info.t;
+  mutable domains : Domain.t list;
+  idt_mfn : Addr.mfn;
+  text_mfn : Addr.mfn;
+  m2p_mfns : Addr.mfn array;
+  console : Buffer.t;
+  xenstore : Xenstore.t;
+  sched : Sched.t;
+  mutable crashed : crash option;
+  mutable next_domid : int;
+  mutable extra_hypercalls : (int * string * hypercall_handler) list;
+  mutable pt_write_hook : (Addr.mfn -> unit) option;
+  hypercall_counts : (int, int) Hashtbl.t;
+  mutable hypercalls_failed : int;
+}
+
+and hypercall_handler = t -> Domain.t -> int64 array -> (int64, Errno.t) result
+
+let hardened t = Version.hardened_address_space t.version
+
+let log t line =
+  Buffer.add_string t.console "(XEN) ";
+  Buffer.add_string t.console line;
+  Buffer.add_char t.console '\n'
+
+let console_lines t = String.split_on_char '\n' (Buffer.contents t.console)
+let is_crashed t = t.crashed <> None
+
+let panic t ~reason ~dump =
+  if not (is_crashed t) then begin
+    t.crashed <- Some { reason; dump };
+    List.iter (log t) dump;
+    log t (Printf.sprintf "Panic on CPU 0: %s" reason);
+    log t "****************************************";
+    log t "Reboot in five seconds..."
+  end
+
+let find_domain t id = List.find_opt (fun d -> d.Domain.id = id) t.domains
+let dom0 t = List.find_opt (fun d -> d.Domain.privileged) t.domains
+
+let fresh_domid t =
+  let id = t.next_domid in
+  t.next_domid <- id + 1;
+  id
+
+let mark_alloc t mfn owner =
+  let info = Page_info.get t.pages mfn in
+  info.Page_info.owner <- owner;
+  info.Page_info.ptype <- Page_info.PGT_none;
+  info.Page_info.type_count <- 0;
+  info.Page_info.ref_count <- 1;
+  info.Page_info.validated <- false;
+  info.Page_info.pinned <- false
+
+let alloc_xen_page t =
+  let mfn = Phys_mem.alloc t.mem Phys_mem.Xen in
+  mark_alloc t mfn Phys_mem.Xen;
+  mfn
+
+let alloc_domain_page t dom =
+  let owner = Domain.owned dom in
+  let mfn = Phys_mem.alloc t.mem owner in
+  mark_alloc t mfn owner;
+  mfn
+
+let release_page t mfn =
+  let info = Page_info.get t.pages mfn in
+  if info.Page_info.type_count > 0 then Error Errno.EBUSY
+  else if info.Page_info.ref_count > 1 then Error Errno.EBUSY
+  else begin
+    info.Page_info.owner <- Phys_mem.Free;
+    info.Page_info.ref_count <- 0;
+    info.Page_info.validated <- false;
+    info.Page_info.pinned <- false;
+    Phys_mem.free t.mem mfn;
+    Ok ()
+  end
+
+let notify_pt_write t mfn = match t.pt_write_hook with Some hook -> hook mfn | None -> ()
+
+let count_hypercall t ~number ~failed =
+  Hashtbl.replace t.hypercall_counts number
+    (1 + Option.value ~default:0 (Hashtbl.find_opt t.hypercall_counts number));
+  if failed then t.hypercalls_failed <- t.hypercalls_failed + 1
+
+let hypercall_stats t =
+  List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) t.hypercall_counts [])
+
+let exhaust_memory t ~leave =
+  let taken = ref 0 in
+  while Phys_mem.free_frames t.mem > max 0 leave do
+    ignore (alloc_xen_page t);
+    incr taken
+  done;
+  if !taken > 0 then
+    log t (Printf.sprintf "memory pressure: %d frames vanished into the Xen heap" !taken);
+  !taken
+
+(* --- M2P table ------------------------------------------------------- *)
+
+let m2p_invalid_entry = 0x5555_5555_5555_5555L
+let entries_per_m2p_frame = Addr.page_size / 8
+
+let m2p_frame_for t mfn =
+  let idx = mfn / entries_per_m2p_frame in
+  if idx < 0 || idx >= Array.length t.m2p_mfns then invalid_arg "Hv.m2p_frame_for: bad mfn";
+  (t.m2p_mfns.(idx), mfn mod entries_per_m2p_frame * 8)
+
+let m2p_set t mfn pfn =
+  let frame_mfn, off = m2p_frame_for t mfn in
+  let value = match pfn with Some p -> Int64.of_int p | None -> m2p_invalid_entry in
+  Frame.set_u64 (Phys_mem.frame t.mem frame_mfn) off value;
+  (* an authorized hypervisor-internal update: integrity monitors track
+     it through the same stream as validated page-table writes *)
+  notify_pt_write t frame_mfn
+
+let m2p_lookup t mfn =
+  let frame_mfn, off = m2p_frame_for t mfn in
+  let v = Frame.get_u64 (Phys_mem.frame t.mem frame_mfn) off in
+  if v = m2p_invalid_entry then None else Some (Int64.to_int v)
+
+let is_m2p_frame t mfn = Array.exists (fun m -> m = mfn) t.m2p_mfns
+
+(* --- exceptions ------------------------------------------------------ *)
+
+let handler_vaddr t vector =
+  Layout.directmap_of_maddr
+    (Int64.add (Addr.maddr_of_mfn t.text_mfn) (Int64.of_int (vector * 32)))
+
+let crash_dump t ~first_vector ~bad_handler ~detail =
+  [
+    "*** DOUBLE FAULT ***";
+    Printf.sprintf "----[ %s ]----" (Version.banner t.version);
+    Printf.sprintf "CPU:    0";
+    Printf.sprintf "RIP:    %04x:[<%016Lx>] %s" Idt.xen_code_selector bad_handler detail;
+    Printf.sprintf "RFLAGS: 0000000000010086   CONTEXT: hypervisor";
+    Printf.sprintf "rax: %016Lx   rbx: 0000000000000000   rcx: 0000000000000000" bad_handler;
+    Printf.sprintf "cr3: %016Lx   cr2: 0000000000000000" (Addr.maddr_of_mfn t.idt_mfn);
+    "Xen call trace:";
+    Printf.sprintf "   [<%016Lx>] do_double_fault+0x0/0x0" bad_handler;
+    Printf.sprintf "   (corrupted gate for vector %d)" first_vector;
+  ]
+
+let deliver_fault t ~vector ~detail =
+  let outcome = Cpu.deliver_exception t.cpu ~vector in
+  (match outcome with
+  | Cpu.Handled _ -> ()
+  | Cpu.Double_fault_panic { first_vector; bad_handler } ->
+      panic t ~reason:"DOUBLE FAULT -- system shutdown"
+        ~dump:(crash_dump t ~first_vector ~bad_handler ~detail)
+  | Cpu.Triple_fault ->
+      panic t ~reason:"TRIPLE FAULT -- machine reset" ~dump:[ "*** TRIPLE FAULT ***" ]);
+  outcome
+
+(* --- scheduling ------------------------------------------------------- *)
+
+let sched_tick t =
+  if is_crashed t then Sched.Idle
+  else begin
+    let outcome = Sched.tick t.sched in
+    (match outcome with
+    | Sched.Cpu_stalled reason when Sched.watchdog_fired t.sched ->
+        panic t ~reason:"Watchdog timer detected a hard LOCKUP"
+          ~dump:
+            [
+              "*** WATCHDOG TIMEOUT ***";
+              Printf.sprintf "----[ %s ]----" (Version.banner t.version);
+              Printf.sprintf "CPU0 stuck for %ds: %s" (Sched.stalled_slices t.sched) reason;
+            ]
+    | Sched.Cpu_stalled _ | Sched.Scheduled _ | Sched.Idle -> ());
+    outcome
+  end
+
+(* --- hypercall extension table --------------------------------------- *)
+
+let register_hypercall t ~number ~name handler =
+  let others = List.filter (fun (n, _, _) -> n <> number) t.extra_hypercalls in
+  t.extra_hypercalls <- (number, name, handler) :: others
+
+let lookup_hypercall t number =
+  List.find_map
+    (fun (n, name, h) -> if n = number then Some (name, h) else None)
+    t.extra_hypercalls
+
+(* --- boot ------------------------------------------------------------ *)
+
+let boot ~version ~frames =
+  let mem = Phys_mem.create ~frames in
+  let cpu = Cpu.create mem ~hardened:(Version.hardened_address_space version) in
+  let pages = Page_info.create ~frames in
+  let m2p_frame_count = (frames + entries_per_m2p_frame - 1) / entries_per_m2p_frame in
+  (* Allocation order is deterministic: text, IDT, then the M2P frames. *)
+  let text_mfn = Phys_mem.alloc mem Phys_mem.Xen in
+  let idt_mfn = Phys_mem.alloc mem Phys_mem.Xen in
+  let m2p_mfns = Array.init m2p_frame_count (fun _ -> Phys_mem.alloc mem Phys_mem.Xen) in
+  let t =
+    {
+      version;
+      mem;
+      cpu;
+      pages;
+      domains = [];
+      idt_mfn;
+      text_mfn;
+      m2p_mfns;
+      console = Buffer.create 1024;
+      xenstore = Xenstore.create ();
+      sched = Sched.create ();
+      crashed = None;
+      next_domid = 0;
+      extra_hypercalls = [];
+      pt_write_hook = None;
+      hypercall_counts = Hashtbl.create 17;
+      hypercalls_failed = 0;
+    }
+  in
+  mark_alloc t text_mfn Phys_mem.Xen;
+  mark_alloc t idt_mfn Phys_mem.Xen;
+  Array.iter (fun mfn -> mark_alloc t mfn Phys_mem.Xen) m2p_mfns;
+  (* Every M2P entry starts invalid. *)
+  for mfn = 0 to frames - 1 do
+    m2p_set t mfn None
+  done;
+  (* Install the IDT: Xen handler entry points live in the text frame. *)
+  Idt.init mem idt_mfn;
+  Cpu.set_idt cpu idt_mfn;
+  let install vector name =
+    let handler = handler_vaddr t vector in
+    Cpu.register_handler cpu handler name;
+    Idt.write_gate mem idt_mfn vector
+      { Idt.handler; selector = Idt.xen_code_selector; gate_present = true }
+  in
+  install 0 "divide_error";
+  install 3 "int3";
+  install 6 "invalid_op";
+  install Idt.vector_double_fault "double_fault";
+  install Idt.vector_general_protection "general_protection";
+  install Idt.vector_page_fault "page_fault";
+  install 32 "irq0";
+  log t (Printf.sprintf "Xen version %s (x86_64, PV) booted" (Version.to_string version));
+  log t (Printf.sprintf "System RAM: %d KiB across %d frames" (frames * Addr.page_size / 1024) frames);
+  t

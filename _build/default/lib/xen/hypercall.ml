@@ -1,0 +1,176 @@
+type mmuext =
+  | Pin_l4_table of Addr.mfn
+  | Pin_l3_table of Addr.mfn
+  | Pin_l2_table of Addr.mfn
+  | Pin_l1_table of Addr.mfn
+  | Unpin_table of Addr.mfn
+  | New_baseptr of Addr.mfn
+
+type grant_op =
+  | Gnttab_setup_table of { nr_frames : int }
+  | Gnttab_set_version of Grant_table.gt_version
+  | Gnttab_grant_access of { gref : int; grantee : int; pfn : Addr.pfn; readonly : bool }
+  | Gnttab_end_access of { gref : int }
+  | Gnttab_map of { granter : int; gref : int }
+  | Gnttab_unmap of { granter : int; handle : int }
+
+type evtchn_op =
+  | Evtchn_alloc_unbound of { allowed_remote : int }
+  | Evtchn_bind_interdomain of { remote_dom : int; remote_port : int }
+  | Evtchn_bind_virq of { virq : int }
+  | Evtchn_send of { port : int }
+  | Evtchn_close of { port : int }
+
+type call =
+  | Mmu_update of (int64 * Pte.t) list
+  | Mmuext_op of mmuext
+  | Update_va_mapping of { va : Addr.vaddr; value : Pte.t }
+  | Memory_exchange of Memory_exchange.request
+  | Decrease_reservation of Addr.pfn list
+  | Grant_table_op of grant_op
+  | Event_channel_op of evtchn_op
+  | Console_io of string
+  | Raw of { number : int; args : int64 array }
+
+let number_of_call = function
+  | Mmu_update _ -> 1
+  | Update_va_mapping _ -> 3
+  | Memory_exchange _ | Decrease_reservation _ -> 12
+  | Console_io _ -> 18
+  | Grant_table_op _ -> 20
+  | Mmuext_op _ -> 26
+  | Event_channel_op _ -> 32
+  | Raw { number; _ } -> number
+
+let name_of_call = function
+  | Mmu_update _ -> "mmu_update"
+  | Update_va_mapping _ -> "update_va_mapping"
+  | Memory_exchange _ -> "memory_op(XENMEM_exchange)"
+  | Decrease_reservation _ -> "memory_op(XENMEM_decrease_reservation)"
+  | Console_io _ -> "console_io"
+  | Grant_table_op _ -> "grant_table_op"
+  | Mmuext_op _ -> "mmuext_op"
+  | Event_channel_op _ -> "event_channel_op"
+  | Raw { number; _ } -> Printf.sprintf "hypercall#%d" number
+
+let ok0 = Ok 0L
+let of_unit = function Ok () -> ok0 | Error e -> Error e
+let of_int = function Ok n -> Ok (Int64.of_int n) | Error e -> Error e
+
+let do_mmuext hv dom = function
+  | Pin_l4_table mfn -> of_unit (Mm.pin_table hv dom ~level:4 mfn)
+  | Pin_l3_table mfn -> of_unit (Mm.pin_table hv dom ~level:3 mfn)
+  | Pin_l2_table mfn -> of_unit (Mm.pin_table hv dom ~level:2 mfn)
+  | Pin_l1_table mfn -> of_unit (Mm.pin_table hv dom ~level:1 mfn)
+  | Unpin_table mfn -> of_unit (Mm.unpin_table hv dom mfn)
+  | New_baseptr mfn -> of_unit (Mm.set_baseptr hv dom mfn)
+
+let do_grant_op hv dom = function
+  | Gnttab_setup_table { nr_frames } ->
+      if nr_frames <= 0 || nr_frames > 4 then Error Errno.EINVAL
+      else if Grant_table.memory_backed dom.Domain.grant then Error Errno.EBUSY
+      else begin
+        let frames = List.init nr_frames (fun _ -> Hv.alloc_xen_page hv) in
+        Grant_table.set_shared dom.Domain.grant frames;
+        (* the guest maps these frames itself (validate_l1 admits a
+           domain's own grant frames); return the first mfn like the
+           real op returns the frame list *)
+        Ok (Int64.of_int (List.hd frames))
+      end
+  | Gnttab_set_version v ->
+      let alloc () = Hv.alloc_xen_page hv in
+      let release mfn = match Hv.release_page hv mfn with Ok () | Error _ -> () in
+      of_unit (Grant_table.set_version dom.Domain.grant ~alloc ~release v)
+  | Gnttab_grant_access { gref; grantee; pfn; readonly } -> (
+      match Domain.mfn_of_pfn dom pfn with
+      | None -> Error Errno.EINVAL
+      | Some mfn -> of_unit (Grant_table.grant_access dom.Domain.grant ~gref ~grantee ~mfn ~readonly))
+  | Gnttab_end_access { gref } -> of_unit (Grant_table.end_access dom.Domain.grant ~gref)
+  | Gnttab_map { granter; gref } -> (
+      match Hv.find_domain hv granter with
+      | None -> Error Errno.EINVAL
+      | Some gd ->
+          let result =
+            if Grant_table.memory_backed gd.Domain.grant then
+              Grant_table.map_memory gd.Domain.grant ~mem:hv.Hv.mem ~granter
+                ~mapper:dom.Domain.id ~gref
+                ~gfn_to_mfn:(fun gfn -> Domain.mfn_of_pfn gd gfn)
+            else Grant_table.map gd.Domain.grant ~granter ~mapper:dom.Domain.id ~gref
+          in
+          (match result with
+          | Ok record -> Ok (Int64.of_int record.Grant_table.handle)
+          | Error e -> Error e))
+  | Gnttab_unmap { granter; handle } -> (
+      match Hv.find_domain hv granter with
+      | None -> Error Errno.EINVAL
+      | Some gd ->
+          if Grant_table.memory_backed gd.Domain.grant then
+            of_unit (Grant_table.unmap_memory gd.Domain.grant ~mem:hv.Hv.mem ~handle)
+          else of_unit (Grant_table.unmap gd.Domain.grant ~handle))
+
+let do_evtchn hv dom = function
+  | Evtchn_alloc_unbound { allowed_remote } -> (
+      match Event_channel.alloc_unbound dom.Domain.events ~allowed_remote with
+      | Ok port -> Ok (Int64.of_int port)
+      | Error e -> Error e)
+  | Evtchn_bind_interdomain { remote_dom; remote_port } -> (
+      match Hv.find_domain hv remote_dom with
+      | None -> Error Errno.EINVAL
+      | Some rd -> (
+          match
+            Event_channel.bind_interdomain ~local:dom.Domain.events ~local_dom:dom.Domain.id
+              ~remote:rd.Domain.events ~remote_dom ~remote_port
+          with
+          | Ok port -> Ok (Int64.of_int port)
+          | Error e -> Error e))
+  | Evtchn_bind_virq { virq } -> (
+      match Event_channel.bind_virq dom.Domain.events ~virq with
+      | Ok port -> Ok (Int64.of_int port)
+      | Error e -> Error e)
+  | Evtchn_send { port } -> (
+      (* interdomain semantics: signalling my port raises the peer's *)
+      match Event_channel.port dom.Domain.events port with
+      | Some { Event_channel.binding = Some (Event_channel.Interdomain { remote_dom; remote_port }); _ }
+        -> (
+          match Hv.find_domain hv remote_dom with
+          | Some rd -> of_unit (Event_channel.send rd.Domain.events remote_port)
+          | None -> Error Errno.EINVAL)
+      | Some { Event_channel.binding = Some (Event_channel.Virq _); _ } ->
+          of_unit (Event_channel.send dom.Domain.events port)
+      | Some _ -> Error Errno.ENOENT
+      | None -> Error Errno.EINVAL)
+  | Evtchn_close { port } -> of_unit (Event_channel.close dom.Domain.events port)
+
+let dispatch_uncounted hv dom call =
+  if Hv.is_crashed hv then Error Errno.EINVAL
+  else
+    match call with
+    | Mmu_update updates -> of_int (Mm.mmu_update hv dom ~updates)
+    | Mmuext_op op -> do_mmuext hv dom op
+    | Update_va_mapping { va; value } -> of_unit (Mm.update_va_mapping hv dom ~va value)
+    | Memory_exchange req -> (
+        match Memory_exchange.exchange hv dom req with
+        | Ok { Memory_exchange.nr_exchanged; _ } -> Ok (Int64.of_int nr_exchanged)
+        | Error e -> Error e)
+    | Decrease_reservation pfns -> of_int (Mm.decrease_reservation hv dom pfns)
+    | Grant_table_op op -> do_grant_op hv dom op
+    | Event_channel_op op -> do_evtchn hv dom op
+    | Console_io s ->
+        Hv.log hv (Printf.sprintf "(d%d) %s" dom.Domain.id s);
+        ok0
+    | Raw { number; args } -> (
+        match Hv.lookup_hypercall hv number with
+        | Some (_, handler) -> handler hv dom args
+        | None -> Error Errno.ENOSYS)
+
+let dispatch hv dom call =
+  let result = dispatch_uncounted hv dom call in
+  Hv.count_hypercall hv ~number:(number_of_call call) ~failed:(Result.is_error result);
+  result
+
+let dispatch_unit hv dom call =
+  match dispatch hv dom call with Ok _ -> Ok () | Error e -> Error e
+
+let return_code = function
+  | Ok v -> Int64.to_int v
+  | Error e -> Errno.to_return_code e

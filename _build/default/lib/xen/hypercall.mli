@@ -1,0 +1,57 @@
+(** The hypercall table and dispatcher — the guest/hypervisor interface
+    every intrusion model in this study names as its interaction
+    interface.
+
+    Calls carry typed arguments; [number_of_call] gives the real Xen
+    hypercall numbers for reference and for the extension table, which
+    is how the prototype injector registers its new hypercall
+    ("small changes in the hypercalls table had to be done to add the
+    new hypercall", §V-B). *)
+
+type mmuext =
+  | Pin_l4_table of Addr.mfn
+  | Pin_l3_table of Addr.mfn
+  | Pin_l2_table of Addr.mfn
+  | Pin_l1_table of Addr.mfn
+  | Unpin_table of Addr.mfn
+  | New_baseptr of Addr.mfn
+
+type grant_op =
+  | Gnttab_setup_table of { nr_frames : int }
+  | Gnttab_set_version of Grant_table.gt_version
+  | Gnttab_grant_access of { gref : int; grantee : int; pfn : Addr.pfn; readonly : bool }
+  | Gnttab_end_access of { gref : int }
+  | Gnttab_map of { granter : int; gref : int }
+  | Gnttab_unmap of { granter : int; handle : int }
+
+type evtchn_op =
+  | Evtchn_alloc_unbound of { allowed_remote : int }
+  | Evtchn_bind_interdomain of { remote_dom : int; remote_port : int }
+  | Evtchn_bind_virq of { virq : int }
+  | Evtchn_send of { port : int }
+  | Evtchn_close of { port : int }
+
+type call =
+  | Mmu_update of (int64 * Pte.t) list
+  | Mmuext_op of mmuext
+  | Update_va_mapping of { va : Addr.vaddr; value : Pte.t }
+  | Memory_exchange of Memory_exchange.request
+  | Decrease_reservation of Addr.pfn list
+  | Grant_table_op of grant_op
+  | Event_channel_op of evtchn_op
+  | Console_io of string
+  | Raw of { number : int; args : int64 array }
+      (** dispatched through the extension table (injector) *)
+
+val number_of_call : call -> int
+(** Real Xen hypercall numbers (mmu_update = 1, memory_op = 12, ...). *)
+
+val name_of_call : call -> string
+
+val dispatch : Hv.t -> Domain.t -> call -> (int64, Errno.t) result
+(** Execute a hypercall on behalf of a domain. Never raises on guest
+    input; a crashed hypervisor refuses everything with [EINVAL]. *)
+
+val dispatch_unit : Hv.t -> Domain.t -> call -> (unit, Errno.t) result
+val return_code : (int64, Errno.t) result -> int
+(** The guest-visible return value ([-EFAULT] style). *)

@@ -1,0 +1,47 @@
+type request = { in_pfns : Addr.pfn list; out_extent_start : Addr.vaddr }
+type outcome = { nr_exchanged : int; new_mfns : Addr.mfn list }
+
+let result_word mfn =
+  Int64.logor (Addr.maddr_of_mfn mfn)
+    (Int64.of_int 0x7 (* Present | RW | User: a directly usable mapping word *))
+
+let out_addr start i = Int64.add start (Int64.of_int (8 * i))
+
+let le64 v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  b
+
+let exchange hv dom { in_pfns; out_extent_start } =
+  if Hv.is_crashed hv then Error Errno.EINVAL
+  else
+    let n = List.length in_pfns in
+    let checked = Version.xsa212_fixed hv.Hv.version in
+    (* The fix: validate the whole output range up front. The vulnerable
+       version goes straight to the copy loop. *)
+    if checked && not (Uaccess.guest_range_ok hv out_extent_start (8 * n)) then Error Errno.EFAULT
+    else
+      let copy_back =
+        if checked then Uaccess.copy_to_guest else Uaccess.copy_to_guest_unchecked
+      in
+      let rec go i acc = function
+        | [] -> Ok { nr_exchanged = i; new_mfns = List.rev acc }
+        | pfn :: rest -> (
+            match Domain.mfn_of_pfn dom pfn with
+            | None -> Error Errno.EINVAL
+            | Some old_mfn -> (
+                match Hv.release_page hv old_mfn with
+                | Error e -> Error e
+                | Ok () ->
+                    Domain.set_p2m dom pfn None;
+                    Hv.m2p_set hv old_mfn None;
+                    let new_mfn = Hv.alloc_domain_page hv dom in
+                    Domain.set_p2m dom pfn (Some new_mfn);
+                    Hv.m2p_set hv new_mfn (Some pfn);
+                    (* nr_exchanged counts completed extents; the result
+                       word for this one lands at start + 8 * i. *)
+                    (match copy_back hv dom (out_addr out_extent_start i) (le64 (result_word new_mfn)) with
+                    | Ok () -> go (i + 1) (new_mfn :: acc) rest
+                    | Error e -> Error e)))
+      in
+      go 0 [] in_pfns

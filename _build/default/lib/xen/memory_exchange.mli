@@ -1,0 +1,28 @@
+(** The [XENMEM_exchange] memory op and its XSA-212 defect.
+
+    A guest trades in some of its pages for fresh ones; the hypervisor
+    writes one result word per exchanged extent to a guest-supplied
+    output array. In this simulated ABI the result word is the new
+    page's machine address with access bits
+    ([new_mfn << 12 | P|RW|US]) — see DESIGN.md §"memory_exchange
+    result encoding": it preserves the exploit structure of a
+    semi-controlled value at a fully-controlled address, where the
+    attacker owns the frame named by the written value.
+
+    On the XSA-212-vulnerable version the output address is not checked
+    ({!Uaccess.copy_to_guest_unchecked}), so pointing it into Xen's
+    address space turns the result write into an arbitrary hypervisor
+    memory write. Fixed versions reject such addresses with [EFAULT]
+    before exchanging anything. *)
+
+type request = { in_pfns : Addr.pfn list; out_extent_start : Addr.vaddr }
+
+type outcome = {
+  nr_exchanged : int;
+  new_mfns : Addr.mfn list;  (** replacement frames, in exchange order *)
+}
+
+val result_word : Addr.mfn -> int64
+(** The value written to the output array for a replacement frame. *)
+
+val exchange : Hv.t -> Domain.t -> request -> (outcome, Errno.t) result

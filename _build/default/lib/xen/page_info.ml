@@ -1,0 +1,81 @@
+type ptype = PGT_none | PGT_writable | PGT_l1 | PGT_l2 | PGT_l3 | PGT_l4 | PGT_seg
+
+type info = {
+  mutable owner : Phys_mem.owner;
+  mutable ptype : ptype;
+  mutable type_count : int;
+  mutable ref_count : int;
+  mutable validated : bool;
+  mutable pinned : bool;
+}
+
+type t = info array
+
+let fresh () =
+  { owner = Phys_mem.Free; ptype = PGT_none; type_count = 0; ref_count = 0;
+    validated = false; pinned = false }
+
+let create ~frames = Array.init frames (fun _ -> fresh ())
+
+let get t mfn =
+  if mfn < 0 || mfn >= Array.length t then invalid_arg "Page_info.get: bad mfn";
+  t.(mfn)
+
+let table_level = function
+  | PGT_l1 -> Some 1
+  | PGT_l2 -> Some 2
+  | PGT_l3 -> Some 3
+  | PGT_l4 -> Some 4
+  | PGT_none | PGT_writable | PGT_seg -> None
+
+let ptype_of_level = function
+  | 1 -> PGT_l1
+  | 2 -> PGT_l2
+  | 3 -> PGT_l3
+  | 4 -> PGT_l4
+  | _ -> invalid_arg "Page_info.ptype_of_level"
+
+let ptype_to_string = function
+  | PGT_none -> "none"
+  | PGT_writable -> "writable"
+  | PGT_l1 -> "l1_table"
+  | PGT_l2 -> "l2_table"
+  | PGT_l3 -> "l3_table"
+  | PGT_l4 -> "l4_table"
+  | PGT_seg -> "seg_desc"
+
+let get_page t mfn =
+  let i = get t mfn in
+  i.ref_count <- i.ref_count + 1
+
+let put_page t mfn =
+  let i = get t mfn in
+  if i.ref_count <= 0 then invalid_arg "Page_info.put_page: refcount underflow";
+  i.ref_count <- i.ref_count - 1
+
+let get_page_type t mfn ptype =
+  let i = get t mfn in
+  if i.ptype = ptype && i.type_count > 0 then (
+    i.type_count <- i.type_count + 1;
+    Ok ())
+  else if i.type_count = 0 then (
+    i.ptype <- ptype;
+    i.type_count <- 1;
+    i.validated <- false;
+    Ok ())
+  else Error Errno.EBUSY
+
+let put_page_type t mfn =
+  let i = get t mfn in
+  if i.type_count <= 0 then invalid_arg "Page_info.put_page_type: type count underflow";
+  i.type_count <- i.type_count - 1;
+  if i.type_count = 0 then (
+    i.validated <- false;
+    i.pinned <- false)
+
+let set_validated t mfn v = (get t mfn).validated <- v
+
+let counts_consistent t =
+  Array.for_all
+    (fun i -> i.type_count >= 0 && i.ref_count >= 0 && ((not i.pinned) || i.type_count > 0))
+    t

@@ -1,0 +1,58 @@
+(** Per-frame hypervisor bookkeeping: owner, type and reference counts.
+
+    This is Xen's [struct page_info] discipline: a frame has exactly one
+    type at a time (writable data or page table of a given level), the
+    type is pinned by a use count, and page-table validation promotes a
+    frame to a table type only when it can take the type exclusively.
+
+    The type system is what hypercall validation enforces — and what the
+    exploits and the injector bypass when they plant raw bytes. The
+    divergence between these counts and the actual page-table bytes in
+    memory is precisely an {e erroneous state}. *)
+
+type ptype =
+  | PGT_none  (** no type yet *)
+  | PGT_writable  (** plain data, guest-writable *)
+  | PGT_l1
+  | PGT_l2
+  | PGT_l3
+  | PGT_l4
+  | PGT_seg  (** descriptor-table page *)
+
+type info = {
+  mutable owner : Phys_mem.owner;
+  mutable ptype : ptype;
+  mutable type_count : int;  (** uses of the current type *)
+  mutable ref_count : int;  (** general references (existence) *)
+  mutable validated : bool;  (** table contents were validated *)
+  mutable pinned : bool;  (** guest pinned the type (vcpu pagetable) *)
+}
+
+type t
+
+val create : frames:int -> t
+val get : t -> Addr.mfn -> info
+val table_level : ptype -> int option
+(** [Some 1..4] for page-table types. *)
+
+val ptype_of_level : int -> ptype
+val ptype_to_string : ptype -> string
+
+val get_page : t -> Addr.mfn -> unit
+(** Take a general reference. *)
+
+val put_page : t -> Addr.mfn -> unit
+
+val get_page_type : t -> Addr.mfn -> ptype -> (unit, Errno.t) result
+(** Take a typed reference: succeeds when the frame already has this
+    type, or has no live type (count 0) and can be promoted. A frame
+    whose current type is in use by something else is refused — the rule
+    that keeps page tables unwritable. *)
+
+val put_page_type : t -> Addr.mfn -> unit
+
+val set_validated : t -> Addr.mfn -> bool -> unit
+
+val counts_consistent : t -> bool
+(** Every frame has non-negative counts and [type_count = 0] implies no
+    pin — the invariant checked by property tests. *)

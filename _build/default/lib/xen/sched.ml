@@ -1,0 +1,93 @@
+type vcpu_state = Runnable | Hung_in_hypervisor of string
+type vcpu = { v_dom : int; mutable state : vcpu_state; mutable runs : int }
+type outcome = Scheduled of int | Cpu_stalled of string | Idle
+
+type t = {
+  mutable queue : vcpu list;  (** round-robin order; head runs next *)
+  wd_enabled : bool;
+  wd_threshold : int;
+  n_pcpus : int;
+  mutable stalled : int;
+}
+
+let create ?(watchdog_enabled = true) ?(watchdog_threshold = 8) ?(pcpus = 1) () =
+  if pcpus <= 0 then invalid_arg "Sched.create: pcpus must be positive";
+  {
+    queue = [];
+    wd_enabled = watchdog_enabled;
+    wd_threshold = watchdog_threshold;
+    n_pcpus = pcpus;
+    stalled = 0;
+  }
+
+let pcpus t = t.n_pcpus
+
+let watchdog_enabled t = t.wd_enabled
+
+let add_vcpu t ~dom =
+  let v = { v_dom = dom; state = Runnable; runs = 0 } in
+  t.queue <- t.queue @ [ v ];
+  v
+
+let vcpus t = t.queue
+let vcpu_of t ~dom = List.find_opt (fun v -> v.v_dom = dom) t.queue
+let runs_of t ~dom = match vcpu_of t ~dom with Some v -> v.runs | None -> 0
+
+let remove_vcpu t ~dom =
+  match vcpu_of t ~dom with
+  | None -> Error Errno.ENOENT
+  | Some _ ->
+      t.queue <- List.filter (fun v -> v.v_dom <> dom) t.queue;
+      Ok ()
+
+let hung_vcpus_internal t =
+  List.filter_map
+    (fun v -> match v.state with Hung_in_hypervisor r -> Some (v.v_dom, r) | Runnable -> None)
+    t.queue
+
+let tick t =
+  let hung_list = hung_vcpus_internal t in
+  if List.length hung_list >= t.n_pcpus then begin
+    (* every pCPU is pinned by a vcpu looping inside the hypervisor *)
+    t.stalled <- t.stalled + 1;
+    let dom, reason = List.hd hung_list in
+    Cpu_stalled (Printf.sprintf "d%d vcpu stuck in hypervisor (%s)" dom reason)
+  end
+  else begin
+    t.stalled <- 0;
+    (* rotate to the next runnable vcpu; hung ones hold their pCPUs *)
+    let rec next n =
+      if n <= 0 then Idle
+      else
+        match t.queue with
+        | [] -> Idle
+        | v :: rest -> (
+            t.queue <- rest @ [ v ];
+            match v.state with
+            | Runnable ->
+                v.runs <- v.runs + 1;
+                Scheduled v.v_dom
+            | Hung_in_hypervisor _ -> next (n - 1))
+    in
+    next (List.length t.queue)
+  end
+
+let stalled_slices t = t.stalled
+let watchdog_fired t = t.wd_enabled && t.stalled > t.wd_threshold
+
+let hang_vcpu t ~dom ~reason =
+  match vcpu_of t ~dom with
+  | None -> Error Errno.ENOENT
+  | Some v ->
+      v.state <- Hung_in_hypervisor reason;
+      Ok ()
+
+let unhang_vcpu t ~dom =
+  match vcpu_of t ~dom with
+  | None -> Error Errno.ENOENT
+  | Some v ->
+      v.state <- Runnable;
+      t.stalled <- 0;
+      Ok ()
+
+let hung_vcpus t = hung_vcpus_internal t

@@ -1,0 +1,75 @@
+type t = {
+  s_name : string;
+  s_pages : int;
+  s_privileged : bool;
+  s_data : (Addr.pfn * bytes) list;
+  s_xenstore : (string * string) list;
+}
+
+(* Pages the builder owns: start_info (rebuilt with fresh pt_base) and
+   the page-table pages (host-specific). Everything else is payload. *)
+let is_payload dom pfn =
+  pfn <> dom.Domain.start_info_pfn
+  &&
+  match Domain.mfn_of_pfn dom pfn with
+  | Some mfn -> not (List.mem mfn dom.Domain.pt_pages)
+  | None -> false
+
+let capture hv dom =
+  let data =
+    List.filter_map
+      (fun pfn ->
+        if is_payload dom pfn then
+          Option.map
+            (fun mfn -> (pfn, Frame.to_bytes (Phys_mem.frame hv.Hv.mem mfn)))
+            (Domain.mfn_of_pfn dom pfn)
+        else None)
+      (Domain.populated_pfns dom)
+  in
+  let prefix = Printf.sprintf "/local/domain/%d/" dom.Domain.id in
+  let xenstore =
+    match Xenstore.list_prefix hv.Hv.xenstore ~caller:0 prefix with
+    | Ok paths ->
+        List.filter_map
+          (fun path ->
+            match Xenstore.read hv.Hv.xenstore ~caller:0 path with
+            | Ok value ->
+                let key =
+                  String.sub path (String.length prefix) (String.length path - String.length prefix)
+                in
+                Some (key, value)
+            | Error _ -> None)
+          paths
+    | Error _ -> []
+  in
+  {
+    s_name = dom.Domain.name;
+    s_pages = Domain.max_pfn dom;
+    s_privileged = dom.Domain.privileged;
+    s_data = data;
+    s_xenstore = xenstore;
+  }
+
+let restore hv snap =
+  let dom =
+    Builder.create_domain hv ~name:snap.s_name ~privileged:snap.s_privileged ~pages:snap.s_pages
+  in
+  List.iter
+    (fun (pfn, bytes) ->
+      (* only replay into pages the fresh builder considers payload:
+         table pages of the new layout must not be clobbered *)
+      if is_payload dom pfn then
+        match Domain.mfn_of_pfn dom pfn with
+        | Some mfn -> Frame.write_bytes (Phys_mem.frame hv.Hv.mem mfn) 0 bytes
+        | None -> ())
+    snap.s_data;
+  List.iter
+    (fun (key, value) ->
+      Xenstore.inject_write hv.Hv.xenstore (Xenstore.domain_path dom.Domain.id key) value)
+    snap.s_xenstore;
+  Hv.log hv
+    (Printf.sprintf "d%d restored from snapshot of %s (%d data pages)" dom.Domain.id snap.s_name
+       (List.length snap.s_data));
+  dom
+
+let data_bytes t = List.fold_left (fun acc (_, b) -> acc + Bytes.length b) 0 t.s_data

@@ -1,0 +1,31 @@
+(** Domain save/restore — the toolstack's migration primitive.
+
+    A snapshot captures the domain's pseudo-physical {e data} pages and
+    its XenStore subtree; page tables are deliberately not carried
+    (their contents are host-specific machine frame numbers) and are
+    rebuilt by the domain builder on restore, exactly as live migration
+    recreates the P2M on the destination.
+
+    Because data pages travel verbatim, so do any erroneous states
+    living in them — a vDSO backdoor planted by an intrusion survives
+    save/restore onto a pristine host. That makes snapshots a concrete
+    carrier for the paper's "porting erroneous states" idea (§III-C),
+    and restoring an infected snapshot an injection vector of its own. *)
+
+type t = {
+  s_name : string;
+  s_pages : int;
+  s_privileged : bool;
+  s_data : (Addr.pfn * bytes) list;  (** non-table pages, pfn order *)
+  s_xenstore : (string * string) list;  (** the domain's subtree, relative keys *)
+}
+
+val capture : Hv.t -> Domain.t -> t
+
+val restore : Hv.t -> t -> Domain.t
+(** Build a fresh domain (new domid, new frames, freshly validated
+    page tables) and replay the captured data pages and XenStore keys.
+    Raises [Failure] on resource exhaustion, like the builder. *)
+
+val data_bytes : t -> int
+(** Total payload size (for reporting). *)

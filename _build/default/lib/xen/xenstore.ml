@@ -1,0 +1,46 @@
+type t = (string, string) Hashtbl.t
+
+let create () = Hashtbl.create 31
+let domain_path id key = Printf.sprintf "/local/domain/%d/%s" id key
+
+let own_subtree caller path =
+  let prefix = Printf.sprintf "/local/domain/%d/" caller in
+  String.length path >= String.length prefix && String.sub path 0 (String.length prefix) = prefix
+
+let may_access ~caller path = caller = 0 || own_subtree caller path
+
+let write t ~caller path value =
+  if may_access ~caller path then begin
+    Hashtbl.replace t path value;
+    Ok ()
+  end
+  else Error Errno.EACCES
+
+let read t ~caller path =
+  if not (may_access ~caller path) then Error Errno.EACCES
+  else match Hashtbl.find_opt t path with Some v -> Ok v | None -> Error Errno.ENOENT
+
+let rm t ~caller path =
+  if not (may_access ~caller path) then Error Errno.EACCES
+  else if Hashtbl.mem t path then begin
+    Hashtbl.remove t path;
+    Ok ()
+  end
+  else Error Errno.ENOENT
+
+let list_prefix t ~caller prefix =
+  if not (may_access ~caller prefix) then Error Errno.EACCES
+  else
+    Ok
+      (List.sort String.compare
+         (Hashtbl.fold
+            (fun path _ acc ->
+              if
+                String.length path >= String.length prefix
+                && String.sub path 0 (String.length prefix) = prefix
+              then path :: acc
+              else acc)
+            t []))
+
+let inject_write t path value = Hashtbl.replace t path value
+let dump t = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])

@@ -1,0 +1,38 @@
+(** XenStore: the hierarchical configuration store shared between the
+    toolstack (dom0) and guests.
+
+    Real guests react to their XenStore subtree — most prominently
+    [memory/target], which drives the balloon driver. That makes the
+    management interface an attack surface of its own: the paper's §IX
+    names "activities originating from the management interface" as the
+    next intrusion models to support, and this substrate carries them.
+
+    Permissions are the essential ones: dom0 reads and writes
+    everything; a guest only its own [/local/domain/<id>] subtree. The
+    injector hook bypasses them, planting exactly the erroneous state a
+    compromised toolstack (or a XenStore bug) would produce. *)
+
+type t
+
+val create : unit -> t
+
+val domain_path : int -> string -> string
+(** [domain_path 3 "memory/target"] is ["/local/domain/3/memory/target"]. *)
+
+val write : t -> caller:int -> string -> string -> (unit, Errno.t) result
+(** Dom0 may write anywhere; other domains only below their own
+    subtree ([EACCES] otherwise). *)
+
+val read : t -> caller:int -> string -> (string, Errno.t) result
+(** Dom0 reads everything; other domains their own subtree.
+    [ENOENT] for missing nodes. *)
+
+val rm : t -> caller:int -> string -> (unit, Errno.t) result
+val list_prefix : t -> caller:int -> string -> (string list, Errno.t) result
+(** Paths under a prefix the caller may read, sorted. *)
+
+val inject_write : t -> string -> string -> unit
+(** The injector hook: write bypassing all permission checks. *)
+
+val dump : t -> (string * string) list
+(** Every node, sorted by path (hypervisor-side inspection). *)

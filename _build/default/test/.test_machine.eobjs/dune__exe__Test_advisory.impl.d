@@ -1,0 +1,1 @@
+test/test_advisory.ml: Abusive_functionality Alcotest Classify Corpus Field_study Float Ii_advisory Ii_core List Printf String

@@ -1,0 +1,1 @@
+test/test_apps.ml: Addr Alcotest Domain Hv Ii_apps Ii_core Ii_guest Ii_xen Int64 Kernel Option Phys_mem Testbed Version

@@ -1,0 +1,1 @@
+test/test_campaigns.ml: Alcotest Array Ii_core Ii_xen Int64 List Monitor Prng QCheck QCheck_alcotest Random_campaign String Version

@@ -1,0 +1,1 @@
+test/test_campaigns.mli:

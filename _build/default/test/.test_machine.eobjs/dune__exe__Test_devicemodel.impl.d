@@ -1,0 +1,1 @@
+test/test_devicemodel.ml: Alcotest Blk_study Blkdev Bytes Domain Errno Fdc Ii_core Ii_devicemodel Ii_guest Ii_xen Int64 Kernel List Result String Testbed Venom_study Version

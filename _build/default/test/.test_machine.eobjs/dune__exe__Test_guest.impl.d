@@ -1,0 +1,1 @@
+test/test_guest.ml: Addr Alcotest Builder Bytes Domain Frame Fs Hv Hypercall Ii_guest Ii_xen Kernel Layout List Netsim Option Phys_mem Process Pte Result Shell String Testbed Version

@@ -1,0 +1,1 @@
+test/test_kvm.ml: Addr Alcotest Bytes Errno Idt Ii_core Ii_exploits Ii_kvm Ii_xen Int64 Kvm Layout Lazy List Nested Phys_mem Result String

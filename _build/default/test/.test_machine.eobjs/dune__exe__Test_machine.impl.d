@@ -1,0 +1,1 @@
+test/test_machine.ml: Addr Alcotest Bytes Char Cpu Frame Gen Idt Int64 Layout List Paging Phys_mem Pte QCheck QCheck_alcotest Result

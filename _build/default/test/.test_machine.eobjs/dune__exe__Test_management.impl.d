@@ -1,0 +1,1 @@
+test/test_management.ml: Alcotest Domain Errno Erroneous_state Hv Ii_core Ii_guest Ii_xen Kernel List Monitor Phys_mem Result String Testbed Toolstack Version Xenstore

@@ -1,0 +1,192 @@
+(* Tests for the advisory corpus and classifier (Table I). *)
+
+open Ii_core
+open Ii_advisory
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+module Af = Abusive_functionality
+
+let contains line needle =
+  let n = String.length needle and m = String.length line in
+  let rec go i = i + n <= m && (String.sub line i n = needle || go (i + 1)) in
+  go 0
+
+let test_corpus_size () =
+  check_int "100 CVEs" 100 Corpus.size;
+  check_int "108 classifications" 108 Corpus.classifications
+
+let test_counts_match_table1 () =
+  List.iter
+    (fun (af, n) -> check_int (Af.to_string af) (Af.paper_count af) n)
+    (Corpus.counts ())
+
+let test_class_totals () =
+  List.iter
+    (fun (cls, n) -> check_int (Af.cls_to_string cls) (Af.paper_class_total cls) n)
+    (Corpus.class_totals ())
+
+let test_every_entry_labelled () =
+  List.iter
+    (fun e ->
+      check_bool "non-empty labels" true (e.Corpus.afs <> []);
+      check_bool "at most two" true (List.length e.Corpus.afs <= 2);
+      check_bool "no duplicate labels" true
+        (List.length (List.sort_uniq compare e.Corpus.afs) = List.length e.Corpus.afs);
+      check_bool "summary non-empty" true (String.length e.Corpus.summary > 20);
+      check_bool "cve formatted" true
+        (String.length e.Corpus.cve >= 4
+        && (String.sub e.Corpus.cve 0 4 = "CVE-" || String.sub e.Corpus.cve 0 4 = "XSA-")))
+    Corpus.corpus
+
+let test_multilabel_entries () =
+  let duals = List.filter (fun e -> List.length e.Corpus.afs = 2) Corpus.corpus in
+  check_int "eight dual-label CVEs (108 - 100)" 8 (List.length duals);
+  (* the paper's named multi-functionality examples are present *)
+  check_bool "CVE-2019-17343" true
+    (List.exists (fun e -> e.Corpus.cve = "CVE-2019-17343") duals);
+  check_bool "CVE-2020-27672" true
+    (List.exists (fun e -> e.Corpus.cve = "CVE-2020-27672") duals)
+
+let test_paper_anchors_present () =
+  List.iter
+    (fun (xsa, af) ->
+      match Corpus.find_xsa xsa with
+      | Some e ->
+          check_bool (Printf.sprintf "XSA-%d labelled" xsa) true (List.mem af e.Corpus.afs);
+          check_bool "anchor not synthetic" false e.Corpus.synthetic
+      | None -> Alcotest.fail (Printf.sprintf "XSA-%d missing" xsa))
+    [
+      (148, Af.Guest_writable_page_table_entry);
+      (182, Af.Guest_writable_page_table_entry);
+      (212, Af.Write_unauthorized_arbitrary_memory);
+      (133, Af.Write_unauthorized_memory);
+      (387, Af.Keep_page_access);
+      (393, Af.Keep_page_access);
+    ]
+
+let test_entries_for () =
+  let keep = Corpus.entries_for Af.Keep_page_access in
+  check_int "keep page access entries" 11 (List.length keep);
+  check_bool "387 among them" true (List.exists (fun e -> e.Corpus.xsa = Some 387) keep)
+
+let test_classifier_exact () =
+  Alcotest.(check (float 0.0)) "accuracy 1.0" 1.0 (Classify.accuracy ());
+  check_int "no confusion" 0 (List.length (Classify.confusion ()))
+
+let test_classifier_rules_cover_taxonomy () =
+  List.iter
+    (fun af -> check_bool (Af.to_string af) true (List.mem_assoc af Classify.rules))
+    Af.all
+
+let test_classifier_on_fresh_text () =
+  let entry =
+    {
+      Corpus.xsa = None;
+      cve = "CVE-2099-0001";
+      year = 2099;
+      title = "test";
+      component = "memory management";
+      summary =
+        "A race lets a guest retain access to a page after releasing it; separately a \
+         guest-controlled loop condition can hang the CPU.";
+      afs = [ Af.Keep_page_access; Af.Induce_hang_state ];
+      synthetic = true;
+    }
+  in
+  Alcotest.(check bool)
+    "multi-label classification" true
+    (List.sort compare (Classify.classify entry) = List.sort compare entry.Corpus.afs)
+
+let test_classifier_empty_summary () =
+  let entry =
+    {
+      Corpus.xsa = None;
+      cve = "CVE-2099-0002";
+      year = 2099;
+      title = "";
+      component = "";
+      summary = "nothing relevant here";
+      afs = [];
+      synthetic = true;
+    }
+  in
+  check_int "no labels" 0 (List.length (Classify.classify entry))
+
+(* --- Field_study --------------------------------------------------------- *)
+
+let test_field_study_totals () =
+  let sum l = List.fold_left (fun a (_, n) -> a + n) 0 l in
+  check_int "years cover all CVEs" 100 (sum (Field_study.by_year ()));
+  check_int "components cover all CVEs" 100 (sum (Field_study.by_component ()));
+  check_int "classes cover all classifications" 108 (sum (Field_study.by_class ()));
+  check_int "prevalence covers all classifications" 108 (sum (Field_study.prevalence ()))
+
+let test_field_study_prevalence_order () =
+  match Field_study.prevalence () with
+  | (top_af, top_n) :: rest ->
+      check_bool "hang state leads" true (top_af = Af.Induce_hang_state);
+      check_int "with 20" 20 top_n;
+      check_bool "descending" true
+        (List.for_all2
+           (fun (_, a) (_, b) -> a >= b)
+           ((top_af, top_n) :: rest |> List.filteri (fun i _ -> i < List.length rest))
+           rest)
+  | [] -> Alcotest.fail "empty prevalence"
+
+let test_field_study_campaign_plan () =
+  let plan = Field_study.campaign_plan ~top:5 in
+  check_int "five entries" 5 (List.length plan);
+  List.iter
+    (fun (af, entry) ->
+      check_bool "injectable" true (Ii_core.Im_catalog.implemented entry);
+      check_bool "entry matches" true (entry.Ii_core.Im_catalog.functionality = af))
+    plan;
+  (* the plan is ordered by prevalence *)
+  match plan with
+  | (first, _) :: _ -> check_bool "hang first" true (first = Af.Induce_hang_state)
+  | [] -> Alcotest.fail "empty plan"
+
+let test_field_study_injectable_share () =
+  let share = Field_study.injectable_share () in
+  (* 108 classifications; only Fail-Access (3) and Fail-Mapping (2)
+     lack injectors: 103/108 *)
+  check_bool "share" true (Float.abs (share -. (103. /. 108.)) < 1e-9)
+
+let test_table1_rendering () =
+  let t = Corpus.table1 () in
+  check_bool "title" true (contains t "TABLE I");
+  check_bool "class header with total" true (contains t "Memory Management - 40 CVEs");
+  check_bool "row" true (contains t "Keep Page Access");
+  check_bool "count" true (contains t "11")
+
+let () =
+  Alcotest.run "advisory"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "size" `Quick test_corpus_size;
+          Alcotest.test_case "counts match Table I" `Quick test_counts_match_table1;
+          Alcotest.test_case "class totals" `Quick test_class_totals;
+          Alcotest.test_case "entries well-formed" `Quick test_every_entry_labelled;
+          Alcotest.test_case "multi-label entries" `Quick test_multilabel_entries;
+          Alcotest.test_case "paper anchors" `Quick test_paper_anchors_present;
+          Alcotest.test_case "entries_for" `Quick test_entries_for;
+        ] );
+      ( "classifier",
+        [
+          Alcotest.test_case "exact on corpus" `Quick test_classifier_exact;
+          Alcotest.test_case "rules cover taxonomy" `Quick test_classifier_rules_cover_taxonomy;
+          Alcotest.test_case "fresh text" `Quick test_classifier_on_fresh_text;
+          Alcotest.test_case "irrelevant text" `Quick test_classifier_empty_summary;
+        ] );
+      ( "field_study",
+        [
+          Alcotest.test_case "totals" `Quick test_field_study_totals;
+          Alcotest.test_case "prevalence order" `Quick test_field_study_prevalence_order;
+          Alcotest.test_case "campaign plan" `Quick test_field_study_campaign_plan;
+          Alcotest.test_case "injectable share" `Quick test_field_study_injectable_share;
+        ] );
+      ("table1", [ Alcotest.test_case "rendering" `Quick test_table1_rendering ]);
+    ]

@@ -1,0 +1,194 @@
+(* Tests for the page-table integrity guard and the §III-C defence
+   evaluation built on intrusion injection. *)
+
+open Ii_xen
+open Ii_guest
+open Ii_core
+open Ii_exploits
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tb version =
+  let tb = Testbed.create version in
+  Injector.install tb.Testbed.hv;
+  tb
+
+let gate_addr (tb : Testbed.t) =
+  Int64.add
+    (Kernel.sidt tb.Testbed.attacker)
+    (Int64.of_int (Idt.handler_offset Idt.vector_page_fault))
+
+let inject_gate tb =
+  match
+    Injector.write_u64 tb.Testbed.attacker ~addr:(gate_addr tb)
+      ~action:Injector.Arbitrary_write_linear 0xBADL
+  with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "injection failed"
+
+(* --- Pt_guard ------------------------------------------------------------- *)
+
+let test_guard_protects_expected_frames () =
+  let tb = tb Version.V4_6 in
+  let g = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_only in
+  let protected_set = Pt_guard.protected_frames g in
+  check_bool "idt protected" true (List.mem tb.Testbed.hv.Hv.idt_mfn protected_set);
+  check_bool "m2p protected" true (List.mem tb.Testbed.hv.Hv.m2p_mfns.(0) protected_set);
+  let attacker_l4 = (Kernel.dom tb.Testbed.attacker).Domain.l4_mfn in
+  check_bool "guest l4 protected" true (List.mem attacker_l4 protected_set);
+  check_bool "many pt pages" true (List.length protected_set > 20)
+
+let test_guard_clean_audit () =
+  let tb = tb Version.V4_6 in
+  let g = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_only in
+  check_int "nothing detected" 0 (List.length (Pt_guard.audit g));
+  check_int "one audit" 1 (Pt_guard.audits_run g)
+
+let test_guard_detects_injection () =
+  let tb = tb Version.V4_6 in
+  let g = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_only in
+  inject_gate tb;
+  match Pt_guard.audit g with
+  | [ d ] ->
+      check_int "the idt frame" tb.Testbed.hv.Hv.idt_mfn d.Pt_guard.d_mfn;
+      check_int "one word" 1 (List.length d.Pt_guard.d_offsets);
+      check_bool "not repaired" false d.Pt_guard.repaired;
+      (* detect-only leaves the corruption in place *)
+      check_bool "still corrupted" true (Pt_guard.audit g <> [])
+  | _ -> Alcotest.fail "expected exactly one detection"
+
+let test_guard_repair_restores () =
+  let tb = tb Version.V4_6 in
+  let g = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_and_repair in
+  inject_gate tb;
+  let spec = Erroneous_state.Idt_gate_corrupted { vector = Idt.vector_page_fault } in
+  check_bool "state present" true (Erroneous_state.audit tb.Testbed.hv spec).Erroneous_state.holds;
+  (match Pt_guard.audit g with
+  | [ d ] -> check_bool "repaired" true d.Pt_guard.repaired
+  | _ -> Alcotest.fail "one detection");
+  check_bool "state gone" false (Erroneous_state.audit tb.Testbed.hv spec).Erroneous_state.holds;
+  check_int "clean after repair" 0 (List.length (Pt_guard.audit g));
+  (* the attack step now fails: the fault is handled *)
+  ignore (Kernel.read_u64 tb.Testbed.attacker 0xdead0000L);
+  check_bool "host survives" false (Hv.is_crashed tb.Testbed.hv);
+  check_bool "repair logged" true
+    (List.exists
+       (fun l ->
+         let rec c i = i + 8 <= String.length l && (String.sub l i 8 = "pt-guard" || c (i + 1)) in
+         c 0)
+       (Hv.console_lines tb.Testbed.hv))
+
+let test_guard_ignores_legitimate_updates () =
+  let tb = tb Version.V4_6 in
+  let g = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_and_repair in
+  let k = tb.Testbed.attacker in
+  (* a legitimate, validated update flows through the hook *)
+  check_int "unmap ok" 0
+    (Kernel.hypercall_rc k
+       (Hypercall.Update_va_mapping { va = Domain.kernel_vaddr_of_pfn 9; value = Pte.none }));
+  check_int "no false positive" 0 (List.length (Pt_guard.audit g));
+  (* and the golden copy followed the update: repair must NOT undo it *)
+  check_bool "still unmapped" true
+    (Result.is_error (Kernel.read_u64 k (Domain.kernel_vaddr_of_pfn 9)))
+
+let test_guard_balloon_is_legitimate () =
+  let tb = tb Version.V4_8 in
+  let g = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_and_repair in
+  ignore
+    (Toolstack.set_memory_target tb.Testbed.dom0 ~domid:(Kernel.domid tb.Testbed.victim) ~pages:90);
+  Kernel.tick tb.Testbed.victim;
+  check_int "balloon causes no detections" 0 (List.length (Pt_guard.audit g))
+
+let test_guard_periodic () =
+  let tb = tb Version.V4_6 in
+  let g = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_and_repair in
+  Pt_guard.enable_periodic g ~every:3;
+  inject_gate tb;
+  Pt_guard.on_tick g;
+  Pt_guard.on_tick g;
+  check_int "not yet" 0 (Pt_guard.audits_run g);
+  Pt_guard.on_tick g;
+  check_int "fired" 1 (Pt_guard.audits_run g);
+  check_bool "repaired by periodic audit" false
+    (Erroneous_state.audit tb.Testbed.hv
+       (Erroneous_state.Idt_gate_corrupted { vector = Idt.vector_page_fault }))
+      .Erroneous_state.holds
+
+let test_guard_protect_extra_frame () =
+  let tb = tb Version.V4_6 in
+  let g = Pt_guard.deploy tb.Testbed.hv Pt_guard.Detect_only in
+  let extra = Option.get (Domain.mfn_of_pfn (Kernel.dom tb.Testbed.victim) 5) in
+  Pt_guard.protect g extra;
+  Phys_mem.write_u64 tb.Testbed.hv.Hv.mem (Addr.maddr_of_mfn extra) 0x99L;
+  check_bool "extra frame audited" true
+    (List.exists (fun d -> d.Pt_guard.d_mfn = extra) (Pt_guard.audit g))
+
+(* --- Defense_eval ------------------------------------------------------------ *)
+
+let matrix = lazy (Defense_eval.matrix ())
+
+let rows_for d = List.filter (fun r -> r.Defense_eval.r_deployment = d) (Lazy.force matrix)
+
+let test_eval_shape () =
+  check_int "12 rows" 12 (List.length (Lazy.force matrix));
+  check_int "4 scenarios" 4 (List.length Defense_eval.scenarios)
+
+let test_eval_injection_always_lands () =
+  List.iter
+    (fun r -> check_bool (r.Defense_eval.scenario ^ " injected") true r.Defense_eval.injected)
+    (Lazy.force matrix)
+
+let test_eval_no_guard_attacks_succeed () =
+  List.iter
+    (fun r ->
+      check_bool "undetected" false r.Defense_eval.detected;
+      check_bool "attack works" true r.Defense_eval.attack_succeeded)
+    (rows_for Defense_eval.No_guard)
+
+let test_eval_detect_only_sees_but_does_not_stop () =
+  List.iter
+    (fun r ->
+      check_bool "detected" true r.Defense_eval.detected;
+      check_bool "attack still works" true r.Defense_eval.attack_succeeded)
+    (rows_for Defense_eval.Detect)
+
+let test_eval_repair_blocks_everything () =
+  List.iter
+    (fun r ->
+      check_bool "detected" true r.Defense_eval.detected;
+      check_bool "attack blocked" false r.Defense_eval.attack_succeeded)
+    (rows_for Defense_eval.Detect_and_repair)
+
+let test_eval_render () =
+  let s = Defense_eval.render (Lazy.force matrix) in
+  check_bool "mentions blocked" true
+    (let rec c i = i + 7 <= String.length s && (String.sub s i 7 = "blocked" || c (i + 1)) in
+     c 0)
+
+let () =
+  Alcotest.run "defense"
+    [
+      ( "pt_guard",
+        [
+          Alcotest.test_case "protects expected frames" `Quick test_guard_protects_expected_frames;
+          Alcotest.test_case "clean audit" `Quick test_guard_clean_audit;
+          Alcotest.test_case "detects injection" `Quick test_guard_detects_injection;
+          Alcotest.test_case "repair restores" `Quick test_guard_repair_restores;
+          Alcotest.test_case "ignores legitimate updates" `Quick
+            test_guard_ignores_legitimate_updates;
+          Alcotest.test_case "balloon is legitimate" `Quick test_guard_balloon_is_legitimate;
+          Alcotest.test_case "periodic audits" `Quick test_guard_periodic;
+          Alcotest.test_case "protect extra frame" `Quick test_guard_protect_extra_frame;
+        ] );
+      ( "defense_eval",
+        [
+          Alcotest.test_case "shape" `Slow test_eval_shape;
+          Alcotest.test_case "injection always lands" `Slow test_eval_injection_always_lands;
+          Alcotest.test_case "no guard: attacks succeed" `Slow test_eval_no_guard_attacks_succeed;
+          Alcotest.test_case "detect-only: sees, does not stop" `Slow
+            test_eval_detect_only_sees_but_does_not_stop;
+          Alcotest.test_case "repair: blocks everything" `Slow test_eval_repair_blocks_everything;
+          Alcotest.test_case "render" `Slow test_eval_render;
+        ] );
+    ]

@@ -1,0 +1,233 @@
+(* Tests for the device models: the FDC (VENOM study) and the
+   paravirtual block-device pair (off-by-one backend study). *)
+
+open Ii_xen
+open Ii_guest
+open Ii_devicemodel
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let vulnerable = { Fdc.venom_vulnerable = true; handler_validation = false }
+let fixed = { Fdc.venom_vulnerable = false; handler_validation = false }
+let hardened = { Fdc.venom_vulnerable = true; handler_validation = true }
+
+let test_fifo_normal_write () =
+  let fdc = Fdc.create fixed in
+  check_bool "small write ok" true (Fdc.issue fdc (Fdc.Fd_write_data (Bytes.make 64 'x')) = Ok ());
+  check_bool "handler intact" true (Fdc.handler_intact fdc);
+  check_bool "read id" true (Fdc.issue fdc Fdc.Fd_read_id = Ok ());
+  check_bool "reset" true (Fdc.issue fdc Fdc.Fd_reset = Ok ())
+
+let test_fixed_rejects_overflow () =
+  let fdc = Fdc.create fixed in
+  (match Fdc.issue fdc (Fdc.Fd_write_data (Bytes.make (Fdc.fifo_size + 8) 'x')) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "fixed build must reject");
+  check_bool "handler intact" true (Fdc.handler_intact fdc)
+
+let test_fixed_rejects_accumulated_overflow () =
+  let fdc = Fdc.create fixed in
+  check_bool "first ok" true (Fdc.issue fdc (Fdc.Fd_write_data (Bytes.make 500 'x')) = Ok ());
+  (match Fdc.issue fdc (Fdc.Fd_write_data (Bytes.make 100 'y')) with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "accumulated overflow must be rejected");
+  check_bool "reset clears" true (Fdc.issue fdc Fdc.Fd_reset = Ok ());
+  check_bool "after reset ok" true (Fdc.issue fdc (Fdc.Fd_write_data (Bytes.make 100 'y')) = Ok ())
+
+let test_venom_overflow_corrupts_handler () =
+  let fdc = Fdc.create vulnerable in
+  let payload = Bytes.make (Fdc.fifo_size + 8) 'A' in
+  Bytes.set_int64_le payload Fdc.fifo_size 0xEF11L;
+  check_bool "accepted" true (Fdc.issue fdc (Fdc.Fd_write_data payload) = Ok ());
+  check_bool "handler corrupted" false (Fdc.handler_intact fdc);
+  match Fdc.kick fdc with
+  | `Hijacked v -> Alcotest.(check int64) "attacker value" 0xEF11L v
+  | `Dispatched | `Rejected_corrupt_handler -> Alcotest.fail "expected hijack"
+
+let test_injection_reproduces_overflow_state () =
+  let via_exploit = Fdc.create vulnerable in
+  let payload = Bytes.make (Fdc.fifo_size + 8) 'A' in
+  Bytes.set_int64_le payload Fdc.fifo_size 0x1234L;
+  ignore (Fdc.issue via_exploit (Fdc.Fd_write_data payload));
+  let via_injection = Fdc.create fixed in
+  let tail = Bytes.create 8 in
+  Bytes.set_int64_le tail 0 0x1234L;
+  Fdc.inject_overflow via_injection tail;
+  Alcotest.(check int64)
+    "same erroneous state" (Fdc.handler_value via_exploit) (Fdc.handler_value via_injection)
+
+let test_handler_validation_shields () =
+  let fdc = Fdc.create hardened in
+  let tail = Bytes.create 8 in
+  Bytes.set_int64_le tail 0 0x1234L;
+  Fdc.inject_overflow fdc tail;
+  check_bool "state present" false (Fdc.handler_intact fdc);
+  match Fdc.kick fdc with
+  | `Rejected_corrupt_handler -> ()
+  | `Hijacked _ | `Dispatched -> Alcotest.fail "validation must shield"
+
+let test_reset_restores () =
+  let fdc = Fdc.create vulnerable in
+  let tail = Bytes.create 8 in
+  Bytes.set_int64_le tail 0 0x1L;
+  Fdc.inject_overflow fdc tail;
+  Fdc.reset fdc;
+  check_bool "intact after reset" true (Fdc.handler_intact fdc);
+  check_bool "dispatches" true (Fdc.kick fdc = `Dispatched)
+
+(* --- the study -------------------------------------------------------------- *)
+
+let test_study_matrix () =
+  let outcomes = Venom_study.matrix () in
+  check_int "eight runs" 8 (List.length outcomes);
+  (* exploit only corrupts vulnerable builds *)
+  List.iter
+    (fun o ->
+      match o.Venom_study.o_mode with
+      | Venom_study.Exploit ->
+          check_bool "exploit state iff vulnerable" o.Venom_study.o_cfg.Fdc.venom_vulnerable
+            o.Venom_study.o_state
+      | Venom_study.Injection -> check_bool "injection always lands" true o.Venom_study.o_state)
+    outcomes;
+  (* violation iff state and no validation *)
+  List.iter
+    (fun o ->
+      let expected = o.Venom_study.o_state && not o.Venom_study.o_cfg.Fdc.handler_validation in
+      check_bool "violation rule" expected o.Venom_study.o_violation)
+    outcomes
+
+let test_study_render () =
+  let s = Venom_study.render (Venom_study.matrix ()) in
+  check_bool "mentions shield" true
+    (let n = String.length Ii_core.Report.shield in
+     let rec go i =
+       i + n <= String.length s && (String.sub s i n = Ii_core.Report.shield || go (i + 1))
+     in
+     go 0)
+
+let test_study_im () =
+  check_bool "af" true
+    (Venom_study.im.Ii_core.Intrusion_model.functionality
+    = Ii_core.Abusive_functionality.Write_unauthorized_memory)
+
+(* --- Blkdev --------------------------------------------------------------- *)
+
+let blk_env ~off_by_one =
+  let tb = Testbed.create Version.V4_13 in
+  Ii_core.Injector.install tb.Testbed.hv;
+  let dom0 = Kernel.dom tb.Testbed.dom0 in
+  let be = Blkdev.create_backend tb.Testbed.hv ~backend_dom:dom0 ~off_by_one in
+  let fe =
+    match Blkdev.connect tb.Testbed.attacker ~backend_domid:dom0.Domain.id ~ring_pfn:45 ~data_pfn:46 with
+    | Ok fe -> fe
+    | Error e -> Alcotest.fail (Errno.to_string e)
+  in
+  (tb, be, fe)
+
+let roundtrip be fe ~op ~sector =
+  match Blkdev.submit fe ~op ~sector with
+  | Error e -> Alcotest.fail (Errno.to_string e)
+  | Ok id ->
+      ignore (Blkdev.backend_poll be fe);
+      Blkdev.response_status fe id
+
+let test_blk_read_write () =
+  let _, be, fe = blk_env ~off_by_one:false in
+  (* read a sector: the disk pattern lands in the data page *)
+  check_bool "read ok" true (roundtrip be fe ~op:Blkdev.Ring.op_read ~sector:7 = Some 0L);
+  (match Blkdev.read_data fe ~off:0 ~len:8 with
+  | Ok b -> Alcotest.(check string) "pattern" "SECTOR07" (Bytes.to_string b)
+  | Error _ -> Alcotest.fail "data read");
+  (* write a sector and read it back *)
+  check_bool "stage data" true (Result.is_ok (Blkdev.write_data fe ~off:0 (Bytes.of_string "mydata!!")));
+  check_bool "write ok" true (roundtrip be fe ~op:Blkdev.Ring.op_write ~sector:3 = Some 0L);
+  check_bool "readback ok" true (roundtrip be fe ~op:Blkdev.Ring.op_read ~sector:3 = Some 0L);
+  match Blkdev.read_data fe ~off:0 ~len:8 with
+  | Ok b -> Alcotest.(check string) "written" "mydata!!" (Bytes.to_string b)
+  | Error _ -> Alcotest.fail "data read"
+
+let test_blk_bounds () =
+  let _, be, fe = blk_env ~off_by_one:false in
+  check_bool "oob refused" true
+    (roundtrip be fe ~op:Blkdev.Ring.op_read ~sector:Blkdev.sectors
+    = Some (Int64.of_int (-22)));
+  check_bool "negative refused" true
+    (roundtrip be fe ~op:Blkdev.Ring.op_read ~sector:(-1) = Some (Int64.of_int (-22)));
+  check_bool "bad op refused" true (roundtrip be fe ~op:9L ~sector:1 = Some (Int64.of_int (-38)))
+
+let test_blk_off_by_one_discloses () =
+  let _, be, fe = blk_env ~off_by_one:true in
+  check_bool "oob accepted" true
+    (roundtrip be fe ~op:Blkdev.Ring.op_read ~sector:Blkdev.sectors = Some 0L);
+  match Blkdev.read_data fe ~off:0 ~len:14 with
+  | Ok b -> Alcotest.(check string) "secret leaked" "BACKEND-SECRET" (Bytes.to_string b)
+  | Error _ -> Alcotest.fail "data read"
+
+let test_blk_grants_are_real () =
+  (* the backend goes through the grant machinery: without the wire
+     entries (fresh frontend domain, no grants) mapping fails and the
+     backend completes nothing *)
+  let tb = Testbed.create Version.V4_13 in
+  let dom0 = Kernel.dom tb.Testbed.dom0 in
+  let be = Blkdev.create_backend tb.Testbed.hv ~backend_dom:dom0 ~off_by_one:false in
+  let fe =
+    match Blkdev.connect tb.Testbed.attacker ~backend_domid:dom0.Domain.id ~ring_pfn:45 ~data_pfn:46 with
+    | Ok fe -> fe
+    | Error e -> Alcotest.fail (Errno.to_string e)
+  in
+  (* revoke the ring grant by zeroing the wire entry *)
+  let grant_va = Domain.kernel_vaddr_of_pfn 44 in
+  ignore (Kernel.write_u64 tb.Testbed.attacker (Int64.add grant_va (Int64.of_int (8 * 20))) 0L);
+  ignore (Blkdev.submit fe ~op:Blkdev.Ring.op_read ~sector:1);
+  check_int "nothing processed" 0 (Blkdev.backend_poll be fe)
+
+let test_blk_study_matrix () =
+  let outcomes = Blk_study.matrix () in
+  check_int "four runs" 4 (List.length outcomes);
+  List.iter
+    (fun o ->
+      match (o.Blk_study.o_mode, o.Blk_study.o_off_by_one) with
+      | Blk_study.Exploit, true ->
+          check_bool "exploit works on buggy backend" true o.Blk_study.o_disclosure;
+          check_bool "status ok" true (o.Blk_study.o_status = Some 0L)
+      | Blk_study.Exploit, false ->
+          check_bool "exploit fails on fixed backend" false o.Blk_study.o_disclosure;
+          check_bool "einval" true (o.Blk_study.o_status = Some (Int64.of_int (-22)))
+      | Blk_study.Injection, _ ->
+          check_bool "injection always lands" true o.Blk_study.o_state)
+    outcomes;
+  check_bool "im functionality" true
+    (Blk_study.im.Ii_core.Intrusion_model.functionality
+    = Ii_core.Abusive_functionality.Read_unauthorized_memory)
+
+let () =
+  Alcotest.run "devicemodel"
+    [
+      ( "fdc",
+        [
+          Alcotest.test_case "normal write" `Quick test_fifo_normal_write;
+          Alcotest.test_case "fixed rejects overflow" `Quick test_fixed_rejects_overflow;
+          Alcotest.test_case "fixed rejects accumulated overflow" `Quick
+            test_fixed_rejects_accumulated_overflow;
+          Alcotest.test_case "venom corrupts handler" `Quick test_venom_overflow_corrupts_handler;
+          Alcotest.test_case "injection reproduces state" `Quick
+            test_injection_reproduces_overflow_state;
+          Alcotest.test_case "validation shields" `Quick test_handler_validation_shields;
+          Alcotest.test_case "reset restores" `Quick test_reset_restores;
+        ] );
+      ( "venom_study",
+        [
+          Alcotest.test_case "matrix" `Quick test_study_matrix;
+          Alcotest.test_case "render" `Quick test_study_render;
+          Alcotest.test_case "intrusion model" `Quick test_study_im;
+        ] );
+      ( "blkdev",
+        [
+          Alcotest.test_case "read/write roundtrip" `Quick test_blk_read_write;
+          Alcotest.test_case "bounds" `Quick test_blk_bounds;
+          Alcotest.test_case "off-by-one discloses" `Quick test_blk_off_by_one_discloses;
+          Alcotest.test_case "grants are real" `Quick test_blk_grants_are_real;
+          Alcotest.test_case "study matrix" `Quick test_blk_study_matrix;
+        ] );
+    ]

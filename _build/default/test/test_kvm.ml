@@ -1,0 +1,175 @@
+(* Tests for the KVM-style hypervisor (nested paging, VMCS, the ioctl
+   injector) and the cross-system injection study. *)
+
+open Ii_xen
+open Ii_kvm
+
+let check_bool = Alcotest.(check bool)
+let check_i64 = Alcotest.(check int64)
+
+let host () =
+  let kvm = Kvm.boot ~frames:2048 in
+  let vm = Kvm.create_vm kvm ~name:"g" ~pages:64 in
+  (kvm, vm)
+
+(* --- Nested ------------------------------------------------------------- *)
+
+let test_ept_translate () =
+  let kvm, vm = host () in
+  (* gpa 5 maps somewhere valid; beyond the guest size it must not *)
+  check_bool "mapped" true
+    (Result.is_ok (Nested.ept_translate (Kvm.mem kvm) ~ept_root:vm.Kvm.ept_root 0x5000L));
+  (match Nested.ept_translate (Kvm.mem kvm) ~ept_root:vm.Kvm.ept_root 0x100_0000L with
+  | Error (Nested.Ept_violation _) -> ()
+  | _ -> Alcotest.fail "expected EPT violation");
+  (* distinct gpas map to distinct host frames *)
+  let ma g = Result.get_ok (Nested.ept_translate (Kvm.mem kvm) ~ept_root:vm.Kvm.ept_root g) in
+  check_bool "injective" true (ma 0x1000L <> ma 0x2000L)
+
+let test_two_dimensional_walk () =
+  let kvm, vm = host () in
+  let va = Int64.add Layout.guest_kernel_base 0x5000L in
+  check_bool "guest write" true (Kvm.guest_write_u64 kvm vm va 0xFACEL = Ok ());
+  check_bool "guest read" true (Kvm.guest_read_u64 kvm vm va = Ok 0xFACEL);
+  (* the write landed in the host frame the EPT names for gpa 5 *)
+  let ma = Result.get_ok (Kvm.gpa_to_maddr kvm vm 0x5000L) in
+  check_i64 "backing frame" 0xFACEL (Phys_mem.read_u64 (Kvm.mem kvm) ma)
+
+let test_guest_walk_faults () =
+  let kvm, vm = host () in
+  (match Kvm.guest_read_u64 kvm vm 0x1234L with
+  | Error (Nested.Guest_not_present _) -> ()
+  | _ -> Alcotest.fail "unmapped guest va must fault in the guest dimension");
+  (* write through a read-only guest mapping: make one *)
+  let idt_ma = Result.get_ok (Kvm.gpa_to_maddr kvm vm vm.Kvm.idt_gpa) in
+  ignore idt_ma;
+  ()
+
+let test_vm_isolation () =
+  let kvm = Kvm.boot ~frames:2048 in
+  let a = Kvm.create_vm kvm ~name:"a" ~pages:64 in
+  let b = Kvm.create_vm kvm ~name:"b" ~pages:64 in
+  let va = Int64.add Layout.guest_kernel_base 0x3000L in
+  ignore (Kvm.guest_write_u64 kvm a va 0xAAAAL);
+  ignore (Kvm.guest_write_u64 kvm b va 0xBBBBL);
+  check_bool "a sees its own" true (Kvm.guest_read_u64 kvm a va = Ok 0xAAAAL);
+  check_bool "b sees its own" true (Kvm.guest_read_u64 kvm b va = Ok 0xBBBBL);
+  (* same gpa, different host frames *)
+  check_bool "ept roots differ" true (a.Kvm.ept_root <> b.Kvm.ept_root);
+  check_bool "backing differs" true
+    (Kvm.gpa_to_maddr kvm a 0x3000L <> Kvm.gpa_to_maddr kvm b 0x3000L)
+
+(* --- VMCS / guest IDT ------------------------------------------------------ *)
+
+let test_vm_entry_ok () =
+  let kvm, vm = host () in
+  check_bool "entry ok" true (Kvm.vm_entry kvm vm = Ok ());
+  check_bool "fault handled" true
+    (Kvm.deliver_guest_fault kvm vm ~vector:14 = Ok ())
+
+let test_vmcs_corruption_kills_vm_only () =
+  let kvm = Kvm.boot ~frames:2048 in
+  let victim = Kvm.create_vm kvm ~name:"victim" ~pages:64 in
+  let bystander = Kvm.create_vm kvm ~name:"bystander" ~pages:64 in
+  Phys_mem.write_u64 (Kvm.mem kvm) (Int64.add (Addr.maddr_of_mfn victim.Kvm.vmcs_mfn) 8L) 0xBADL;
+  check_bool "entry fails" true (Result.is_error (Kvm.vm_entry kvm victim));
+  check_bool "victim dead" true (victim.Kvm.state <> Kvm.Vm_running);
+  check_bool "bystander fine" true (Kvm.vm_entry kvm bystander = Ok ());
+  check_bool "stays dead" true (Result.is_error (Kvm.vm_entry kvm victim));
+  check_bool "console notes" true
+    (List.exists
+       (fun l ->
+         let needle = "VM-entry failed" in
+         let n = String.length needle and m = String.length l in
+         let rec go i = i + n <= m && (String.sub l i n = needle || go (i + 1)) in
+         go 0)
+       (Kvm.console kvm))
+
+let test_guest_idt_corruption_kills_guest_only () =
+  let kvm, vm = host () in
+  let idt_ma = Result.get_ok (Kvm.gpa_to_maddr kvm vm vm.Kvm.idt_gpa) in
+  Phys_mem.write_u64 (Kvm.mem kvm)
+    (Int64.add idt_ma (Int64.of_int (Idt.handler_offset 14)))
+    0x666L;
+  check_bool "guest panic" true (Result.is_error (Kvm.deliver_guest_fault kvm vm ~vector:14));
+  check_bool "vm dead" true (vm.Kvm.state <> Kvm.Vm_running);
+  (* other vectors were untouched but the VM is already gone *)
+  check_bool "still dead" true (Result.is_error (Kvm.deliver_guest_fault kvm vm ~vector:3))
+
+(* --- the ioctl injector ------------------------------------------------------ *)
+
+let test_injector_actions () =
+  let kvm, vm = host () in
+  let ma = Result.get_ok (Kvm.gpa_to_maddr kvm vm 0x7000L) in
+  let data = Bytes.create 8 in
+  Bytes.set_int64_le data 0 0x1122L;
+  check_bool "phys write" true
+    (Kvm.arbitrary_access kvm ~addr:ma Kvm.Write_host_physical ~data = Ok None);
+  (match Kvm.arbitrary_access kvm ~addr:ma Kvm.Read_host_physical ~data:(Bytes.create 8) with
+  | Ok (Some b) -> check_i64 "read back" 0x1122L (Bytes.get_int64_le b 0)
+  | _ -> Alcotest.fail "read");
+  (* linear action resolves through the host direct map *)
+  let lin = Layout.directmap_of_maddr ma in
+  (match Kvm.arbitrary_access kvm ~addr:lin Kvm.Read_host_linear ~data:(Bytes.create 8) with
+  | Ok (Some b) -> check_i64 "linear read" 0x1122L (Bytes.get_int64_le b 0)
+  | _ -> Alcotest.fail "linear read");
+  check_bool "oob refused" true
+    (Kvm.arbitrary_access kvm ~addr:0x7FFF_0000_0000L Kvm.Write_host_physical ~data
+    = Error Errno.EINVAL);
+  check_bool "empty refused" true
+    (Kvm.arbitrary_access kvm ~addr:ma Kvm.Read_host_physical ~data:Bytes.empty
+    = Error Errno.EINVAL)
+
+(* --- cross-system study -------------------------------------------------------- *)
+
+let rows = lazy (Ii_exploits.Cross_system.run ())
+
+let test_cross_system_all_inject () =
+  List.iter
+    (fun r -> check_bool (r.Ii_exploits.Cross_system.cs_system ^ " injected") true
+        r.Ii_exploits.Cross_system.cs_injected)
+    (Lazy.force rows)
+
+let test_cross_system_blast_radius () =
+  match Lazy.force rows with
+  | [ xen; kvm_idt; kvm_vmcs ] ->
+      check_bool "xen host dies" false xen.Ii_exploits.Cross_system.host_survives;
+      check_bool "kvm host survives idt" true kvm_idt.Ii_exploits.Cross_system.host_survives;
+      check_bool "kvm bystander survives idt" true
+        kvm_idt.Ii_exploits.Cross_system.bystander_survives;
+      check_bool "kvm host survives vmcs" true kvm_vmcs.Ii_exploits.Cross_system.host_survives;
+      check_bool "kvm bystander survives vmcs" true
+        kvm_vmcs.Ii_exploits.Cross_system.bystander_survives
+  | _ -> Alcotest.fail "three rows expected"
+
+let test_cross_system_shared_im () =
+  check_bool "one portable IM" true
+    (Ii_exploits.Cross_system.im.Ii_core.Intrusion_model.functionality
+    = Ii_core.Abusive_functionality.Write_unauthorized_arbitrary_memory)
+
+let () =
+  Alcotest.run "kvm"
+    [
+      ( "nested",
+        [
+          Alcotest.test_case "ept translate" `Quick test_ept_translate;
+          Alcotest.test_case "two-dimensional walk" `Quick test_two_dimensional_walk;
+          Alcotest.test_case "guest walk faults" `Quick test_guest_walk_faults;
+          Alcotest.test_case "vm isolation" `Quick test_vm_isolation;
+        ] );
+      ( "vmcs+idt",
+        [
+          Alcotest.test_case "vm entry ok" `Quick test_vm_entry_ok;
+          Alcotest.test_case "vmcs corruption kills vm only" `Quick
+            test_vmcs_corruption_kills_vm_only;
+          Alcotest.test_case "guest idt corruption kills guest only" `Quick
+            test_guest_idt_corruption_kills_guest_only;
+        ] );
+      ("injector", [ Alcotest.test_case "actions" `Quick test_injector_actions ]);
+      ( "cross_system",
+        [
+          Alcotest.test_case "all inject" `Quick test_cross_system_all_inject;
+          Alcotest.test_case "blast radius" `Quick test_cross_system_blast_radius;
+          Alcotest.test_case "shared IM" `Quick test_cross_system_shared_im;
+        ] );
+    ]

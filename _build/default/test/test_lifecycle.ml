@@ -1,0 +1,176 @@
+(* Tests for domain lifecycle control (Domctl) and save/restore
+   (Snapshot), including the erroneous-state-carrying-snapshot case. *)
+
+open Ii_xen
+open Ii_guest
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let host () =
+  let hv = Hv.boot ~version:Version.V4_8 ~frames:2048 in
+  let dom0 = Builder.create_domain hv ~name:"dom0" ~privileged:true ~pages:64 in
+  (hv, dom0)
+
+(* --- Domctl ---------------------------------------------------------------- *)
+
+let test_pause_unpause () =
+  let hv, _ = host () in
+  let g = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:64 in
+  check_bool "pause" true (Domctl.pause hv g = Ok ());
+  (* only dom0 runs now *)
+  let outcomes = List.init 4 (fun _ -> Hv.sched_tick hv) in
+  check_bool "guest never scheduled" true
+    (List.for_all (fun o -> o <> Sched.Scheduled g.Domain.id) outcomes);
+  check_bool "pause twice" true (Domctl.pause hv g = Error Errno.ENOENT);
+  check_bool "unpause" true (Domctl.unpause hv g = Ok ());
+  check_bool "unpause twice" true (Domctl.unpause hv g = Error Errno.EBUSY);
+  let outcomes = List.init 4 (fun _ -> Hv.sched_tick hv) in
+  check_bool "guest runs again" true
+    (List.exists (fun o -> o = Sched.Scheduled g.Domain.id) outcomes)
+
+let test_destroy_frees_everything () =
+  let hv, _ = host () in
+  let free_before = Phys_mem.free_frames hv.Hv.mem in
+  let g = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:64 in
+  (match Domctl.destroy hv g with
+  | Ok r ->
+      check_int "freed" 64 r.Domctl.freed;
+      check_int "no zombies" 0 (List.length r.Domctl.zombie)
+  | Error _ -> Alcotest.fail "destroy");
+  check_int "all frames reclaimed" free_before (Phys_mem.free_frames hv.Hv.mem);
+  check_int "delisted" 1 (List.length (Domctl.list_domains hv));
+  check_bool "counts consistent" true (Page_info.counts_consistent hv.Hv.pages);
+  check_bool "xenstore cleaned" true
+    (Xenstore.read hv.Hv.xenstore ~caller:0 (Xenstore.domain_path g.Domain.id "name")
+    = Error Errno.ENOENT)
+
+let test_destroy_protects_dom0 () =
+  let hv, dom0 = host () in
+  check_bool "dom0 protected" true (Domctl.destroy hv dom0 = Error Errno.EPERM)
+
+let test_destroy_then_recreate () =
+  let hv, _ = host () in
+  let g = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:96 in
+  ignore (Domctl.destroy hv g);
+  let g2 = Builder.create_domain hv ~name:"g2" ~privileged:false ~pages:96 in
+  (* the fresh domain is fully functional *)
+  check_bool "write works" true
+    (Result.is_ok
+       (Cpu.write_u64 hv.Hv.cpu ~ring:Cpu.Kernel ~cr3:g2.Domain.l4_mfn
+          (Domain.kernel_vaddr_of_pfn 5) 1L))
+
+let test_destroy_with_grant_leaves_zombie () =
+  let hv, dom0 = host () in
+  let g = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:64 in
+  (* g grants a page; dom0 maps it and installs a PTE (taking refs) *)
+  let granted_mfn = Option.get (Domain.mfn_of_pfn g 5) in
+  ignore (Grant_table.grant_access g.Domain.grant ~gref:0 ~grantee:0 ~mfn:granted_mfn ~readonly:false);
+  ignore (Grant_table.map g.Domain.grant ~granter:g.Domain.id ~mapper:0 ~gref:0);
+  let l1_dom0 =
+    match Paging.walk hv.Hv.mem ~cr3:dom0.Domain.l4_mfn (Domain.kernel_vaddr_of_pfn 0) with
+    | Ok tr -> (List.nth tr.Paging.path 3).Paging.table_mfn
+    | Error _ -> Alcotest.fail "walk"
+  in
+  let ptr = Int64.add (Addr.maddr_of_mfn l1_dom0) (Int64.of_int (8 * 200)) in
+  check_bool "dom0 maps granted page" true
+    (Mm.mmu_update hv dom0
+       ~updates:[ (ptr, Pte.make ~mfn:granted_mfn ~flags:[ Pte.Present; Pte.Rw; Pte.User ]) ]
+    = Ok 1);
+  match Domctl.destroy hv g with
+  | Ok r ->
+      check_int "one zombie" 1 (List.length r.Domctl.zombie);
+      check_bool "the granted frame" true (List.mem granted_mfn r.Domctl.zombie);
+      (* the zombie page still holds the old owner: dom0's mapping keeps
+         working and no one else gets handed the frame *)
+      check_bool "not reallocated" true (Phys_mem.owner hv.Hv.mem granted_mfn <> Phys_mem.Free)
+  | Error _ -> Alcotest.fail "destroy"
+
+(* --- Snapshot ----------------------------------------------------------------- *)
+
+let test_snapshot_roundtrip () =
+  let hv, _ = host () in
+  let g = Builder.create_domain hv ~name:"wanderer" ~privileged:false ~pages:64 in
+  (* write recognizable data *)
+  let mfn5 = Option.get (Domain.mfn_of_pfn g 5) in
+  Phys_mem.write_string hv.Hv.mem (Addr.maddr_of_mfn mfn5) "travelling-data";
+  Xenstore.inject_write hv.Hv.xenstore (Xenstore.domain_path g.Domain.id "app/state") "42";
+  let snap = Snapshot.capture hv g in
+  check_str "name" "wanderer" snap.Snapshot.s_name;
+  check_bool "payload present" true (List.mem_assoc 5 snap.Snapshot.s_data);
+  check_bool "no start_info page" true (not (List.mem_assoc 0 snap.Snapshot.s_data));
+  check_bool "no pt pages" true (not (List.mem_assoc 63 snap.Snapshot.s_data));
+  check_bool "xenstore captured" true (List.mem ("app/state", "42") snap.Snapshot.s_xenstore);
+  check_bool "sized" true (Snapshot.data_bytes snap > 0);
+  ignore (Domctl.destroy hv g);
+  (* restore on the same (or any) host *)
+  let g2 = Snapshot.restore hv snap in
+  check_bool "fresh domid" true (g2.Domain.id <> g.Domain.id);
+  let mfn5' = Option.get (Domain.mfn_of_pfn g2 5) in
+  check_str "data travelled" "travelling-data"
+    (Bytes.to_string (Phys_mem.read_bytes hv.Hv.mem (Addr.maddr_of_mfn mfn5') 15));
+  check_bool "xenstore replayed" true
+    (Xenstore.read hv.Hv.xenstore ~caller:0 (Xenstore.domain_path g2.Domain.id "app/state")
+    = Ok "42");
+  (* and the restored address space is fully functional *)
+  check_bool "kernel write" true
+    (Result.is_ok
+       (Cpu.write_u64 hv.Hv.cpu ~ring:Cpu.Kernel ~cr3:g2.Domain.l4_mfn
+          (Domain.kernel_vaddr_of_pfn 6) 7L))
+
+let test_snapshot_start_info_is_fresh () =
+  let hv, _ = host () in
+  let g = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:64 in
+  let snap = Snapshot.capture hv g in
+  ignore (Domctl.destroy hv g);
+  let g2 = Snapshot.restore hv snap in
+  (* pt_base in the restored start_info names the NEW page tables *)
+  let si_mfn = Option.get (Domain.mfn_of_pfn g2 0) in
+  let pt_base =
+    Frame.get_u64 (Phys_mem.frame hv.Hv.mem si_mfn) Builder.Start_info.pt_base_off
+  in
+  check_bool "fresh pt_base" true (Int64.to_int pt_base = g2.Domain.l4_mfn)
+
+let test_infected_snapshot_carries_the_state () =
+  (* the §III-C porting scenario made literal: a backdoored vDSO
+     survives save/restore onto a pristine host and fires there *)
+  let tb = Testbed.create Version.V4_8 in
+  let hv = tb.Testbed.hv in
+  let victim = tb.Testbed.victim in
+  let frame = Phys_mem.frame hv.Hv.mem (Kernel.vdso_mfn victim) in
+  Frame.write_bytes frame Builder.Vdso.code_off
+    (Kernel.Backdoor.encode (Kernel.Backdoor.Run_as_root "echo pwned > /tmp/ported"));
+  let snap = Snapshot.capture hv (Kernel.dom victim) in
+  (* a brand-new host, same version, never attacked *)
+  let tb2 = Testbed.create Version.V4_8 in
+  let restored_dom = Snapshot.restore tb2.Testbed.hv snap in
+  let restored = Kernel.create tb2.Testbed.hv restored_dom tb2.Testbed.net in
+  check_bool "clean before tick" false (Fs.exists (Kernel.fs restored) "/tmp/ported");
+  Kernel.tick restored;
+  match Fs.read (Kernel.fs restored) "/tmp/ported" with
+  | Some f ->
+      check_int "runs as root on the new host" 0 f.Fs.uid;
+      check_str "payload output" "pwned" f.Fs.content
+  | None -> Alcotest.fail "ported erroneous state did not fire"
+
+let () =
+  Alcotest.run "lifecycle"
+    [
+      ( "domctl",
+        [
+          Alcotest.test_case "pause/unpause" `Quick test_pause_unpause;
+          Alcotest.test_case "destroy frees everything" `Quick test_destroy_frees_everything;
+          Alcotest.test_case "destroy protects dom0" `Quick test_destroy_protects_dom0;
+          Alcotest.test_case "destroy then recreate" `Quick test_destroy_then_recreate;
+          Alcotest.test_case "active grant leaves zombie" `Quick
+            test_destroy_with_grant_leaves_zombie;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "start_info rebuilt fresh" `Quick test_snapshot_start_info_is_fresh;
+          Alcotest.test_case "infected snapshot carries the state" `Quick
+            test_infected_snapshot_carries_the_state;
+        ] );
+    ]

@@ -1,0 +1,195 @@
+(* Tests for the management-interface substrate and intrusion model:
+   XenStore permissions, the dom0 toolstack, the guest balloon driver,
+   and the injected-tampering erroneous state. *)
+
+open Ii_xen
+open Ii_guest
+open Ii_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+(* --- Xenstore ------------------------------------------------------------ *)
+
+let test_xenstore_paths () =
+  check_str "domain path" "/local/domain/3/memory/target" (Xenstore.domain_path 3 "memory/target")
+
+let test_xenstore_permissions () =
+  let xs = Xenstore.create () in
+  (* dom0 writes anywhere *)
+  check_bool "dom0 write" true (Xenstore.write xs ~caller:0 "/local/domain/2/name" "g" = Ok ());
+  check_bool "dom0 read" true (Xenstore.read xs ~caller:0 "/local/domain/2/name" = Ok "g");
+  (* a guest only within its own subtree *)
+  check_bool "own write" true (Xenstore.write xs ~caller:2 "/local/domain/2/data/x" "1" = Ok ());
+  check_bool "foreign write refused" true
+    (Xenstore.write xs ~caller:2 "/local/domain/1/memory/target" "0" = Error Errno.EACCES);
+  check_bool "foreign read refused" true
+    (Xenstore.read xs ~caller:2 "/local/domain/1/name" = Error Errno.EACCES);
+  check_bool "missing" true (Xenstore.read xs ~caller:2 "/local/domain/2/nope" = Error Errno.ENOENT)
+
+let test_xenstore_rm_and_list () =
+  let xs = Xenstore.create () in
+  ignore (Xenstore.write xs ~caller:0 "/local/domain/1/a" "1");
+  ignore (Xenstore.write xs ~caller:0 "/local/domain/1/b" "2");
+  ignore (Xenstore.write xs ~caller:0 "/local/domain/2/c" "3");
+  (match Xenstore.list_prefix xs ~caller:0 "/local/domain/1/" with
+  | Ok l -> Alcotest.(check (list string)) "list" [ "/local/domain/1/a"; "/local/domain/1/b" ] l
+  | Error _ -> Alcotest.fail "list");
+  check_bool "guest list own" true
+    (Xenstore.list_prefix xs ~caller:1 "/local/domain/1/" = Ok [ "/local/domain/1/a"; "/local/domain/1/b" ]);
+  check_bool "guest list foreign refused" true
+    (Xenstore.list_prefix xs ~caller:1 "/local/domain/2/" = Error Errno.EACCES);
+  check_bool "rm" true (Xenstore.rm xs ~caller:0 "/local/domain/1/a" = Ok ());
+  check_bool "rm gone" true (Xenstore.rm xs ~caller:0 "/local/domain/1/a" = Error Errno.ENOENT);
+  check_int "dump" 2 (List.length (Xenstore.dump xs))
+
+let test_xenstore_inject_bypasses_perms () =
+  let xs = Xenstore.create () in
+  Xenstore.inject_write xs "/local/domain/1/memory/target" "16";
+  check_bool "landed" true (Xenstore.read xs ~caller:0 "/local/domain/1/memory/target" = Ok "16")
+
+(* --- Toolstack ----------------------------------------------------------- *)
+
+let tb () = Testbed.create Version.V4_8
+
+let test_builder_seeds_xenstore () =
+  let tb = tb () in
+  let hv = tb.Testbed.hv in
+  check_bool "name node" true
+    (Xenstore.read hv.Hv.xenstore ~caller:0 (Xenstore.domain_path 2 "name") = Ok "guest03");
+  check_bool "target node" true (Toolstack.memory_target hv ~domid:2 = Some 96)
+
+let test_toolstack_set_target () =
+  let tb = tb () in
+  let victim_id = Kernel.domid tb.Testbed.victim in
+  check_bool "dom0 sets target" true
+    (Toolstack.set_memory_target tb.Testbed.dom0 ~domid:victim_id ~pages:80 = Ok ());
+  check_bool "visible" true (Toolstack.memory_target tb.Testbed.hv ~domid:victim_id = Some 80);
+  (* an unprivileged guest cannot *)
+  check_bool "attacker refused" true
+    (Toolstack.set_memory_target tb.Testbed.attacker ~domid:victim_id ~pages:1
+    = Error Errno.EACCES)
+
+let test_toolstack_name_and_list () =
+  let tb = tb () in
+  check_bool "name" true (Toolstack.guest_name tb.Testbed.dom0 ~domid:2 = Ok "guest03");
+  match Toolstack.list_domain_nodes tb.Testbed.dom0 with
+  | Ok l -> check_int "six nodes (3 domains x 2)" 6 (List.length l)
+  | Error _ -> Alcotest.fail "list"
+
+(* --- Balloon driver -------------------------------------------------------- *)
+
+let test_balloon_honours_target () =
+  let tb = tb () in
+  let victim = tb.Testbed.victim in
+  let victim_id = Kernel.domid victim in
+  let before = List.length (Domain.populated_pfns (Kernel.dom victim)) in
+  ignore (Toolstack.set_memory_target tb.Testbed.dom0 ~domid:victim_id ~pages:(before - 10));
+  Kernel.tick victim;
+  let after = List.length (Domain.populated_pfns (Kernel.dom victim)) in
+  check_int "released ten pages" (before - 10) after;
+  check_bool "logged" true
+    (List.exists
+       (fun l ->
+         let rec contains i =
+           i + 7 <= String.length l && (String.sub l i 7 = "balloon" || contains (i + 1))
+         in
+         contains 0)
+       (Kernel.klog victim))
+
+let test_balloon_never_releases_pt_or_special_pages () =
+  let tb = tb () in
+  let victim = tb.Testbed.victim in
+  let dom = Kernel.dom victim in
+  ignore (Toolstack.set_memory_target tb.Testbed.dom0 ~domid:(Kernel.domid victim) ~pages:1);
+  for _ = 1 to 5 do
+    Kernel.tick victim
+  done;
+  (* special pages and the page tables must survive any target *)
+  check_bool "start_info" true (Domain.mfn_of_pfn dom 0 <> None);
+  check_bool "vdso" true (Domain.mfn_of_pfn dom 1 <> None);
+  List.iter
+    (fun mfn ->
+      check_bool "pt page survives" true
+        (Phys_mem.owner tb.Testbed.hv.Hv.mem mfn = Domain.owned dom
+        || Phys_mem.owner tb.Testbed.hv.Hv.mem mfn = Phys_mem.Xen))
+    dom.Domain.pt_pages;
+  (* the kernel stays functional *)
+  check_bool "kernel alive" true (Result.is_ok (Kernel.read_u64 victim (Kernel.start_info_vaddr victim)))
+
+let test_balloon_stable_at_target () =
+  let tb = tb () in
+  let victim = tb.Testbed.victim in
+  ignore (Toolstack.set_memory_target tb.Testbed.dom0 ~domid:(Kernel.domid victim) ~pages:90);
+  Kernel.tick victim;
+  let a = List.length (Domain.populated_pfns (Kernel.dom victim)) in
+  Kernel.tick victim;
+  let b = List.length (Domain.populated_pfns (Kernel.dom victim)) in
+  check_int "no further release" a b
+
+(* --- the management-interface intrusion model ------------------------------ *)
+
+let test_injected_tampering_causes_availability_violation () =
+  let tb = tb () in
+  let victim = tb.Testbed.victim in
+  let victim_id = Kernel.domid victim in
+  let path = Xenstore.domain_path victim_id "memory/target" in
+  let spec = Erroneous_state.Xenstore_tampered { path; legitimate = "96" } in
+  check_bool "clean" false (Erroneous_state.audit tb.Testbed.hv spec).Erroneous_state.holds;
+  let before = Monitor.snapshot tb in
+  (* the injection: a compromised management plane shrinks the victim *)
+  Xenstore.inject_write tb.Testbed.hv.Hv.xenstore path "40";
+  check_bool "state audited" true (Erroneous_state.audit tb.Testbed.hv spec).Erroneous_state.holds;
+  Testbed.tick_all tb;
+  let after = Monitor.snapshot tb in
+  let violations = Monitor.violations ~before ~after in
+  check_bool "availability violation" true
+    (List.exists
+       (function Monitor.Availability_degradation _ -> true | _ -> false)
+       violations)
+
+let test_legitimate_ballooning_is_not_an_intrusion () =
+  (* The same state change via the *authorized* path still registers as
+     availability pressure — the monitor reports effects, and the audit
+     distinguishes tampering by comparing against the recorded
+     legitimate value, which dom0 updates. *)
+  let tb = tb () in
+  let victim_id = Kernel.domid tb.Testbed.victim in
+  ignore (Toolstack.set_memory_target tb.Testbed.dom0 ~domid:victim_id ~pages:40);
+  let path = Xenstore.domain_path victim_id "memory/target" in
+  let spec = Erroneous_state.Xenstore_tampered { path; legitimate = "40" } in
+  check_bool "not tampered vs updated baseline" false
+    (Erroneous_state.audit tb.Testbed.hv spec).Erroneous_state.holds
+
+let () =
+  Alcotest.run "management"
+    [
+      ( "xenstore",
+        [
+          Alcotest.test_case "paths" `Quick test_xenstore_paths;
+          Alcotest.test_case "permissions" `Quick test_xenstore_permissions;
+          Alcotest.test_case "rm and list" `Quick test_xenstore_rm_and_list;
+          Alcotest.test_case "inject bypasses perms" `Quick test_xenstore_inject_bypasses_perms;
+        ] );
+      ( "toolstack",
+        [
+          Alcotest.test_case "builder seeds xenstore" `Quick test_builder_seeds_xenstore;
+          Alcotest.test_case "set target" `Quick test_toolstack_set_target;
+          Alcotest.test_case "name and list" `Quick test_toolstack_name_and_list;
+        ] );
+      ( "balloon",
+        [
+          Alcotest.test_case "honours target" `Quick test_balloon_honours_target;
+          Alcotest.test_case "spares pt/special pages" `Quick
+            test_balloon_never_releases_pt_or_special_pages;
+          Alcotest.test_case "stable at target" `Quick test_balloon_stable_at_target;
+        ] );
+      ( "intrusion_model",
+        [
+          Alcotest.test_case "injected tampering violates availability" `Quick
+            test_injected_tampering_causes_availability_violation;
+          Alcotest.test_case "legitimate ballooning distinguished" `Quick
+            test_legitimate_ballooning_is_not_an_intrusion;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Remaining behavioural corners: multi-L1 domains, layout boundaries,
+   rendering edge cases, and small-surface modules. *)
+
+open Ii_xen
+open Ii_guest
+open Ii_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_str = Alcotest.(check string)
+
+let contains line needle =
+  let n = String.length needle and m = String.length line in
+  let rec go i = i + n <= m && (String.sub line i n = needle || go (i + 1)) in
+  go 0
+
+(* --- large domains (multiple kernel L1 tables) --------------------------- *)
+
+let test_builder_multi_l1 () =
+  let hv = Hv.boot ~version:Version.V4_6 ~frames:4096 in
+  let g = Builder.create_domain hv ~name:"big" ~privileged:false ~pages:600 in
+  check_int "pt pages (1 l4 + 1 l3k + 1 l2k + 2 l1k + 3 user + 3 m2p)" 11
+    (List.length g.Domain.pt_pages);
+  let readable pfn =
+    Result.is_ok
+      (Cpu.read_u64 hv.Hv.cpu ~ring:Cpu.Kernel ~cr3:g.Domain.l4_mfn
+         (Domain.kernel_vaddr_of_pfn pfn))
+  in
+  check_bool "last pfn of first L1" true (readable 511);
+  check_bool "first pfn of second L1" true (readable 512);
+  check_bool "beyond the domain" false (readable 600);
+  check_bool "counts consistent" true (Page_info.counts_consistent hv.Hv.pages);
+  (* the big domain tears down cleanly too *)
+  (match Domctl.destroy hv g with
+  | Ok r -> check_int "all pages freed" 600 r.Domctl.freed
+  | Error _ -> Alcotest.fail "destroy");
+  check_bool "still consistent" true (Page_info.counts_consistent hv.Hv.pages)
+
+let test_builder_rejects_tiny_domains () =
+  let hv = Hv.boot ~version:Version.V4_6 ~frames:512 in
+  Alcotest.check_raises "too small"
+    (Invalid_argument "Builder.create_domain: domain too small") (fun () ->
+      ignore (Builder.create_domain hv ~name:"tiny" ~privileged:false ~pages:5))
+
+(* --- layout boundaries ------------------------------------------------------ *)
+
+let test_layout_slot_boundaries () =
+  (* the last byte of the M2P half and the first byte of the linear
+     window sit in different regions of the same L4 slot *)
+  let last_m2p = Int64.sub Layout.linear_pt_base 8L in
+  check_bool "m2p side" true (Layout.region_of_vaddr last_m2p = Layout.M2p);
+  check_bool "linear side" true (Layout.region_of_vaddr Layout.linear_pt_base = Layout.Linear_pt);
+  (* slot 271/272: direct map ends where the guest kernel area begins *)
+  let last_dm = Int64.sub Layout.guest_kernel_base 8L in
+  check_bool "directmap side" true (Layout.region_of_vaddr last_dm = Layout.Direct_map);
+  check_bool "kernel side" true
+    (Layout.region_of_vaddr Layout.guest_kernel_base = Layout.Guest_kernel)
+
+(* --- rendering edges --------------------------------------------------------- *)
+
+let test_report_ragged_rows () =
+  let s = Report.table ~header:[ "a"; "b"; "c" ] [ [ "1" ]; [ "1"; "2"; "3"; "4" ] ] in
+  (* short rows pad, long rows keep their extra column *)
+  check_bool "renders" true (String.length s > 0);
+  check_bool "grid intact" true (contains s "| 1 |")
+
+let test_violation_strings () =
+  List.iter
+    (fun (v, needle) -> check_bool needle true (contains (Monitor.violation_to_string v) needle))
+    [
+      (Monitor.Hypervisor_crash "x", "crash");
+      (Monitor.Privilege_escalation "x", "escalation");
+      (Monitor.Unauthorized_disclosure "x", "disclosure");
+      (Monitor.Integrity_violation "x", "integrity");
+      (Monitor.Guest_crash "x", "guest crash");
+      (Monitor.Availability_degradation "x", "availability");
+    ]
+
+let test_campaign_mode_strings () =
+  check_str "exploit" "exploit" (Campaign.mode_to_string Campaign.Real_exploit);
+  check_str "injection" "injection" (Campaign.mode_to_string Campaign.Injection)
+
+let test_erroneous_state_describe_all () =
+  List.iter
+    (fun spec -> check_bool "non-empty" true (String.length (Erroneous_state.describe spec) > 10))
+    [
+      Erroneous_state.Idt_gate_corrupted { vector = 14 };
+      Erroneous_state.Pud_entry_links_pmd { pud_mfn = 1; index = 2; pmd_mfn = 3 };
+      Erroneous_state.L2_pse_mapping { l2_mfn = 1; index = 2 };
+      Erroneous_state.L4_selfmap_writable { l4_mfn = 1; slot = 258 };
+      Erroneous_state.Page_kept_after_release { domid = 1; mfn = 2 };
+      Erroneous_state.Interrupt_storm { domid = 1; min_pending = 8 };
+      Erroneous_state.Xenstore_tampered { path = "/x"; legitimate = "1" };
+      Erroneous_state.Vcpu_hung { domid = 1 };
+    ]
+
+(* --- netsim corners ----------------------------------------------------------- *)
+
+let test_netsim_multiple_listeners_and_connections () =
+  let net = Netsim.create () in
+  Netsim.listen net ~host:"a" ~port:80;
+  Netsim.listen net ~host:"a" ~port:443;
+  Netsim.listen net ~host:"a" ~port:80 (* idempotent *);
+  let connect port =
+    Netsim.connect net ~from_host:"c" ~from_ip:"10.0.0.9" ~host:"a" ~port ~uid:1000
+      ~exec:(fun _ -> "")
+  in
+  check_bool "80" true (Result.is_ok (connect 80));
+  check_bool "443" true (Result.is_ok (connect 443));
+  check_bool "80 again" true (Result.is_ok (connect 80));
+  check_int "two on 80" 2 (List.length (Netsim.connections_to net ~host:"a" ~port:80));
+  check_int "one on 443" 1 (List.length (Netsim.connections_to net ~host:"a" ~port:443));
+  check_int "none on 22" 0 (List.length (Netsim.connections_to net ~host:"a" ~port:22))
+
+(* --- intrusion-model printers --------------------------------------------------- *)
+
+let test_im_interface_strings () =
+  check_bool "hypercall" true
+    (contains (Intrusion_model.interface_to_string (Intrusion_model.Hypercall_interface "x")) "x");
+  check_bool "device" true
+    (contains (Intrusion_model.interface_to_string (Intrusion_model.Device_emulation "fdc")) "fdc");
+  check_bool "instruction" true
+    (String.length (Intrusion_model.interface_to_string Intrusion_model.Instruction_interception) > 0);
+  List.iter
+    (fun s -> check_bool "source" true (String.length (Intrusion_model.source_to_string s) > 0))
+    [
+      Intrusion_model.Unprivileged_guest;
+      Intrusion_model.Privileged_guest;
+      Intrusion_model.Guest_userspace;
+      Intrusion_model.Device_driver;
+      Intrusion_model.Management_interface;
+    ];
+  List.iter
+    (fun t -> check_bool "target" true (String.length (Intrusion_model.target_to_string t) > 0))
+    [
+      Intrusion_model.Memory_management_component;
+      Intrusion_model.Interrupt_virtualization;
+      Intrusion_model.Grant_tables_component;
+      Intrusion_model.Device_model;
+      Intrusion_model.Scheduler_component;
+    ]
+
+(* --- abusive-functionality classes are exhaustive -------------------------------- *)
+
+let test_af_class_partition () =
+  let classes = List.map Abusive_functionality.cls_of Abusive_functionality.all in
+  List.iter
+    (fun cls -> check_bool "class used" true (List.mem cls classes))
+    Abusive_functionality.cls_all;
+  check_int "class sizes sum" (List.length Abusive_functionality.all) (List.length classes)
+
+let () =
+  Alcotest.run "misc"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "multi-L1 domain" `Quick test_builder_multi_l1;
+          Alcotest.test_case "rejects tiny domains" `Quick test_builder_rejects_tiny_domains;
+        ] );
+      ("layout", [ Alcotest.test_case "slot boundaries" `Quick test_layout_slot_boundaries ]);
+      ( "rendering",
+        [
+          Alcotest.test_case "ragged rows" `Quick test_report_ragged_rows;
+          Alcotest.test_case "violation strings" `Quick test_violation_strings;
+          Alcotest.test_case "mode strings" `Quick test_campaign_mode_strings;
+          Alcotest.test_case "state descriptions" `Quick test_erroneous_state_describe_all;
+        ] );
+      ( "netsim",
+        [ Alcotest.test_case "multiple listeners" `Quick test_netsim_multiple_listeners_and_connections ] );
+      ( "intrusion_model",
+        [
+          Alcotest.test_case "interface strings" `Quick test_im_interface_strings;
+          Alcotest.test_case "class partition" `Quick test_af_class_partition;
+        ] );
+    ]

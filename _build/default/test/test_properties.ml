@@ -1,0 +1,267 @@
+(* Cross-cutting property tests: structural invariants that must hold
+   for arbitrary inputs, checked with qcheck. *)
+
+open Ii_xen
+open Ii_guest
+open Ii_core
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+(* --- Layout ------------------------------------------------------------- *)
+
+let arb_canonical =
+  QCheck.map
+    (fun (hi, lo) ->
+      Addr.canonical (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo)))
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 0x3FFF_FFFF))
+
+let prop_layout_total =
+  QCheck.Test.make ~name:"every canonical address has exactly one region" ~count:2000
+    arb_canonical
+    (fun va ->
+      (* region_of_vaddr is total and stable *)
+      Layout.region_of_vaddr va = Layout.region_of_vaddr va)
+
+let access_rank = function Layout.No_access -> 0 | Layout.Read_only -> 1 | Layout.Read_write -> 2
+
+let prop_hardening_monotone =
+  QCheck.Test.make ~name:"hardening never grants access it previously denied" ~count:2000
+    arb_canonical
+    (fun va ->
+      access_rank (Layout.guest_access ~hardened:true va)
+      <= access_rank (Layout.guest_access ~hardened:false va))
+
+let prop_guest_and_hyp_disjoint_on_writes =
+  QCheck.Test.make ~name:"no address is writable by both guest policy and hypervisor policy"
+    ~count:2000 arb_canonical
+    (fun va ->
+      not
+        (Layout.guest_access ~hardened:false va = Layout.Read_write
+        && Layout.hypervisor_access va = Layout.Read_write))
+
+let prop_directmap_roundtrip =
+  QCheck.Test.make ~name:"directmap_of_maddr/maddr_of_directmap roundtrip" ~count:1000
+    QCheck.(int_bound 0x3FFF_FFFF)
+    (fun off ->
+      let ma = Int64.of_int off in
+      Layout.maddr_of_directmap (Layout.directmap_of_maddr ma) = Some ma)
+
+(* --- Pte ------------------------------------------------------------------ *)
+
+let arb_pte =
+  QCheck.map
+    (fun (mfn, bits) ->
+      let flags =
+        List.filteri
+          (fun i _ -> bits land (1 lsl i) <> 0)
+          [ Pte.Present; Pte.Rw; Pte.User; Pte.Pse; Pte.Nx; Pte.Accessed; Pte.Dirty; Pte.Global ]
+      in
+      Pte.make ~mfn ~flags)
+    QCheck.(pair (int_bound 0xFFFFF) (int_bound 255))
+
+let prop_flags_equal_modulo_reflexive =
+  QCheck.Test.make ~name:"flags_equal_modulo is reflexive" ~count:500 arb_pte (fun e ->
+      Pte.flags_equal_modulo ~ignore:[] e e)
+
+let prop_flags_equal_modulo_ignores =
+  QCheck.Test.make ~name:"toggling an ignored flag preserves equality-modulo" ~count:500 arb_pte
+    (fun e ->
+      let e' = if Pte.test Pte.Rw e then Pte.clear Pte.Rw e else Pte.set Pte.Rw e in
+      Pte.flags_equal_modulo ~ignore:[ Pte.Rw ] e e'
+      && not (Pte.flags_equal_modulo ~ignore:[] e e'))
+
+(* --- Grant-table wire entries ---------------------------------------------- *)
+
+let prop_grant_wire_roundtrip =
+  QCheck.Test.make ~name:"grant wire entry roundtrip" ~count:500
+    QCheck.(triple (int_bound 0xFFFF) (int_bound 0xFFFF) (int_bound 0xFFFFFF))
+    (fun (flags, domid, gfn) ->
+      let frame = Frame.create () in
+      let e = { Grant_table.Wire.w_flags = flags; w_domid = domid; w_gfn = gfn } in
+      Grant_table.Wire.write frame 7 e;
+      Grant_table.Wire.read frame 7 = e)
+
+(* --- Backdoor blob --------------------------------------------------------- *)
+
+let prop_backdoor_roundtrip =
+  QCheck.Test.make ~name:"backdoor encode/decode roundtrip" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_bound 30) Gen.printable)
+    (fun cmd ->
+      Kernel.Backdoor.decode (Kernel.Backdoor.encode (Kernel.Backdoor.Run_as_root cmd))
+      = Some (Kernel.Backdoor.Run_as_root cmd))
+
+let prop_backdoor_rejects_noise =
+  QCheck.Test.make ~name:"backdoor decode rejects random bytes without the magic" ~count:300
+    QCheck.(string_gen_of_size (Gen.int_bound 30) Gen.char)
+    (fun s ->
+      let blob = Bytes.of_string s in
+      if Bytes.length blob >= 4 && Bytes.sub_string blob 0 4 = Kernel.Backdoor.magic then true
+      else Kernel.Backdoor.decode blob = None)
+
+(* --- Shell ------------------------------------------------------------------- *)
+
+let prop_shell_total =
+  QCheck.Test.make ~name:"shell never raises" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_bound 30) Gen.printable)
+    (fun cmd ->
+      let ctx = { Shell.hostname = "h"; fs = Fs.create (); uid = 1000 } in
+      ignore (Shell.run ctx cmd);
+      true)
+
+(* --- Mm: random valid operation sequences keep the books straight ----------- *)
+
+type mm_op = Unmap of int | Remap of int | Exchange of int | Decrease of int | Pin_unpin
+
+let arb_ops =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 20)
+        (oneof
+           [
+             map (fun p -> Unmap (3 + (p mod 20))) (int_bound 100);
+             map (fun p -> Remap (3 + (p mod 20))) (int_bound 100);
+             map (fun p -> Exchange (3 + (p mod 20))) (int_bound 100);
+             map (fun p -> Decrease (3 + (p mod 20))) (int_bound 100);
+             return Pin_unpin;
+           ]))
+  in
+  QCheck.make gen
+
+let prop_mm_sequences_consistent =
+  QCheck.Test.make ~name:"valid op sequences keep counts consistent and M2P inverse" ~count:60
+    arb_ops
+    (fun ops ->
+      let hv = Hv.boot ~version:Version.V4_6 ~frames:512 in
+      let dom = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:32 in
+      let kva pfn = Domain.kernel_vaddr_of_pfn pfn in
+      let l1 =
+        match Paging.walk hv.Hv.mem ~cr3:dom.Domain.l4_mfn (kva 0) with
+        | Ok tr -> (List.nth tr.Paging.path 3).Paging.table_mfn
+        | Error _ -> assert false
+      in
+      List.iter
+        (fun op ->
+          match op with
+          | Unmap pfn -> ignore (Mm.update_va_mapping hv dom ~va:(kva pfn) Pte.none)
+          | Remap pfn -> (
+              match Domain.mfn_of_pfn dom pfn with
+              | Some mfn ->
+                  ignore
+                    (Mm.update_va_mapping hv dom ~va:(kva pfn)
+                       (Pte.make ~mfn ~flags:[ Pte.Present; Pte.Rw; Pte.User ]))
+              | None -> ())
+          | Exchange pfn ->
+              ignore (Mm.update_va_mapping hv dom ~va:(kva pfn) Pte.none);
+              ignore
+                (Memory_exchange.exchange hv dom
+                   { Memory_exchange.in_pfns = [ pfn ]; out_extent_start = kva 3 })
+          | Decrease pfn ->
+              ignore (Mm.update_va_mapping hv dom ~va:(kva pfn) Pte.none);
+              ignore (Mm.decrease_reservation hv dom [ pfn ])
+          | Pin_unpin ->
+              ignore (Mm.pin_table hv dom ~level:1 l1);
+              ignore (Mm.unpin_table hv dom l1))
+        ops;
+      Page_info.counts_consistent hv.Hv.pages
+      && List.for_all
+           (fun pfn ->
+             match Domain.mfn_of_pfn dom pfn with
+             | None -> true
+             | Some mfn -> Hv.m2p_lookup hv mfn = Some pfn)
+           (Domain.populated_pfns dom)
+      && not (Hv.is_crashed hv))
+
+(* --- Abi: random registers never raise -------------------------------------- *)
+
+let prop_abi_total =
+  QCheck.Test.make ~name:"raw hypercalls never raise on arbitrary registers" ~count:150
+    QCheck.(
+      quad (int_bound 45) (map Int64.of_int int) (map Int64.of_int int) (map Int64.of_int int))
+    (fun (number, rdi, rsi, rdx) ->
+      let hv = Hv.boot ~version:Version.V4_8 ~frames:256 in
+      let dom = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:16 in
+      ignore (Abi.dispatch hv dom ~number ~rdi ~rsi ~rdx ());
+      true)
+
+(* --- Snapshot ----------------------------------------------------------------- *)
+
+let prop_snapshot_idempotent =
+  QCheck.Test.make ~name:"capture/restore/capture preserves the data payload" ~count:30
+    QCheck.(small_list (pair (int_bound 15) (map Int64.of_int int)))
+    (fun writes ->
+      let hv = Hv.boot ~version:Version.V4_8 ~frames:1024 in
+      let g = Builder.create_domain hv ~name:"g" ~privileged:false ~pages:32 in
+      List.iter
+        (fun (pfn, v) ->
+          let pfn = 3 + pfn in
+          match Domain.mfn_of_pfn g pfn with
+          | Some mfn -> Phys_mem.write_u64 hv.Hv.mem (Addr.maddr_of_mfn mfn) v
+          | None -> ())
+        writes;
+      let snap = Snapshot.capture hv g in
+      ignore (Domctl.destroy hv g);
+      let g2 = Snapshot.restore hv snap in
+      let snap2 = Snapshot.capture hv g2 in
+      snap.Snapshot.s_data = snap2.Snapshot.s_data)
+
+(* --- Nested paging: the two dimensions compose ------------------------------- *)
+
+let prop_nested_composition =
+  QCheck.Test.make ~name:"2D walk = guest-dimension then EPT" ~count:50
+    QCheck.(pair (int_bound 55) (map Int64.of_int int))
+    (fun (gpfn, v) ->
+      let kvm = Ii_kvm.Kvm.boot ~frames:1024 in
+      let vm = Ii_kvm.Kvm.create_vm kvm ~name:"p" ~pages:60 in
+      let va = Int64.add Layout.guest_kernel_base (Int64.of_int (gpfn * Addr.page_size)) in
+      match Ii_kvm.Kvm.guest_write_u64 kvm vm va v with
+      | Error _ -> gpfn >= 60 (* only unmapped gpfns may fail *)
+      | Ok () -> (
+          (* the same word must be visible through the EPT alone *)
+          match Ii_kvm.Kvm.gpa_to_maddr kvm vm (Int64.of_int (gpfn * Addr.page_size)) with
+          | Ok ma -> Phys_mem.read_u64 (Ii_kvm.Kvm.mem kvm) ma = v
+          | Error _ -> false))
+
+let prop_nested_isolation =
+  QCheck.Test.make ~name:"same gpa in two VMs never shares a host frame" ~count:30
+    QCheck.(int_bound 55)
+    (fun gpfn ->
+      let kvm = Ii_kvm.Kvm.boot ~frames:1024 in
+      let a = Ii_kvm.Kvm.create_vm kvm ~name:"a" ~pages:60 in
+      let b = Ii_kvm.Kvm.create_vm kvm ~name:"b" ~pages:60 in
+      let gpa = Int64.of_int (gpfn * Addr.page_size) in
+      match (Ii_kvm.Kvm.gpa_to_maddr kvm a gpa, Ii_kvm.Kvm.gpa_to_maddr kvm b gpa) with
+      | Ok ma, Ok mb -> ma <> mb
+      | _ -> false)
+
+(* --- Random campaign: tally is a partition ------------------------------------ *)
+
+let prop_campaign_partition =
+  QCheck.Test.make ~name:"campaign tallies partition the trials" ~count:10
+    QCheck.(int_bound 1000)
+    (fun seed ->
+      let s =
+        Random_campaign.run ~seed:(Int64.of_int (seed + 1)) ~trials:20 Version.V4_8
+      in
+      List.fold_left (fun a (_, n) -> a + n) 0 s.Random_campaign.tally = 20)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "layout",
+        qsuite
+          [
+            prop_layout_total;
+            prop_hardening_monotone;
+            prop_guest_and_hyp_disjoint_on_writes;
+            prop_directmap_roundtrip;
+          ] );
+      ("pte", qsuite [ prop_flags_equal_modulo_reflexive; prop_flags_equal_modulo_ignores ]);
+      ("grant_wire", qsuite [ prop_grant_wire_roundtrip ]);
+      ("backdoor", qsuite [ prop_backdoor_roundtrip; prop_backdoor_rejects_noise ]);
+      ("shell", qsuite [ prop_shell_total ]);
+      ("mm", qsuite [ prop_mm_sequences_consistent ]);
+      ("abi", qsuite [ prop_abi_total ]);
+      ("snapshot", qsuite [ prop_snapshot_idempotent ]);
+      ("nested", qsuite [ prop_nested_composition; prop_nested_isolation ]);
+      ("campaign", qsuite [ prop_campaign_partition ]);
+    ]
