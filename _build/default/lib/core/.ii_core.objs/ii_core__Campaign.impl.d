@@ -1,1 +1,1 @@
-lib/core/campaign.ml: Abusive_functionality Erroneous_state Injector Intrusion_model List Monitor Printf Report Testbed Version
+lib/core/campaign.ml: Abusive_functionality Erroneous_state Hashtbl Injector Intrusion_model List Monitor Printf Report Shard Testbed Version

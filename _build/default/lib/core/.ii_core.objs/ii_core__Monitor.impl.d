@@ -1,1 +1,1 @@
-lib/core/monitor.ml: Addr Domain Event_channel Format Frame Fs Hv Int64 Kernel Layout List Netsim Option Page_info Phys_mem Printf Pte Sched String Testbed
+lib/core/monitor.ml: Addr Domain Event_channel Format Frame Fs Hashtbl Hv Int64 Kernel Layout List Netsim Option Page_info Phys_mem Printf Pte Sched String Testbed

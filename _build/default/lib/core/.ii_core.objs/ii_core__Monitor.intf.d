@@ -1,1 +1,1 @@
-lib/core/monitor.mli: Domain Format Hv Testbed
+lib/core/monitor.mli: Addr Domain Format Hashtbl Hv Testbed

@@ -1,1 +1,1 @@
-lib/core/random_campaign.ml: Addr Array Domain Event_channel Hv Hypercall Idt Injector Int64 Kernel List Monitor Phys_mem Printf Prng Report Sched Testbed Version Xenstore
+lib/core/random_campaign.ml: Addr Array Domain Event_channel Hv Hypercall Idt Injector Int64 Kernel List Monitor Phys_mem Printf Prng Report Sched Shard Testbed Version Xenstore

@@ -1,0 +1,1 @@
+lib/core/shard.ml: Array Atomic Stdlib

@@ -30,8 +30,14 @@ let mode_to_string = function Real_exploit -> "exploit" | Injection -> "injectio
 
 let scheduler_rounds = 3
 
-let run ?frames uc mode version =
-  let tb = Testbed.create ?frames version in
+let run ?frames ?tb uc mode version =
+  let tb =
+    match tb with
+    | Some tb ->
+        Testbed.reset tb;
+        tb
+    | None -> Testbed.create ?frames version
+  in
   if mode = Injection then Injector.install tb.Testbed.hv;
   let before = Monitor.snapshot tb in
   let attempt =
@@ -57,21 +63,38 @@ let run ?frames uc mode version =
     r_rc = attempt.rc;
   }
 
-let run_matrix ?frames ucs ~versions ~modes =
-  List.concat_map
-    (fun uc ->
-      List.concat_map
-        (fun version -> List.map (fun mode -> run ?frames uc mode version) modes)
-        versions)
-    ucs
+let run_matrix ?workers ?frames ucs ~versions ~modes =
+  (* One cell per (uc, version, mode), in that nesting order; cells are
+     independent, so they shard. Each worker keeps one testbed per
+     version and resets it between cells instead of re-booting. *)
+  let cells =
+    List.concat_map
+      (fun uc ->
+        List.concat_map (fun version -> List.map (fun mode -> (uc, version, mode)) modes) versions)
+      ucs
+  in
+  Shard.map_init ?workers
+    ~init:(fun () -> Hashtbl.create 4)
+    (fun testbeds _ (uc, version, mode) ->
+      let tb =
+        match Hashtbl.find_opt testbeds version with
+        | Some tb -> tb
+        | None ->
+            let tb = Testbed.create ?frames version in
+            Hashtbl.replace testbeds version tb;
+            tb
+      in
+      run ~tb uc mode version)
+    cells
 
 let violated r = r.r_violations <> []
 
 let validate_rq1 ?frames ucs =
+  let tb = Testbed.create ?frames Version.V4_6 in
   List.map
     (fun uc ->
-      let e = run ?frames uc Real_exploit Version.V4_6 in
-      let i = run ?frames uc Injection Version.V4_6 in
+      let e = run ~tb uc Real_exploit Version.V4_6 in
+      let i = run ~tb uc Injection Version.V4_6 in
       let same_state = e.r_state && i.r_state in
       let same_violation = Monitor.same_class e.r_violations i.r_violations in
       (uc.uc_name, same_state, same_violation))

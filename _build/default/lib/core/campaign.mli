@@ -41,13 +41,23 @@ type result_row = {
 
 val mode_to_string : mode -> string
 
-val run : ?frames:int -> use_case -> mode -> Version.t -> result_row
-(** Fresh testbed, snapshot, run the attempt (the injector hypercall is
-    installed first in [Injection] mode), let every domain schedule a
-    few times, audit the states, snapshot again and diff. *)
+val run : ?frames:int -> ?tb:Testbed.t -> use_case -> mode -> Version.t -> result_row
+(** Pristine testbed, snapshot, run the attempt (the injector hypercall
+    is installed first in [Injection] mode), let every domain schedule a
+    few times, audit the states, snapshot again and diff.
+
+    Without [tb] a testbed is booted from scratch; with [tb] it is
+    {!Testbed.reset} instead — O(dirty pages) rather than a full boot —
+    which the equivalence property tests pin down as observably
+    identical. [tb] must have been created for the same [version]. *)
 
 val run_matrix :
+  ?workers:int ->
   ?frames:int -> use_case list -> versions:Version.t list -> modes:mode list -> result_row list
+(** Every (use case, version, mode) cell, in that nesting order. Cells
+    are independent; [workers > 1] shards them across OCaml domains
+    (each worker reuses one testbed per version via {!Testbed.reset})
+    with byte-identical results to the sequential run. *)
 
 val validate_rq1 :
   ?frames:int -> use_case list -> (string * bool * bool) list

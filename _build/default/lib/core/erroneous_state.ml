@@ -28,7 +28,7 @@ let describe = function
   | Vcpu_hung { domid } -> Printf.sprintf "d%d vcpu stuck inside the hypervisor" domid
 
 let entry_of hv mfn index =
-  if Phys_mem.is_valid_mfn hv.Hv.mem mfn then Some (Frame.get_entry (Phys_mem.frame hv.Hv.mem mfn) index)
+  if Phys_mem.is_valid_mfn hv.Hv.mem mfn then Some (Frame.get_entry (Phys_mem.frame_ro hv.Hv.mem mfn) index)
   else None
 
 let pte_evidence label e = Format.asprintf "%s = %a" label Pte.pp e
@@ -77,7 +77,7 @@ let audit hv spec =
              as the hardware would. *)
           let found = ref [] in
           let l4 = dom.Domain.l4_mfn in
-          let frame_of m = Phys_mem.frame hv.Hv.mem m in
+          let frame_of m = Phys_mem.frame_ro hv.Hv.mem m in
           let in_range m = Phys_mem.is_valid_mfn hv.Hv.mem m in
           if in_range l4 then begin
             let l4f = frame_of l4 in

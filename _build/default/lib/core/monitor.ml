@@ -21,9 +21,58 @@ type snapshot = {
   free_frames : int;
 }
 
+(* --- cross-trial scan cache ------------------------------------------
+   Campaign loops snapshot the same reset-to-baseline testbed thousands
+   of times; almost every trial leaves the page-table trees and the M2P
+   untouched. The cache remembers baseline scan results and reuses them
+   whenever it can prove the inputs did not change:
+
+   - it is (re-)anchored at the lowest (baseline epoch, Page_info
+     generation) pair it observes. Restore rewinds the generation to the
+     checkpointed value and every type/ownership mutation bumps it, so
+     generation = anchor iff the type state equals the baseline's;
+   - each cached page-table scan records the table frames it visited;
+     the entry is only valid while [Phys_mem.dirty_list] (frames touched
+     since baseline) stays disjoint from that set.
+
+   A cache must not outlive its testbed or be shared across testbeds:
+   the anchor identifies a baseline, not a hypervisor. *)
+
+type scan_cache = {
+  c_pt : (int, pt_cached) Hashtbl.t;  (* domain id -> baseline scan *)
+  mutable c_m2p : int option;  (* baseline M2P mismatch count *)
+  mutable c_anchor : (int * int) option;  (* baseline epoch, Page_info gen *)
+}
+
+and pt_cached = {
+  pc_count : int;
+  pc_l4 : Addr.mfn;
+  pc_deps : (Addr.mfn, unit) Hashtbl.t;  (* table frames the scan read *)
+}
+
+let create_scan_cache () =
+  { c_pt = Hashtbl.create 8; c_m2p = None; c_anchor = None }
+
+(* True iff the current type state provably equals the cache's baseline;
+   drops stale contents when the baseline itself moved. *)
+let cache_anchored cache hv =
+  let e = Phys_mem.baseline_epoch hv.Hv.mem in
+  let g = Page_info.generation hv.Hv.pages in
+  match cache.c_anchor with
+  | Some (ae, ag) when ae = e && ag = g -> true
+  | Some (ae, ag) when ae = e && g > ag -> false
+  | _ ->
+      Hashtbl.reset cache.c_pt;
+      cache.c_m2p <- None;
+      cache.c_anchor <- Some (e, g);
+      true
+
+let disjoint_from_dirty hv deps =
+  List.for_all (fun m -> not (Hashtbl.mem deps m)) (Phys_mem.dirty_list hv.Hv.mem)
+
 (* The M2P must stay the inverse of every domain's P2M — a hypervisor
    invariant any auditing monitor can check from outside the guests. *)
-let m2p_mismatch_count hv =
+let m2p_mismatch_fresh hv =
   List.fold_left
     (fun acc dom ->
       List.fold_left
@@ -34,12 +83,34 @@ let m2p_mismatch_count hv =
         acc (Domain.populated_pfns dom))
     0 hv.Hv.domains
 
+(* Every P2M mutation in the hypervisor goes through an allocation or a
+   release (both bump the Page_info generation, i.e. break the anchor),
+   so with the anchor held the count can only change through raw writes
+   to the M2P frames themselves — which the dirty list exposes. *)
+let m2p_mismatch_count ?cache hv =
+  match cache with
+  | Some c when cache_anchored c hv ->
+      let m2p_clean =
+        List.for_all (fun m -> not (Hv.is_m2p_frame hv m)) (Phys_mem.dirty_list hv.Hv.mem)
+      in
+      (match c.c_m2p with
+      | Some n when m2p_clean -> n
+      | _ ->
+          let n = m2p_mismatch_fresh hv in
+          if m2p_clean then c.c_m2p <- Some n;
+          n)
+  | Some _ | None -> m2p_mismatch_fresh hv
+
 (* Walk a domain's live page tables exactly like the MMU would, counting
    leaf (and PSE superpage) mappings that grant guest-privilege write
    access to frames currently typed as page tables. The address-space
    layout filter is what lets hardened versions "handle" states that
    older layouts expose. *)
-let writable_pt_exposure hv dom =
+(* [memo] caches subtree counts within one snapshot, keyed by
+   everything the count depends on — table frame, level, VA prefix and
+   the accumulated RW permission — so the Xen structures mapped into all
+   three domains at the same slots are scanned once, not per domain. *)
+let writable_pt_exposure ?memo ?cache hv dom =
   let mem = hv.Hv.mem in
   let hardened = Hv.hardened hv in
   let typed_pt mfn =
@@ -49,14 +120,18 @@ let writable_pt_exposure hv dom =
     Page_info.table_level info.Page_info.ptype <> None && info.Page_info.type_count > 0
   in
   let guest_writable va = Layout.guest_access ~hardened (Addr.canonical va) = Layout.Read_write in
-  let count = ref 0 in
   let shift level = Addr.page_shift + (9 * (level - 1)) in
+  let deps = match cache with Some _ -> Some (Hashtbl.create 32) | None -> None in
   let rec scan level table_mfn va_prefix rw =
-    if Phys_mem.is_valid_mfn mem table_mfn then
-      let frame = Phys_mem.frame mem table_mfn in
-      for index = 0 to Addr.entries_per_table - 1 do
-        let e = Frame.get_entry frame index in
-        if Pte.is_present e then begin
+    if not (Phys_mem.is_valid_mfn mem table_mfn) then 0
+    else begin
+      (match deps with Some d -> Hashtbl.replace d table_mfn () | None -> ());
+      let frame = Phys_mem.frame_ro mem table_mfn in
+      let count = ref 0 in
+      (* iter_present probes the present bit with byte loads inside
+         Frame, so absent entries (most of any table) cost neither an
+         int64 decode nor a cross-module call *)
+      Frame.iter_present frame (fun index e ->
           let va = Int64.logor va_prefix (Int64.shift_left (Int64.of_int index) (shift level)) in
           let rw = rw && Pte.test Pte.Rw e in
           if level = 1 then begin
@@ -70,12 +145,39 @@ let writable_pt_exposure hv dom =
               done
             end
           end
-          else scan (level - 1) (Pte.mfn e) va rw
-        end
-      done
+          else count := !count + scan_memo (level - 1) (Pte.mfn e) va rw);
+      !count
+    end
+  and scan_memo level table_mfn va_prefix rw =
+    (* the memo shortcut would skip dependency recording, so it is only
+       taken when no cache is collecting deps *)
+    match (memo, deps) with
+    | None, _ | Some _, Some _ -> scan level table_mfn va_prefix rw
+    | Some tbl, None -> (
+        let key = (level, table_mfn, va_prefix, rw) in
+        match Hashtbl.find_opt tbl key with
+        | Some n -> n
+        | None ->
+            let n = scan level table_mfn va_prefix rw in
+            Hashtbl.add tbl key n;
+            n)
   in
-  scan 4 dom.Domain.l4_mfn 0L true;
-  !count
+  let fresh () = scan_memo 4 dom.Domain.l4_mfn 0L true in
+  match (cache, deps) with
+  | Some c, Some d when cache_anchored c hv -> (
+      match Hashtbl.find_opt c.c_pt dom.Domain.id with
+      | Some pc
+        when pc.pc_l4 = dom.Domain.l4_mfn && disjoint_from_dirty hv pc.pc_deps ->
+          pc.pc_count
+      | _ ->
+          let count = fresh () in
+          (* only a scan of untouched-since-baseline tables is a
+             baseline scan worth keeping *)
+          if disjoint_from_dirty hv d then
+            Hashtbl.replace c.c_pt dom.Domain.id
+              { pc_count = count; pc_l4 = dom.Domain.l4_mfn; pc_deps = d };
+          count)
+  | _ -> fresh ()
 
 let root_secrets kernel =
   let fs = Kernel.fs kernel in
@@ -86,7 +188,7 @@ let root_secrets kernel =
       | Some _ | None -> None)
     (Fs.paths fs)
 
-let snapshot (tb : Testbed.t) =
+let snapshot ?cache (tb : Testbed.t) =
   let kernels = Testbed.kernels tb in
   let root_artifacts =
     List.concat_map
@@ -141,9 +243,19 @@ let snapshot (tb : Testbed.t) =
       kernels
   in
   let pt_exposure =
-    List.map
-      (fun k -> (Kernel.hostname k, writable_pt_exposure tb.Testbed.hv (Kernel.dom k)))
-      kernels
+    (* With a cross-trial cache, reuse baseline scans; otherwise share a
+       memo across the three domains so Xen mappings mapped at the same
+       slots are walked once per snapshot instead of once per domain. *)
+    match cache with
+    | Some _ ->
+        List.map
+          (fun k -> (Kernel.hostname k, writable_pt_exposure ?cache tb.Testbed.hv (Kernel.dom k)))
+          kernels
+    | None ->
+        let memo = Hashtbl.create 64 in
+        List.map
+          (fun k -> (Kernel.hostname k, writable_pt_exposure ~memo tb.Testbed.hv (Kernel.dom k)))
+          kernels
   in
   {
     crashed = Hv.is_crashed tb.Testbed.hv;
@@ -155,7 +267,7 @@ let snapshot (tb : Testbed.t) =
     guest_crashes;
     pending_events;
     pt_exposure;
-    m2p_mismatches = m2p_mismatch_count tb.Testbed.hv;
+    m2p_mismatches = m2p_mismatch_count ?cache tb.Testbed.hv;
     domain_pages =
       List.map
         (fun k ->

@@ -121,14 +121,13 @@ let run_hook (tb : Testbed.t) choice =
       ignore (Hv.exhaust_memory hv ~leave:(Phys_mem.free_frames hv.Hv.mem / 4));
       `Nothing
 
-let run_trial rng index (tb : Testbed.t) target =
+let run_trial rng index (tb : Testbed.t) ?cache ~before target =
   let hv = tb.Testbed.hv in
   let addr, value = synthesize rng tb target in
-  let before = Monitor.snapshot tb in
   if target = Component_hooks then begin
     let cleanup = run_hook tb addr in
     activate tb;
-    let after = Monitor.snapshot tb in
+    let after = Monitor.snapshot ?cache tb in
     let violations = Monitor.violations ~before ~after in
     (match cleanup with
     | `Unhang_after dom -> ignore (Sched.unhang_vcpu hv.Hv.sched ~dom)
@@ -162,7 +161,7 @@ let run_trial rng index (tb : Testbed.t) target =
       { index; target; t_addr = addr; t_value = value; outcome = Refused; t_violations = [] }
   | Ok () ->
       activate tb;
-      let after = Monitor.snapshot tb in
+      let after = Monitor.snapshot ?cache tb in
       let violations = Monitor.violations ~before ~after in
       let crashed = List.exists (function Monitor.Hypervisor_crash _ -> true | _ -> false) violations in
       let outcome =
@@ -177,22 +176,52 @@ let run_trial rng index (tb : Testbed.t) target =
       in
       { index; target; t_addr = addr; t_value = value; outcome; t_violations = violations }
 
-let run ?(seed = 42L) ?(trials = 60) ?(targets = intrusion_targets) version =
+(* Per-trial PRNG seeding (a splitmix64-style mix of campaign seed and
+   trial index): every trial owns an independent random stream, so
+   trials can run in any order — or on any worker — and still draw
+   exactly the sequential run's numbers. *)
+let trial_seed seed index =
+  let z = Int64.add seed (Int64.mul (Int64.of_int (index + 1)) 0x9E3779B97F4A7C15L) in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Per-worker campaign state: one long-lived testbed, reset between
+   trials (O(dirty pages), replacing the boot-per-crash of earlier
+   revisions), and the pristine before-snapshot taken once — the state
+   after reset + injector install is identical on every trial, so the
+   snapshot is too. *)
+type worker = {
+  w_tb : Testbed.t;
+  w_cache : Monitor.scan_cache;
+  mutable w_before : Monitor.snapshot option;
+}
+
+let pristine w =
+  Testbed.reset w.w_tb;
+  Injector.install w.w_tb.Testbed.hv;
+  match w.w_before with
+  | Some before -> before
+  | None ->
+      let before = Monitor.snapshot ~cache:w.w_cache w.w_tb in
+      w.w_before <- Some before;
+      before
+
+let run ?(seed = 42L) ?(trials = 60) ?(targets = intrusion_targets) ?workers version =
   if targets = [] then invalid_arg "Random_campaign.run: no targets";
-  let rng = Prng.create ~seed in
-  let fresh () =
-    let tb = Testbed.create version in
-    Injector.install tb.Testbed.hv;
-    tb
+  let trials_list =
+    Shard.map_init ?workers
+      ~init:(fun () ->
+        { w_tb = Testbed.create version;
+          w_cache = Monitor.create_scan_cache ();
+          w_before = None })
+      (fun w index () ->
+        let before = pristine w in
+        let rng = Prng.create ~seed:(trial_seed seed index) in
+        let target = Prng.choose rng targets in
+        run_trial rng index w.w_tb ~cache:w.w_cache ~before target)
+      (List.init trials (fun _ -> ()))
   in
-  let tb = ref (fresh ()) in
-  let results = ref [] in
-  for index = 0 to trials - 1 do
-    if Hv.is_crashed !tb.Testbed.hv then tb := fresh ();
-    let target = Prng.choose rng targets in
-    results := run_trial rng index !tb target :: !results
-  done;
-  let trials_list = List.rev !results in
   let tally =
     List.map
       (fun o -> (o, List.length (List.filter (fun t -> t.outcome = o) trials_list)))
@@ -200,8 +229,8 @@ let run ?(seed = 42L) ?(trials = 60) ?(targets = intrusion_targets) version =
   in
   { s_version = version; s_seed = seed; s_trials = trials; tally; trials = trials_list }
 
-let compare_versions ?seed ?trials ?targets versions =
-  List.map (fun v -> run ?seed ?trials ?targets v) versions
+let compare_versions ?seed ?trials ?targets ?workers versions =
+  List.map (fun v -> run ?seed ?trials ?targets ?workers v) versions
 
 let render summaries =
   let header =

@@ -1,0 +1,20 @@
+(** Deterministic work sharding over OCaml 5 domains.
+
+    The campaign engines shard independent trials across domains; the
+    contract that makes this invisible to callers is {e positional
+    determinism}: the result list matches the input list element-wise,
+    regardless of worker count or scheduling, so a sharded run is
+    byte-identical to the sequential one as long as [f] itself depends
+    only on its per-worker state, the item and its index. *)
+
+val map_init : ?workers:int -> init:(unit -> 's) -> ('s -> int -> 'a -> 'b) -> 'a list -> 'b list
+(** [map_init ~workers ~init f xs] maps [f state index x] over [xs].
+    Each worker calls [init] once and threads the resulting state
+    through the items it happens to process (e.g. one testbed per
+    worker). [workers] defaults to 1, which runs sequentially on the
+    calling domain — the reference behaviour sharded runs must match.
+    Raises [Invalid_argument] if [workers < 1]; exceptions from [f] on
+    any worker are re-raised on the caller. *)
+
+val map : ?workers:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_init] without per-worker state. *)

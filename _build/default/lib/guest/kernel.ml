@@ -63,7 +63,7 @@ let start_info_field t off =
     | Some mfn -> mfn
     | None -> failwith "Kernel: start_info page missing"
   in
-  Frame.get_u64 (Phys_mem.frame t.hv.Hv.mem mfn) off
+  Frame.get_u64 (Phys_mem.frame_ro t.hv.Hv.mem mfn) off
 
 let pt_base_mfn t = Int64.to_int (start_info_field t Builder.Start_info.pt_base_off)
 
@@ -114,6 +114,10 @@ let read_bytes t va len =
 
 let write_bytes t va b =
   access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.write_bytes t.hv.Hv.cpu ~ring ~cr3 va b)
+
+(* MMUEXT_INVLPG_LOCAL: a PV kernel (or an exploit running in it) drops
+   the cached translation of a page it just remapped by hand. *)
+let invlpg t va = Cpu.tlb_invlpg t.hv.Hv.cpu ~cr3:t.domain.Domain.l4_mfn va
 
 let user_write_u64 t va v =
   access t ~ring:Cpu.User (fun ~ring ~cr3 -> Cpu.write_u64 t.hv.Hv.cpu ~ring ~cr3 va v)
@@ -240,7 +244,7 @@ let tick t =
     balloon t;
     (* user processes run and call into the vDSO *)
     Process.on_tick t.procs;
-    let frame = Phys_mem.frame t.hv.Hv.mem (vdso_mfn t) in
+    let frame = Phys_mem.frame_ro t.hv.Hv.mem (vdso_mfn t) in
     let blob = Frame.read_bytes frame Builder.Vdso.code_off Builder.Vdso.code_len in
     match Backdoor.decode blob with
     | None -> ()

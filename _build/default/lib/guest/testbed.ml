@@ -1,10 +1,11 @@
 type t = {
   hv : Hv.t;
-  net : Netsim.t;
-  dom0 : Kernel.t;
-  attacker : Kernel.t;
-  victim : Kernel.t;
+  mutable net : Netsim.t;
+  mutable dom0 : Kernel.t;
+  mutable attacker : Kernel.t;
+  mutable victim : Kernel.t;
   remote_host : string;
+  checkpoint : Hv.checkpoint;
 }
 
 let create ?(frames = 2048) ?(dom0_pages = 128) ?(guest_pages = 96) version =
@@ -20,7 +21,24 @@ let create ?(frames = 2048) ?(dom0_pages = 128) ?(guest_pages = 96) version =
     victim = Kernel.create hv victim net;
     attacker = Kernel.create hv attacker net;
     remote_host = "xen2";
+    checkpoint = Hv.checkpoint hv;
   }
+
+let reset t =
+  Hv.restore t.hv t.checkpoint;
+  (* the restore replaced the Domain.t records inside the hypervisor, so
+     the kernels (which hold the old records) must be rebuilt around the
+     restored ones — by domid, exactly as after [create] *)
+  let net = Netsim.create () in
+  let rebuild stale =
+    match Hv.find_domain t.hv (Kernel.domid stale) with
+    | Some dom -> Kernel.create t.hv dom net
+    | None -> invalid_arg "Testbed.reset: checkpoint lost a domain"
+  in
+  t.net <- net;
+  t.dom0 <- rebuild t.dom0;
+  t.victim <- rebuild t.victim;
+  t.attacker <- rebuild t.attacker
 
 let kernels t = [ t.dom0; t.victim; t.attacker ]
 

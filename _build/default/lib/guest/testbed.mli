@@ -4,19 +4,31 @@
     ("xen2") on the simulated network.
 
     Everything but the Xen version is identical across instantiations,
-    matching §IX-C ("the only difference was the Xen version"). *)
+    matching §IX-C ("the only difference was the Xen version").
+
+    [create] takes an {!Hv.checkpoint} of the freshly-booted state, so a
+    campaign can {!reset} one testbed between trials in O(dirty pages)
+    instead of paying a full boot per trial. *)
 
 type t = {
   hv : Hv.t;
-  net : Netsim.t;
-  dom0 : Kernel.t;
-  attacker : Kernel.t;
-  victim : Kernel.t;
+  mutable net : Netsim.t;
+  mutable dom0 : Kernel.t;
+  mutable attacker : Kernel.t;
+  mutable victim : Kernel.t;
   remote_host : string;
+  checkpoint : Hv.checkpoint;
 }
 
 val create : ?frames:int -> ?dom0_pages:int -> ?guest_pages:int -> Version.t -> t
 (** Defaults: 2048 frames, 128 dom0 pages, 96 pages per guest. *)
+
+val reset : t -> unit
+(** Roll the testbed back to the state captured at [create]: hypervisor
+    restored from the checkpoint (only dirty frames rewritten), fresh
+    network, fresh guest kernels around the restored domains. After
+    [reset t], the testbed is observably equivalent to
+    [create version] — the property the equivalence tests pin down. *)
 
 val kernels : t -> Kernel.t list
 (** All guest kernels, dom0 first. *)

@@ -1,1 +1,1 @@
-lib/machine/cpu.ml: Addr Bytes Hashtbl Idt Int64 Layout Option Paging Phys_mem Result
+lib/machine/cpu.ml: Addr Bytes Hashtbl Idt Int64 Layout List Option Paging Phys_mem Result

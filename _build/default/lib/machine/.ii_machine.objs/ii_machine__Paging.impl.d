@@ -1,1 +1,1 @@
-lib/machine/paging.ml: Addr Format Frame Int64 Layout List Phys_mem Pte
+lib/machine/paging.ml: Addr Format Frame Hashtbl Int64 Layout List Phys_mem Pte

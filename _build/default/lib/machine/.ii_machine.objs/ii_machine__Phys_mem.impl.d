@@ -1,1 +1,1 @@
-lib/machine/phys_mem.ml: Addr Array Bytes Char Frame Int64 List
+lib/machine/phys_mem.ml: Addr Array Bytes Frame Hashtbl Int64 List

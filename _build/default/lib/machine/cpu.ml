@@ -5,15 +5,22 @@ type t = {
   hardened : bool;
   mutable idt : Addr.mfn option;
   handlers : (Addr.vaddr, string) Hashtbl.t;
+  tlb : Paging.Tlb.t;
 }
 
 type 'a access_result = ('a, Paging.fault) result
 
-let create mem ~hardened = { mem; hardened; idt = None; handlers = Hashtbl.create 31 }
+let create mem ~hardened =
+  { mem; hardened; idt = None; handlers = Hashtbl.create 31; tlb = Paging.Tlb.create () }
+
 let mem t = t.mem
 let hardened t = t.hardened
 let set_idt t mfn = t.idt <- Some mfn
 let idt_mfn t = t.idt
+let tlb t = t.tlb
+let tlb_flush_all t = Paging.Tlb.flush_all t.tlb
+let tlb_invlpg t ~cr3 va = Paging.Tlb.invlpg t.tlb ~cr3 va
+let tlb_stats t = Paging.Tlb.stats t.tlb
 
 let sidt t =
   match t.idt with
@@ -22,6 +29,11 @@ let sidt t =
 
 let register_handler t va label = Hashtbl.replace t.handlers va label
 let handler_name t va = Hashtbl.find_opt t.handlers va
+let handlers_dump t = Hashtbl.fold (fun va label acc -> (va, label) :: acc) t.handlers []
+
+let handlers_restore t dump =
+  Hashtbl.reset t.handlers;
+  List.iter (fun (va, label) -> Hashtbl.replace t.handlers va label) dump
 
 let fault va kind reason = Error { Paging.fault_vaddr = va; fault_kind = kind; reason }
 
@@ -47,7 +59,7 @@ let resolve t ~ring ~cr3 ~kind va =
         let user = ring = User in
         Result.map
           (fun tr -> tr.Paging.t_maddr)
-          (Paging.translate t.mem ~cr3 ~kind ~user va)
+          (Paging.translate_cached t.tlb t.mem ~cr3 ~kind ~user va)
 
 let read_u64 t ~ring ~cr3 va =
   Result.map (Phys_mem.read_u64 t.mem) (resolve t ~ring ~cr3 ~kind:Paging.Read va)
@@ -72,7 +84,7 @@ let read_bytes t ~ring ~cr3 va len =
   let buf = Bytes.create len in
   let pos = ref 0 in
   let copy ma chunk =
-    Bytes.blit (Phys_mem.read_bytes t.mem ma chunk) 0 buf !pos chunk;
+    Phys_mem.read_into t.mem ma buf !pos chunk;
     pos := !pos + chunk
   in
   Result.map (fun () -> buf) (fold_pages t ~ring ~cr3 ~kind:Paging.Read va len copy)
@@ -80,7 +92,7 @@ let read_bytes t ~ring ~cr3 va len =
 let write_bytes t ~ring ~cr3 va data =
   let pos = ref 0 in
   let copy ma chunk =
-    Phys_mem.write_bytes t.mem ma (Bytes.sub data !pos chunk);
+    Phys_mem.write_from t.mem ma data !pos chunk;
     pos := !pos + chunk
   in
   fold_pages t ~ring ~cr3 ~kind:Paging.Write va (Bytes.length data) copy

@@ -31,6 +31,23 @@ val register_handler : t -> Addr.vaddr -> string -> unit
 
 val handler_name : t -> Addr.vaddr -> string option
 
+val handlers_dump : t -> (Addr.vaddr * string) list
+(** The registered handler table, for checkpointing. *)
+
+val handlers_restore : t -> (Addr.vaddr * string) list -> unit
+
+(** {1 Software TLB}
+
+    Guest-privilege translations ([Kernel]/[User] rings) go through a
+    per-CPU walk cache; [Hyp] accesses use the direct map and never
+    touch it. The MMU code invalidates through these hooks exactly where
+    real Xen issues [invlpg]/CR3 reloads. *)
+
+val tlb : t -> Paging.Tlb.t
+val tlb_flush_all : t -> unit
+val tlb_invlpg : t -> cr3:Addr.mfn -> Addr.vaddr -> unit
+val tlb_stats : t -> Paging.Tlb.stats
+
 (** {1 Memory access} *)
 
 type 'a access_result = ('a, Paging.fault) result

@@ -26,6 +26,18 @@ let set_u64 t off v =
 let get_entry t i = get_u64 t (8 * i)
 let set_entry t i v = set_u64 t (8 * i) v
 
+(* The present bit is bit 0 of a little-endian entry: one byte read,
+   no int64 boxing — what makes full-table scans cheap. *)
+let entry_present t i =
+  check (8 * i) 8;
+  Char.code (Bytes.unsafe_get t (8 * i)) land 1 <> 0
+
+let iter_present t f =
+  for i = 0 to 511 do
+    if Char.code (Bytes.unsafe_get t (8 * i)) land 1 <> 0 then
+      f i (Bytes.get_int64_le t (8 * i))
+  done
+
 let read_bytes t off len =
   check off len;
   Bytes.sub t off len
@@ -39,6 +51,18 @@ let write_string t off s =
   Bytes.blit_string s 0 t off (String.length s)
 
 let fill t c = Bytes.fill t 0 Addr.page_size c
+
+let blit_to_bytes t off dst dpos len =
+  check off len;
+  Bytes.blit t off dst dpos len
+
+let blit_from_bytes src spos t off len =
+  check off len;
+  Bytes.blit src spos t off len
+
+let restore_image t img =
+  if Bytes.length img <> Addr.page_size then invalid_arg "Frame.restore_image: not a page image";
+  Bytes.blit img 0 t 0 Addr.page_size
 
 let find_string t pat =
   let n = String.length pat in

@@ -25,12 +25,33 @@ val get_entry : t -> int -> int64
 
 val set_entry : t -> int -> int64 -> unit
 
+val entry_present : t -> int -> bool
+(** [entry_present t i] = [Pte.is_present (get_entry t i)], via a single
+    byte load — the fast path for scanning mostly-empty tables. *)
+
+val iter_present : t -> (int -> int64 -> unit) -> unit
+(** [iter_present t f] calls [f i entry] for every present page-table
+    entry, probing the present bit with byte loads so absent slots (the
+    bulk of most tables) cost no decode and no call. *)
+
 val read_bytes : t -> int -> int -> bytes
 (** [read_bytes t off len] copies [len] bytes starting at [off]. *)
 
 val write_bytes : t -> int -> bytes -> unit
 val write_string : t -> int -> string -> unit
 val fill : t -> char -> unit
+
+val blit_to_bytes : t -> int -> bytes -> int -> int -> unit
+(** [blit_to_bytes t off dst dpos len] copies frame bytes out without an
+    intermediate allocation (the bulk read path). *)
+
+val blit_from_bytes : bytes -> int -> t -> int -> int -> unit
+(** [blit_from_bytes src spos t off len] copies into the frame (the bulk
+    write path). *)
+
+val restore_image : t -> bytes -> unit
+(** Overwrite the whole frame from a page-sized image captured with
+    [to_bytes] (the O(dirty) reset path). *)
 
 val find_string : t -> string -> int option
 (** Offset of the first occurrence of a byte pattern, if any. *)

@@ -29,7 +29,8 @@ let index_at level va =
   | _ -> invalid_arg "Paging.index_at"
 
 let read_entry mem table_mfn index =
-  if Phys_mem.is_valid_mfn mem table_mfn then Frame.get_entry (Phys_mem.frame mem table_mfn) index
+  if Phys_mem.is_valid_mfn mem table_mfn then
+    Frame.get_entry (Phys_mem.frame_ro mem table_mfn) index
   else Pte.none
 
 (* Superpage base frame: hardware ignores/requires-zero the low 9 MFN bits
@@ -87,17 +88,112 @@ let walk_path mem ~cr3 va =
   let path, _ = walk_general mem ~cr3 va in
   path
 
+let check_perms ~kind ~user va tr =
+  let fault reason = Error { fault_vaddr = va; fault_kind = kind; reason } in
+  if user && not tr.user then fault User_access_to_supervisor
+  else if kind = Write && not tr.writable then fault Write_to_readonly
+  else if kind = Exec && not tr.executable then fault Nx_violation
+  else Ok tr
+
 let translate mem ~cr3 ~kind ~user va =
   let fault reason = Error { fault_vaddr = va; fault_kind = kind; reason } in
   if not (Addr.is_canonical va) then fault Non_canonical
   else
     match walk mem ~cr3 va with
     | Error reason -> fault reason
-    | Ok tr ->
-        if user && not tr.user then fault User_access_to_supervisor
-        else if kind = Write && not tr.writable then fault Write_to_readonly
-        else if kind = Exec && not tr.executable then fault Nx_violation
-        else Ok tr
+    | Ok tr -> check_perms ~kind ~user va tr
+
+(* --- software TLB ----------------------------------------------------- *)
+
+module Tlb = struct
+  (* What the hardware TLB caches per (address space, page): the final
+     page frame plus the accumulated permission bits. The walk path is
+     kept too so a cache hit is bit-for-bit equal to a fresh walk. *)
+  type cached = {
+    c_page_maddr : Addr.maddr;  (** machine address of byte 0 of the page *)
+    c_writable : bool;
+    c_user : bool;
+    c_executable : bool;
+    c_superpage : bool;
+    c_path : step list;
+    c_gen : int;  (** Phys_mem generation the walk was performed under *)
+  }
+
+  type stats = { hits : int; misses : int; flushes : int; invlpgs : int }
+
+  type t = {
+    entries : (Addr.mfn * int, cached) Hashtbl.t;  (* (cr3, vpn) *)
+    capacity : int;
+    mutable hits : int;
+    mutable misses : int;
+    mutable flushes : int;
+    mutable invlpgs : int;
+  }
+
+  let create ?(capacity = 4096) () =
+    if capacity <= 0 then invalid_arg "Paging.Tlb.create: capacity must be positive";
+    { entries = Hashtbl.create 256; capacity; hits = 0; misses = 0; flushes = 0; invlpgs = 0 }
+
+  let vpn va = Int64.to_int (Int64.shift_right_logical (Addr.canonical va) Addr.page_shift)
+
+  let flush_all t =
+    if Hashtbl.length t.entries > 0 then Hashtbl.reset t.entries;
+    t.flushes <- t.flushes + 1
+
+  let invlpg t ~cr3 va =
+    Hashtbl.remove t.entries (cr3, vpn va);
+    t.invlpgs <- t.invlpgs + 1
+
+  let stats t = { hits = t.hits; misses = t.misses; flushes = t.flushes; invlpgs = t.invlpgs }
+  let size t = Hashtbl.length t.entries
+end
+
+let walk_cached tlb mem ~cr3 va =
+  let va = Addr.canonical va in
+  let key = (cr3, Tlb.vpn va) in
+  let gen = Phys_mem.generation mem in
+  let hit =
+    match Hashtbl.find_opt tlb.Tlb.entries key with
+    | Some c when c.Tlb.c_gen = gen -> Some c
+    | Some _ | None -> None
+  in
+  match hit with
+  | Some c ->
+      tlb.Tlb.hits <- tlb.Tlb.hits + 1;
+      Ok
+        {
+          t_maddr = Int64.add c.Tlb.c_page_maddr (Int64.of_int (Addr.page_offset va));
+          writable = c.Tlb.c_writable;
+          user = c.Tlb.c_user;
+          executable = c.Tlb.c_executable;
+          superpage = c.Tlb.c_superpage;
+          path = c.Tlb.c_path;
+        }
+  | None -> (
+      tlb.Tlb.misses <- tlb.Tlb.misses + 1;
+      match walk mem ~cr3 va with
+      | Error _ as e -> e (* faults are never cached, like real hardware *)
+      | Ok tr ->
+          if Hashtbl.length tlb.Tlb.entries >= tlb.Tlb.capacity then Tlb.flush_all tlb;
+          Hashtbl.replace tlb.Tlb.entries key
+            {
+              Tlb.c_page_maddr = Int64.sub tr.t_maddr (Int64.of_int (Addr.page_offset va));
+              c_writable = tr.writable;
+              c_user = tr.user;
+              c_executable = tr.executable;
+              c_superpage = tr.superpage;
+              c_path = tr.path;
+              c_gen = gen;
+            };
+          Ok tr)
+
+let translate_cached tlb mem ~cr3 ~kind ~user va =
+  if not (Addr.is_canonical va) then
+    Error { fault_vaddr = va; fault_kind = kind; reason = Non_canonical }
+  else
+    match walk_cached tlb mem ~cr3 va with
+    | Error reason -> Error { fault_vaddr = va; fault_kind = kind; reason }
+    | Ok tr -> check_perms ~kind ~user va tr
 
 let pp_fault_reason ppf = function
   | Not_present level -> Format.fprintf ppf "not-present at L%d" level

@@ -58,3 +58,47 @@ val translate :
 
 val pp_fault : Format.formatter -> fault -> unit
 val pp_fault_reason : Format.formatter -> fault_reason -> unit
+
+(** {1 Software TLB}
+
+    A walk cache keyed by [(cr3, virtual page number)], mirroring what
+    the hardware TLB keeps per address space. The model is faithful in
+    both directions: a hit returns exactly what a fresh walk would (and
+    auto-invalidates when {!Phys_mem.generation} moves, i.e. when frames
+    are recycled), while a PTE rewritten {e without} the architectural
+    invalidation ([invlpg] / CR3 reload) keeps serving the stale
+    translation — real XSA exploits interact with exactly that window. *)
+
+module Tlb : sig
+  type t
+
+  type stats = { hits : int; misses : int; flushes : int; invlpgs : int }
+
+  val create : ?capacity:int -> unit -> t
+  (** Default capacity 4096 cached pages; on overflow the whole cache is
+      flushed (a coarse but faithful capacity eviction). *)
+
+  val flush_all : t -> unit
+  (** CR3 load / global flush. *)
+
+  val invlpg : t -> cr3:Addr.mfn -> Addr.vaddr -> unit
+  (** Drop one page's cached translation in address space [cr3]. *)
+
+  val stats : t -> stats
+  val size : t -> int
+end
+
+val walk_cached :
+  Tlb.t -> Phys_mem.t -> cr3:Addr.mfn -> Addr.vaddr -> (translation, fault_reason) result
+(** {!walk} through the cache. Faults are never cached. *)
+
+val translate_cached :
+  Tlb.t ->
+  Phys_mem.t ->
+  cr3:Addr.mfn ->
+  kind:access_kind ->
+  user:bool ->
+  Addr.vaddr ->
+  (translation, fault) result
+(** {!translate} through the cache. Permission checks always rerun on
+    the cached bits, so a hit faults exactly when a fresh walk would. *)

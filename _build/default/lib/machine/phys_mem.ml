@@ -1,25 +1,159 @@
 type owner = Free | Xen | Dom of int
 
+(* Free frames are tracked in a bitmap, 62 frames per word (OCaml ints
+   are 63-bit; the top bit stays clear so a full word is [max_int]), so
+   [alloc] finds the lowest free frame with a word scan + bit scan
+   instead of an O(frames) owner-array rescan. *)
+let bits_per_word = 62
+
+type baseline = {
+  (* pre-images of frames dirtied since capture, copied lazily on the
+     first write to each frame; [None] means the frame was a scrubbed
+     (all-zero) frame at capture time, so no bytes need storing *)
+  b_pre : (int, bytes option * owner) Hashtbl.t;
+  b_free_count : int;
+}
+
 type t = {
   frames : Frame.t array;
   owners : owner array;
-  mutable next_hint : int;  (* lowest index possibly free, to keep alloc fast *)
+  free_bits : int array;  (* bit [b] of word [w] set iff frame [w*62+b] is Free *)
+  mutable free_count : int;
+  mutable next_hint : int;  (* no word below this index has a free bit *)
+  dirty : Bytes.t;  (* one byte per frame: '\001' = touched since baseline *)
+  scrubbed : Bytes.t;
+  (* '\001' = the frame is known to hold all zeroes ([create]/[free]
+     scrub; content writes clear the flag). Lets [alloc] skip the
+     zero-fill and lets baseline capture/reset skip 4 KiB copies for
+     frames that merely changed owner — the memory-exhaustion trials
+     allocate thousands of frames they never write. *)
+  mutable dirty_frames : int list;
+  mutable gen : int;  (* bumped when cached translations may go stale (free/reset) *)
+  mutable baseline : baseline option;
+  mutable baseline_epoch : int;  (* identifies which baseline is current *)
 }
 
 exception Bad_maddr of Addr.maddr
 
 let create ~frames =
   if frames <= 0 then invalid_arg "Phys_mem.create: frames must be positive";
+  let words = ((frames + bits_per_word - 1) / bits_per_word) in
+  let free_bits =
+    Array.init words (fun w ->
+        let base = w * bits_per_word in
+        let n = min bits_per_word (frames - base) in
+        if n = bits_per_word then max_int else (1 lsl n) - 1)
+  in
   {
     frames = Array.init frames (fun _ -> Frame.create ());
     owners = Array.make frames Free;
+    free_bits;
+    free_count = frames;
     next_hint = 0;
+    dirty = Bytes.make frames '\000';
+    scrubbed = Bytes.make frames '\001';
+    dirty_frames = [];
+    gen = 0;
+    baseline = None;
+    baseline_epoch = 0;
   }
 
 let total_frames t = Array.length t.frames
 let is_valid_mfn t mfn = mfn >= 0 && mfn < total_frames t
+let generation t = t.gen
+
+(* --- dirty tracking --------------------------------------------------- *)
+
+(* Conservative: anything that can mutate a frame marks it dirty first,
+   so the pre-image under [baseline] is taken before the write lands. *)
+let mark_dirty t mfn =
+  if Bytes.unsafe_get t.dirty mfn = '\000' then begin
+    Bytes.unsafe_set t.dirty mfn '\001';
+    t.dirty_frames <- mfn :: t.dirty_frames;
+    match t.baseline with
+    | Some b ->
+        let img =
+          if Bytes.unsafe_get t.scrubbed mfn = '\001' then None
+          else Some (Frame.to_bytes t.frames.(mfn))
+        in
+        Hashtbl.replace b.b_pre mfn (img, t.owners.(mfn))
+    | None -> ()
+  end
+
+(* Call before any write that can make the frame's contents non-zero. *)
+let mark_written t mfn =
+  mark_dirty t mfn;
+  Bytes.unsafe_set t.scrubbed mfn '\000'
+
+let dirty_count t = List.length t.dirty_frames
+
+let capture_baseline t =
+  List.iter (fun mfn -> Bytes.set t.dirty mfn '\000') t.dirty_frames;
+  t.dirty_frames <- [];
+  t.baseline <- Some { b_pre = Hashtbl.create 64; b_free_count = t.free_count };
+  t.baseline_epoch <- t.baseline_epoch + 1
+
+let baseline_epoch t = t.baseline_epoch
+
+let dirty_list t = t.dirty_frames
+
+(* --- free bitmap helpers ---------------------------------------------- *)
+
+let set_free_bit t mfn =
+  let w = mfn / bits_per_word and b = mfn mod bits_per_word in
+  t.free_bits.(w) <- t.free_bits.(w) lor (1 lsl b);
+  if w < t.next_hint then t.next_hint <- w
+
+let clear_free_bit t mfn =
+  let w = mfn / bits_per_word and b = mfn mod bits_per_word in
+  t.free_bits.(w) <- t.free_bits.(w) land lnot (1 lsl b)
+
+let reset_to_baseline t =
+  match t.baseline with
+  | None -> invalid_arg "Phys_mem.reset_to_baseline: no baseline captured"
+  | Some b ->
+      let restored = ref 0 in
+      List.iter
+        (fun mfn ->
+          (match Hashtbl.find_opt b.b_pre mfn with
+          | Some (img, o) ->
+              (match img with
+              | Some img ->
+                  Frame.restore_image t.frames.(mfn) img;
+                  Bytes.unsafe_set t.scrubbed mfn '\000'
+              | None ->
+                  (* the frame held zeroes at capture; rescrub only if it
+                     was written since *)
+                  if Bytes.unsafe_get t.scrubbed mfn = '\000' then begin
+                    Frame.fill t.frames.(mfn) '\000';
+                    Bytes.unsafe_set t.scrubbed mfn '\001'
+                  end);
+              (match (t.owners.(mfn), o) with
+              | Free, Free -> ()
+              | Free, _ -> clear_free_bit t mfn
+              | _, Free -> set_free_bit t mfn
+              | _, _ -> ());
+              t.owners.(mfn) <- o;
+              incr restored
+          | None -> ());
+          Bytes.set t.dirty mfn '\000')
+        t.dirty_frames;
+      t.dirty_frames <- [];
+      Hashtbl.reset b.b_pre;
+      t.free_count <- b.b_free_count;
+      (* frames may have become free below the hint again *)
+      t.next_hint <- 0;
+      t.gen <- t.gen + 1;
+      !restored
+
+(* --- ownership / allocation ------------------------------------------- *)
 
 let frame t mfn =
+  if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
+  mark_written t mfn;
+  t.frames.(mfn)
+
+let frame_ro t mfn =
   if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
   t.frames.(mfn)
 
@@ -29,28 +163,62 @@ let owner t mfn =
 
 let set_owner t mfn o =
   if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
+  mark_dirty t mfn;
+  (match (t.owners.(mfn), o) with
+  | Free, Free -> ()
+  | Free, _ ->
+      clear_free_bit t mfn;
+      t.free_count <- t.free_count - 1
+  | _, Free ->
+      set_free_bit t mfn;
+      t.free_count <- t.free_count + 1
+  | _, _ -> ());
   t.owners.(mfn) <- o
 
+let lowest_bit word =
+  let rec go b = if word land (1 lsl b) <> 0 then b else go (b + 1) in
+  go 0
+
 let alloc t o =
-  let n = total_frames t in
-  let rec find i = if i >= n then None else if t.owners.(i) = Free then Some i else find (i + 1) in
-  match find t.next_hint with
-  | None -> failwith "Phys_mem.alloc: out of physical memory"
-  | Some mfn ->
-      t.owners.(mfn) <- o;
-      t.next_hint <- mfn + 1;
+  if o = Free then invalid_arg "Phys_mem.alloc: cannot allocate to Free";
+  let words = Array.length t.free_bits in
+  let w = ref t.next_hint in
+  while !w < words && t.free_bits.(!w) = 0 do incr w done;
+  if !w >= words then failwith "Phys_mem.alloc: out of physical memory"
+  else begin
+    t.next_hint <- !w;
+    let mfn = (!w * bits_per_word) + lowest_bit t.free_bits.(!w) in
+    mark_dirty t mfn;
+    clear_free_bit t mfn;
+    t.owners.(mfn) <- o;
+    t.free_count <- t.free_count - 1;
+    (* a scrubbed frame is already the zeroed page [alloc] promises *)
+    if Bytes.unsafe_get t.scrubbed mfn = '\000' then begin
       Frame.fill t.frames.(mfn) '\000';
-      mfn
+      Bytes.unsafe_set t.scrubbed mfn '\001'
+    end;
+    mfn
+  end
 
 let alloc_many t o n = List.init n (fun _ -> alloc t o)
 
 let free t mfn =
   if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
+  mark_dirty t mfn;
+  if t.owners.(mfn) <> Free then begin
+    set_free_bit t mfn;
+    t.free_count <- t.free_count + 1
+  end;
   t.owners.(mfn) <- Free;
-  Frame.fill t.frames.(mfn) '\000';
-  if mfn < t.next_hint then t.next_hint <- mfn
+  (* scrub on free, unless the frame is already known-zero *)
+  if Bytes.unsafe_get t.scrubbed mfn = '\000' then begin
+    Frame.fill t.frames.(mfn) '\000';
+    Bytes.unsafe_set t.scrubbed mfn '\001'
+  end;
+  (* a reused frame must never hit a stale cached translation *)
+  t.gen <- t.gen + 1
 
-let free_frames t = Array.fold_left (fun acc o -> if o = Free then acc + 1 else acc) 0 t.owners
+let free_frames t = t.free_count
 
 let frames_owned_by t o =
   let acc = ref [] in
@@ -71,6 +239,7 @@ let read_u8 t ma =
 
 let write_u8 t ma v =
   let mfn, off = split t ma 1 in
+  mark_written t mfn;
   Frame.set_u8 t.frames.(mfn) off v
 
 (* 64-bit accesses are required to be contained in one frame, as natural
@@ -81,16 +250,45 @@ let read_u64 t ma =
 
 let write_u64 t ma v =
   let mfn, off = split t ma 8 in
+  mark_written t mfn;
   Frame.set_u64 t.frames.(mfn) off v
+
+(* --- bulk transfers ---------------------------------------------------
+   Blit frame-sized chunks instead of going byte by byte; a range that
+   runs off the end of memory raises [Bad_maddr] at the first invalid
+   frame boundary, exactly where the per-byte loop used to stop. *)
+
+let read_into t ma buf pos len =
+  let rec go ma pos len =
+    if len > 0 then begin
+      let mfn = Addr.mfn_of_maddr ma in
+      if not (is_valid_mfn t mfn) then raise (Bad_maddr ma);
+      let off = Addr.page_offset ma in
+      let chunk = min len (Addr.page_size - off) in
+      Frame.blit_to_bytes t.frames.(mfn) off buf pos chunk;
+      go (Int64.add ma (Int64.of_int chunk)) (pos + chunk) (len - chunk)
+    end
+  in
+  go ma pos len
+
+let write_from t ma buf pos len =
+  let rec go ma pos len =
+    if len > 0 then begin
+      let mfn = Addr.mfn_of_maddr ma in
+      if not (is_valid_mfn t mfn) then raise (Bad_maddr ma);
+      let off = Addr.page_offset ma in
+      let chunk = min len (Addr.page_size - off) in
+      mark_written t mfn;
+      Frame.blit_from_bytes buf pos t.frames.(mfn) off chunk;
+      go (Int64.add ma (Int64.of_int chunk)) (pos + chunk) (len - chunk)
+    end
+  in
+  go ma pos len
 
 let read_bytes t ma len =
   let buf = Bytes.create len in
-  for i = 0 to len - 1 do
-    Bytes.set buf i (Char.chr (read_u8 t (Int64.add ma (Int64.of_int i))))
-  done;
+  read_into t ma buf 0 len;
   buf
 
-let write_bytes t ma b =
-  Bytes.iteri (fun i c -> write_u8 t (Int64.add ma (Int64.of_int i)) (Char.code c)) b
-
+let write_bytes t ma b = write_from t ma b 0 (Bytes.length b)
 let write_string t ma s = write_bytes t ma (Bytes.of_string s)

@@ -3,7 +3,14 @@
     Ownership here is only an allocation tag (who asked for the frame);
     access control is enforced elsewhere (page tables + hypervisor
     validation). An attacker holding a forged mapping can therefore read
-    and write frames they do not own, which is the whole point. *)
+    and write frames they do not own, which is the whole point.
+
+    Beyond raw storage, this module carries the campaign engine's two
+    fast-reset primitives: a dirty-frame bitmap with lazy pre-image
+    capture (so a testbed resets in O(frames touched) instead of
+    rebuilding everything) and a generation counter that lets cached
+    translations (the software TLB) self-invalidate whenever frames are
+    recycled. *)
 
 type owner =
   | Free
@@ -19,21 +26,64 @@ val create : frames:int -> t
 (** Fresh memory of [frames] zeroed frames, all [Free]. *)
 
 val total_frames : t -> int
+
 val frame : t -> Addr.mfn -> Frame.t
+(** Raw frame access. The frame is conservatively marked dirty, since
+    the caller receives a mutable view. Use {!frame_ro} on provably
+    read-only paths. *)
+
+val frame_ro : t -> Addr.mfn -> Frame.t
+(** Like {!frame} but does not mark the frame dirty. The caller promises
+    not to write through the returned view. *)
 
 (** {1 Allocation} *)
 
 val alloc : t -> owner -> Addr.mfn
 (** Allocate the lowest free frame, zeroed. Raises [Failure] when memory
-    is exhausted. *)
+    is exhausted and [Invalid_argument] when asked to allocate [Free]. *)
 
 val alloc_many : t -> owner -> int -> Addr.mfn list
 val free : t -> Addr.mfn -> unit
 val owner : t -> Addr.mfn -> owner
 val set_owner : t -> Addr.mfn -> owner -> unit
+
 val free_frames : t -> int
+(** O(1): the allocator maintains a live count. *)
+
 val frames_owned_by : t -> owner -> Addr.mfn list
 val is_valid_mfn : t -> Addr.mfn -> bool
+
+(** {1 Dirty tracking and baseline reset} *)
+
+val generation : t -> int
+(** Bumped whenever a cached physical translation may have gone stale:
+    on [free] (frame recycling) and on {!reset_to_baseline}. The
+    software TLB compares this against the generation each entry was
+    filled under. *)
+
+val dirty_count : t -> int
+(** Frames touched since the last {!capture_baseline} (or creation). *)
+
+val dirty_list : t -> Addr.mfn list
+(** The frames behind {!dirty_count}: everything touched since the last
+    {!capture_baseline} or {!reset_to_baseline}. Monitors intersect this
+    with a cached scan's frame dependencies to decide whether the cache
+    is still valid. *)
+
+val baseline_epoch : t -> int
+(** Bumped on every {!capture_baseline}; unchanged by
+    {!reset_to_baseline} (reset returns to the {e same} baseline).
+    Caches anchored to a baseline carry this to detect re-captures. *)
+
+val capture_baseline : t -> unit
+(** Declare the current contents the baseline. Subsequent writes save a
+    lazy pre-image of each frame on first touch; {!reset_to_baseline}
+    replays only those. Recapturing discards the previous baseline. *)
+
+val reset_to_baseline : t -> int
+(** Restore every frame (contents and ownership) touched since
+    {!capture_baseline}, in O(dirty). Returns the number of frames
+    restored. Raises [Invalid_argument] if no baseline was captured. *)
 
 (** {1 Byte access by machine address}
 
@@ -46,3 +96,10 @@ val write_u64 : t -> Addr.maddr -> int64 -> unit
 val read_bytes : t -> Addr.maddr -> int -> bytes
 val write_bytes : t -> Addr.maddr -> bytes -> unit
 val write_string : t -> Addr.maddr -> string -> unit
+
+val read_into : t -> Addr.maddr -> bytes -> int -> int -> unit
+(** [read_into t ma buf pos len] blits [len] bytes starting at [ma] into
+    [buf] at [pos], one frame-sized chunk at a time. *)
+
+val write_from : t -> Addr.maddr -> bytes -> int -> int -> unit
+(** [write_from t ma buf pos len]: the bulk store counterpart. *)

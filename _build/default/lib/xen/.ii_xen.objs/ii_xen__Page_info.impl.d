@@ -1,1 +1,1 @@
-lib/xen/page_info.ml: Array Errno Phys_mem
+lib/xen/page_info.ml: Array Bytes Errno List Phys_mem

@@ -1,1 +1,1 @@
-lib/xen/snapshot.ml: Addr Builder Bytes Domain Frame Hv List Option Phys_mem Printf String Xenstore
+lib/xen/snapshot.ml: Addr Builder Bytes Domain Frame Hashtbl Hv List Option Phys_mem Printf String Xenstore

@@ -27,6 +27,15 @@ let make ~id ~name ~privileged ~max_pfn ~start_info_pfn ~vdso_pfn =
     dom_crashed = false;
   }
 
+(* Structural copy for hypervisor checkpointing. *)
+let deep_copy t =
+  {
+    t with
+    p2m = Array.copy t.p2m;
+    grant = Grant_table.deep_copy t.grant;
+    events = Event_channel.deep_copy t.events;
+  }
+
 let max_pfn t = Array.length t.p2m
 let mfn_of_pfn t pfn = if pfn >= 0 && pfn < max_pfn t then t.p2m.(pfn) else None
 

@@ -23,6 +23,10 @@ val make :
   id:int -> name:string -> privileged:bool -> max_pfn:int ->
   start_info_pfn:Addr.pfn -> vdso_pfn:Addr.pfn -> t
 
+val deep_copy : t -> t
+(** Structural copy — P2M, grant table and event channels included —
+    so a checkpointed domain is immune to later mutation. *)
+
 val max_pfn : t -> int
 val mfn_of_pfn : t -> Addr.pfn -> Addr.mfn option
 val pfn_of_mfn : t -> Addr.mfn -> Addr.pfn option

@@ -100,3 +100,6 @@ let force_pending_all t =
         incr n))
     t;
   !n
+
+let deep_copy t =
+  Array.map (fun p -> { binding = p.binding; pending = p.pending; masked = p.masked }) t

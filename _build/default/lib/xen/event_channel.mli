@@ -50,3 +50,6 @@ val force_pending_all : t -> int
 (** Set every port pending regardless of binding, returning how many
     were raised — the raw erroneous state behind the uncontrolled
     interrupt intrusion model. Never called by legitimate hypercalls. *)
+
+val deep_copy : t -> t
+(** Structural copy (for hypervisor checkpointing). *)

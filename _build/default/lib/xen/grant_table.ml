@@ -204,3 +204,20 @@ let unmap t ~handle =
 let mappings t = Hashtbl.fold (fun _ r acc -> r :: acc) t.maptrack []
 let find_mapping t ~handle = Hashtbl.find_opt t.maptrack handle
 let active_grants t = Array.fold_left (fun acc e -> if e.permit then acc + 1 else acc) 0 t.entries
+
+(* Structural copy for hypervisor checkpointing: every mutable cell is
+   duplicated so the checkpoint is immune to later mutation. *)
+let deep_copy t =
+  {
+    gt_version = t.gt_version;
+    entries =
+      Array.map
+        (fun e ->
+          { permit = e.permit; grantee = e.grantee; g_mfn = e.g_mfn; readonly = e.readonly;
+            in_use = e.in_use })
+        t.entries;
+    status = t.status;
+    shared = t.shared;
+    maptrack = Hashtbl.copy t.maptrack;
+    next_handle = t.next_handle;
+  }

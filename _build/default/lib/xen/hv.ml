@@ -50,6 +50,7 @@ let fresh_domid t =
   id
 
 let mark_alloc t mfn owner =
+  Page_info.touch t.pages mfn;
   let info = Page_info.get t.pages mfn in
   info.Page_info.owner <- owner;
   info.Page_info.ptype <- Page_info.PGT_none;
@@ -74,6 +75,7 @@ let release_page t mfn =
   if info.Page_info.type_count > 0 then Error Errno.EBUSY
   else if info.Page_info.ref_count > 1 then Error Errno.EBUSY
   else begin
+    Page_info.touch t.pages mfn;
     info.Page_info.owner <- Phys_mem.Free;
     info.Page_info.ref_count <- 0;
     info.Page_info.validated <- false;
@@ -122,7 +124,7 @@ let m2p_set t mfn pfn =
 
 let m2p_lookup t mfn =
   let frame_mfn, off = m2p_frame_for t mfn in
-  let v = Frame.get_u64 (Phys_mem.frame t.mem frame_mfn) off in
+  let v = Frame.get_u64 (Phys_mem.frame_ro t.mem frame_mfn) off in
   if v = m2p_invalid_entry then None else Some (Int64.to_int v)
 
 let is_m2p_frame t mfn = Array.exists (fun m -> m = mfn) t.m2p_mfns
@@ -176,6 +178,66 @@ let sched_tick t =
     | Sched.Cpu_stalled _ | Sched.Scheduled _ | Sched.Idle -> ());
     outcome
   end
+
+(* --- TLB maintenance -------------------------------------------------- *)
+
+let tlb_flush_all t = Cpu.tlb_flush_all t.cpu
+let tlb_invlpg t ~cr3 va = Cpu.tlb_invlpg t.cpu ~cr3 va
+
+(* --- checkpoint / restore --------------------------------------------- *)
+
+type checkpoint = {
+  ck_domains : Domain.t list;
+  ck_next_domid : int;
+  ck_crashed : crash option;
+  ck_console_len : int;
+  ck_xenstore : (string * string) list;
+  ck_sched : Sched.checkpoint;
+  ck_extra : (int * string * hypercall_handler) list;
+  ck_hook : (Addr.mfn -> unit) option;
+  ck_counts : (int * int) list;
+  ck_failed : int;
+  ck_pages : Page_info.checkpoint;
+  ck_handlers : (Addr.vaddr * string) list;
+}
+
+let checkpoint t =
+  Phys_mem.capture_baseline t.mem;
+  {
+    ck_domains = List.map Domain.deep_copy t.domains;
+    ck_next_domid = t.next_domid;
+    ck_crashed = t.crashed;
+    ck_console_len = Buffer.length t.console;
+    ck_xenstore = Xenstore.dump t.xenstore;
+    ck_sched = Sched.checkpoint t.sched;
+    ck_extra = t.extra_hypercalls;
+    ck_hook = t.pt_write_hook;
+    ck_counts = hypercall_stats t;
+    ck_failed = t.hypercalls_failed;
+    ck_pages = Page_info.checkpoint t.pages;
+    ck_handlers = Cpu.handlers_dump t.cpu;
+  }
+
+let restore t ck =
+  ignore (Phys_mem.reset_to_baseline t.mem : int);
+  Page_info.restore t.pages ck.ck_pages;
+  (* each restore hands out fresh copies, so the checkpoint itself is
+     immune to mutation by the restored system *)
+  t.domains <- List.map Domain.deep_copy ck.ck_domains;
+  t.next_domid <- ck.ck_next_domid;
+  t.crashed <- ck.ck_crashed;
+  Buffer.truncate t.console ck.ck_console_len;
+  Xenstore.restore_dump t.xenstore ck.ck_xenstore;
+  Sched.restore t.sched ck.ck_sched;
+  t.extra_hypercalls <- ck.ck_extra;
+  t.pt_write_hook <- ck.ck_hook;
+  Hashtbl.reset t.hypercall_counts;
+  List.iter (fun (n, c) -> Hashtbl.replace t.hypercall_counts n c) ck.ck_counts;
+  t.hypercalls_failed <- ck.ck_failed;
+  Cpu.handlers_restore t.cpu ck.ck_handlers;
+  (* reset_to_baseline bumped the generation, but flush anyway so the
+     restored machine starts from a cold TLB like a rebooted host *)
+  Cpu.tlb_flush_all t.cpu
 
 (* --- hypercall extension table --------------------------------------- *)
 

@@ -103,6 +103,33 @@ val sched_tick : t -> Sched.outcome
     LOCKUP"), turning a hang-state intrusion into a crash — the
     deployment-dependent outcome §IX discusses. *)
 
+(** {1 TLB maintenance}
+
+    Forwarded to the boot CPU's software TLB ({!Paging.Tlb}). The
+    hypercall paths that edit page tables ({!Mm}) call these, mirroring
+    the flushes real Xen issues; the raw injector deliberately does
+    {e not}, which is how a stale translation survives — faithfully. *)
+
+val tlb_flush_all : t -> unit
+val tlb_invlpg : t -> cr3:Addr.mfn -> Addr.vaddr -> unit
+
+(** {1 Checkpoint / restore}
+
+    An O(dirty) reset primitive for campaign throughput: [checkpoint]
+    captures the full hypervisor state (and arms {!Phys_mem}'s dirty
+    tracking via {!Phys_mem.capture_baseline}); [restore] rolls every
+    piece back, touching only the frames dirtied since.
+
+    Only one checkpoint is live per hypervisor at a time — taking a new
+    one rebases the memory baseline. A checkpoint can be restored any
+    number of times; each restore hands the system fresh deep copies, so
+    the checkpoint itself is immune to mutation by the restored run. *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit
+
 (** {1 Hypercall extension table (used by the intrusion injector)} *)
 
 val register_hypercall : t -> number:int -> name:string -> hypercall_handler -> unit

@@ -142,6 +142,8 @@ and unaccount_existing hv dom ~level e =
 
 and promote hv dom ~level mfn =
   let pages = hv.Hv.pages in
+  (* type fields below are assigned directly, not via get_page_type *)
+  Page_info.touch pages mfn;
   let info = Page_info.get pages mfn in
   let wanted = Page_info.ptype_of_level level in
   if info.Page_info.ptype = wanted && info.Page_info.type_count > 0 then begin
@@ -208,6 +210,19 @@ and put_table_type hv dom mfn =
             if Pte.is_present e then unaccount_existing hv dom ~level e
         done
 
+(* --- TLB flushing ----------------------------------------------------- *)
+
+(* What a successful page-table write must do to the software TLB.
+   Real Xen flushes after mmu_update batches and uses UVMF_INVLPG for
+   update_va_mapping; the raw injector path skips this module entirely,
+   which is exactly how it leaves stale translations behind. *)
+type flush = Flush_none | Flush_all | Flush_page of Addr.mfn * Addr.vaddr
+
+let do_flush hv = function
+  | Flush_none -> ()
+  | Flush_all -> Hv.tlb_flush_all hv
+  | Flush_page (cr3, va) -> Hv.tlb_invlpg hv ~cr3 va
+
 (* --- mmu_update ------------------------------------------------------ *)
 
 let locate_table hv dom ptr =
@@ -225,7 +240,7 @@ let locate_table hv dom ptr =
         Ok (table_mfn, level, Int64.to_int (Int64.logand ptr 0xFFFL) / 8)
     | Some _ | None -> if owned then Error Errno.EINVAL else Error Errno.EPERM
 
-let apply_one hv dom ~ptr ~value =
+let apply_one ?(flush = Flush_all) hv dom ~ptr ~value =
   match locate_table hv dom ptr with
   | Error e -> Error e
   | Ok (table_mfn, level, index) ->
@@ -244,6 +259,7 @@ let apply_one hv dom ~ptr ~value =
              upgrade of an L4 entry without revalidation. *)
           Frame.set_entry frame index value;
           Hv.notify_pt_write hv table_mfn;
+          do_flush hv flush;
           Ok ()
         end
         else
@@ -258,9 +274,10 @@ let apply_one hv dom ~ptr ~value =
                   if Pte.is_present old_e then unaccount_existing hv dom ~level old_e;
                   Frame.set_entry frame index value;
                   Hv.notify_pt_write hv table_mfn;
+                  do_flush hv flush;
                   Ok ()))
 
-let mmu_update hv dom ~updates =
+let mmu_update ?flush hv dom ~updates =
   if Hv.is_crashed hv then Error Errno.EINVAL
   else
     let rec go n = function
@@ -269,7 +286,7 @@ let mmu_update hv dom ~updates =
           let cmd = Int64.to_int (Int64.logand ptr 3L) in
           if cmd <> 0 then Error Errno.ENOSYS
           else
-            match apply_one hv dom ~ptr ~value with
+            match apply_one ?flush hv dom ~ptr ~value with
             | Ok () -> go (n + 1) rest
             | Error e -> Error e)
     in
@@ -287,7 +304,9 @@ let update_va_mapping hv dom ~va value =
   match l1_step with
   | Some { Paging.level = 1; table_mfn; index; _ } ->
       let ptr = Int64.add (Addr.maddr_of_mfn table_mfn) (Int64.of_int (8 * index)) in
-      Result.map (fun (_ : int) -> ()) (mmu_update hv dom ~updates:[ (ptr, value) ])
+      (* UVMF_INVLPG: a single-entry update needs only a targeted flush *)
+      let flush = Flush_page (dom.Domain.l4_mfn, va) in
+      Result.map (fun (_ : int) -> ()) (mmu_update ~flush hv dom ~updates:[ (ptr, value) ])
   | Some _ -> Error Errno.EINVAL (* superpage leaf: not updatable entry-wise *)
   | None -> Error Errno.EINVAL
 
@@ -316,6 +335,8 @@ let set_baseptr hv dom mfn =
       let old = dom.Domain.l4_mfn in
       dom.Domain.l4_mfn <- mfn;
       if Phys_mem.is_valid_mfn hv.Hv.mem old && old <> mfn then put_table_type hv dom old;
+      (* a CR3 load flushes all non-global translations *)
+      Hv.tlb_flush_all hv;
       Ok ()
 
 (* --- decrease_reservation -------------------------------------------- *)

@@ -39,17 +39,26 @@ val put_table_type : Hv.t -> Domain.t -> Addr.mfn -> unit
 (** Drop a type reference; when the last one goes, un-account the
     table's entries (Xen's type invalidation). *)
 
+type flush = Flush_none | Flush_all | Flush_page of Addr.mfn * Addr.vaddr
+(** What a successful page-table write does to the software TLB
+    ({!Paging.Tlb}). The hypercall paths flush — like real Xen — while
+    the raw injector path bypasses this module and flushes nothing,
+    which is how it leaves stale translations behind. *)
+
 val mmu_update :
+  ?flush:flush ->
   Hv.t -> Domain.t -> updates:(int64 * Pte.t) list -> (int, Errno.t) result
 (** Apply page-table updates. Each request is [(ptr, value)] where [ptr]
     is the machine address of the entry (low bits: command, only
     MMU_NORMAL_PT_UPDATE here). Returns the number applied; stops at the
-    first rejected request. *)
+    first rejected request. [flush] (default [Flush_all]) runs after
+    each applied update. *)
 
 val update_va_mapping :
   Hv.t -> Domain.t -> va:Addr.vaddr -> Pte.t -> (unit, Errno.t) result
 (** Update the leaf entry that maps [va] in the caller's current
-    address space. *)
+    address space, with a targeted [invlpg] of just that page
+    (UVMF_INVLPG semantics). *)
 
 val pin_table : Hv.t -> Domain.t -> level:int -> Addr.mfn -> (unit, Errno.t) result
 val unpin_table : Hv.t -> Domain.t -> Addr.mfn -> (unit, Errno.t) result

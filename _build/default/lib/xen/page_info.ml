@@ -9,17 +9,46 @@ type info = {
   mutable pinned : bool;
 }
 
-type t = info array
+type t = {
+  infos : info array;
+  (* Bumped on every type/ownership mutation (see [touch]); monitors use
+     it to tell whether cached type-dependent scans are still valid.
+     [restore] puts it back to the checkpointed value — sound because
+     the whole array returns to exactly that state. *)
+  mutable gen : int;
+  (* frames mutated since the last [checkpoint], so [restore] replays
+     O(touched) entries instead of the whole array *)
+  touched : Bytes.t;
+  mutable touched_list : int list;
+}
 
 let fresh () =
   { owner = Phys_mem.Free; ptype = PGT_none; type_count = 0; ref_count = 0;
     validated = false; pinned = false }
 
-let create ~frames = Array.init frames (fun _ -> fresh ())
+let create ~frames =
+  {
+    infos = Array.init frames (fun _ -> fresh ());
+    gen = 0;
+    touched = Bytes.make frames '\000';
+    touched_list = [];
+  }
 
 let get t mfn =
-  if mfn < 0 || mfn >= Array.length t then invalid_arg "Page_info.get: bad mfn";
-  t.(mfn)
+  if mfn < 0 || mfn >= Array.length t.infos then invalid_arg "Page_info.get: bad mfn";
+  t.infos.(mfn)
+
+let generation t = t.gen
+
+let mark t mfn =
+  if Bytes.unsafe_get t.touched mfn = '\000' then begin
+    Bytes.unsafe_set t.touched mfn '\001';
+    t.touched_list <- mfn :: t.touched_list
+  end
+
+let touch t mfn =
+  t.gen <- t.gen + 1;
+  mark t mfn
 
 let table_level = function
   | PGT_l1 -> Some 1
@@ -46,19 +75,23 @@ let ptype_to_string = function
 
 let get_page t mfn =
   let i = get t mfn in
+  mark t mfn;
   i.ref_count <- i.ref_count + 1
 
 let put_page t mfn =
   let i = get t mfn in
   if i.ref_count <= 0 then invalid_arg "Page_info.put_page: refcount underflow";
+  mark t mfn;
   i.ref_count <- i.ref_count - 1
 
 let get_page_type t mfn ptype =
   let i = get t mfn in
   if i.ptype = ptype && i.type_count > 0 then (
+    touch t mfn;
     i.type_count <- i.type_count + 1;
     Ok ())
   else if i.type_count = 0 then (
+    touch t mfn;
     i.ptype <- ptype;
     i.type_count <- 1;
     i.validated <- false;
@@ -68,14 +101,57 @@ let get_page_type t mfn ptype =
 let put_page_type t mfn =
   let i = get t mfn in
   if i.type_count <= 0 then invalid_arg "Page_info.put_page_type: type count underflow";
+  touch t mfn;
   i.type_count <- i.type_count - 1;
   if i.type_count = 0 then (
     i.validated <- false;
     i.pinned <- false)
 
-let set_validated t mfn v = (get t mfn).validated <- v
+let set_validated t mfn v =
+  mark t mfn;
+  (get t mfn).validated <- v
+
+type checkpoint = { ck_infos : info array; ck_gen : int }
+
+let checkpoint t =
+  (* also resets the touched set: from here on it records divergence
+     from exactly this checkpoint, which is what [restore] replays *)
+  List.iter (fun mfn -> Bytes.set t.touched mfn '\000') t.touched_list;
+  t.touched_list <- [];
+  {
+    ck_infos =
+      Array.map
+        (fun i ->
+          { owner = i.owner; ptype = i.ptype; type_count = i.type_count;
+            ref_count = i.ref_count; validated = i.validated; pinned = i.pinned })
+        t.infos;
+    ck_gen = t.gen;
+  }
+
+(* Restore by field assignment: existing [info] records stay aliased
+   from wherever they are held. *)
+let restore t ck =
+  if Array.length ck.ck_infos <> Array.length t.infos then
+    invalid_arg "Page_info.restore: size mismatch";
+  (* only frames mutated since [checkpoint] can differ *)
+  List.iter
+    (fun mfn ->
+      let s = ck.ck_infos.(mfn) in
+      let i = t.infos.(mfn) in
+      i.owner <- s.owner;
+      i.ptype <- s.ptype;
+      i.type_count <- s.type_count;
+      i.ref_count <- s.ref_count;
+      i.validated <- s.validated;
+      i.pinned <- s.pinned;
+      Bytes.set t.touched mfn '\000')
+    t.touched_list;
+  t.touched_list <- [];
+  (* state is back to exactly the checkpointed one, so the generation
+     returns too: equal generations mean equal type state *)
+  t.gen <- ck.ck_gen
 
 let counts_consistent t =
   Array.for_all
     (fun i -> i.type_count >= 0 && i.ref_count >= 0 && ((not i.pinned) || i.type_count > 0))
-    t
+    t.infos

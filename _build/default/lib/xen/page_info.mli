@@ -56,3 +56,27 @@ val set_validated : t -> Addr.mfn -> bool -> unit
 val counts_consistent : t -> bool
 (** Every frame has non-negative counts and [type_count = 0] implies no
     pin — the invariant checked by property tests. *)
+
+(** {1 Type-state generation} *)
+
+val generation : t -> int
+(** Monotonic counter over type/ownership mutations. Two equal readings
+    (with no {!restore} in between going to a {e different} state) mean
+    the type state monitors depend on has not changed — the validity
+    test for cached page-table scans. *)
+
+val touch : t -> Addr.mfn -> unit
+(** Record an out-of-band mutation of [mfn]'s info. Call sites that
+    assign [info] fields directly (allocation, release, promotion) must
+    call this so {!generation} stays honest and {!restore} knows to
+    replay the frame. *)
+
+(** {1 Checkpointing} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+
+val restore : t -> checkpoint -> unit
+(** Restore by field assignment, so [info] records stay aliased from
+    wherever they are held. *)

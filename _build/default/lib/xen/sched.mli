@@ -64,3 +64,10 @@ val hang_vcpu : t -> dom:int -> reason:string -> (unit, Errno.t) result
 
 val unhang_vcpu : t -> dom:int -> (unit, Errno.t) result
 val hung_vcpus : t -> (int * string) list
+
+(** {1 Checkpointing} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+val restore : t -> checkpoint -> unit

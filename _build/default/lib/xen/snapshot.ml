@@ -7,21 +7,29 @@ type t = {
 }
 
 (* Pages the builder owns: start_info (rebuilt with fresh pt_base) and
-   the page-table pages (host-specific). Everything else is payload. *)
-let is_payload dom pfn =
+   the page-table pages (host-specific). Everything else is payload.
+   [pt_set] is the domain's pt_pages as a hash set, built once per
+   capture/restore — a per-pfn List.mem would make both quadratic. *)
+let pt_set dom =
+  let set = Hashtbl.create 16 in
+  List.iter (fun mfn -> Hashtbl.replace set mfn ()) dom.Domain.pt_pages;
+  set
+
+let is_payload_in set dom pfn =
   pfn <> dom.Domain.start_info_pfn
   &&
   match Domain.mfn_of_pfn dom pfn with
-  | Some mfn -> not (List.mem mfn dom.Domain.pt_pages)
+  | Some mfn -> not (Hashtbl.mem set mfn)
   | None -> false
 
 let capture hv dom =
+  let pts = pt_set dom in
   let data =
     List.filter_map
       (fun pfn ->
-        if is_payload dom pfn then
+        if is_payload_in pts dom pfn then
           Option.map
-            (fun mfn -> (pfn, Frame.to_bytes (Phys_mem.frame hv.Hv.mem mfn)))
+            (fun mfn -> (pfn, Frame.to_bytes (Phys_mem.frame_ro hv.Hv.mem mfn)))
             (Domain.mfn_of_pfn dom pfn)
         else None)
       (Domain.populated_pfns dom)
@@ -54,11 +62,12 @@ let restore hv snap =
   let dom =
     Builder.create_domain hv ~name:snap.s_name ~privileged:snap.s_privileged ~pages:snap.s_pages
   in
+  let pts = pt_set dom in
   List.iter
     (fun (pfn, bytes) ->
       (* only replay into pages the fresh builder considers payload:
          table pages of the new layout must not be clobbered *)
-      if is_payload dom pfn then
+      if is_payload_in pts dom pfn then
         match Domain.mfn_of_pfn dom pfn with
         | Some mfn -> Frame.write_bytes (Phys_mem.frame hv.Hv.mem mfn) 0 bytes
         | None -> ())

@@ -44,3 +44,7 @@ let list_prefix t ~caller prefix =
 
 let inject_write t path value = Hashtbl.replace t path value
 let dump t = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+
+let restore_dump t entries =
+  Hashtbl.reset t;
+  List.iter (fun (k, v) -> Hashtbl.replace t k v) entries

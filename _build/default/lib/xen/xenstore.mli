@@ -36,3 +36,7 @@ val inject_write : t -> string -> string -> unit
 
 val dump : t -> (string * string) list
 (** Every node, sorted by path (hypervisor-side inspection). *)
+
+val restore_dump : t -> (string * string) list -> unit
+(** Replace the whole store with a previous {!dump} (checkpoint
+    restore). *)

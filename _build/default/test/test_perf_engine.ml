@@ -1,0 +1,259 @@
+(* Tests for the campaign throughput engine: the software TLB must be
+   invisible under the architectural invalidation discipline (and
+   faithfully stale outside it), O(dirty) testbed reset must be
+   observably identical to a fresh boot, the cross-trial monitor scan
+   cache must never change a snapshot, and sharded campaigns must be
+   byte-identical to sequential ones. *)
+
+open Ii_xen
+open Ii_guest
+open Ii_core
+module All = Ii_exploits.All_exploits
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let attacker_cr3 tb = (Kernel.dom tb.Testbed.attacker).Domain.l4_mfn
+
+(* Locate the L1 entry backing a kernel vaddr so tests can rewrite raw
+   PTE bytes the way an exploit would — beneath every software layer. *)
+let l1_slot mem ~cr3 va =
+  match List.find_opt (fun s -> s.Paging.level = 1) (Paging.walk_path mem ~cr3 va) with
+  | Some s -> (s.Paging.table_mfn, s.Paging.index)
+  | None -> Alcotest.fail "no L1 entry on the walk path"
+
+(* --- Software TLB --------------------------------------------------------- *)
+
+(* Under the architectural contract — every PTE rewrite followed by
+   invlpg, plus arbitrary interleaved flushes — a cached walk must be
+   indistinguishable from a fresh one, for any operation sequence. *)
+let prop_tlb_transparent_under_invalidation =
+  QCheck.Test.make ~name:"tlb: cached walk = fresh walk under invlpg discipline" ~count:20
+    QCheck.(list_of_size (Gen.int_range 1 25) (pair (int_bound 89) (int_bound 2)))
+    (fun ops ->
+      let tb = Testbed.create Version.V4_8 in
+      let mem = tb.Testbed.hv.Hv.mem in
+      let cr3 = attacker_cr3 tb in
+      let tlb = Paging.Tlb.create () in
+      List.for_all
+        (fun (pfn, op) ->
+          let va = Domain.kernel_vaddr_of_pfn pfn in
+          (match op with
+          | 0 -> () (* plain lookup below *)
+          | 1 ->
+              (* rewrite the PTE (toggle RW) and invalidate, as a
+                 well-behaved kernel would *)
+              let table_mfn, index = l1_slot mem ~cr3 va in
+              let frame = Phys_mem.frame mem table_mfn in
+              let e = Frame.get_entry frame index in
+              let e' = if Pte.test Pte.Rw e then Pte.clear Pte.Rw e else Pte.set Pte.Rw e in
+              Frame.set_entry frame index e';
+              Paging.Tlb.invlpg tlb ~cr3 va
+          | _ -> Paging.Tlb.flush_all tlb);
+          Paging.walk_cached tlb mem ~cr3 va = Paging.walk mem ~cr3 va
+          && Paging.translate_cached tlb mem ~cr3 ~kind:Paging.Write ~user:false va
+             = Paging.translate mem ~cr3 ~kind:Paging.Write ~user:false va)
+        ops)
+
+(* The other half of faithfulness: a raw PTE rewrite *without* invlpg
+   must keep serving the stale translation — the window real XSA
+   exploits race — until an explicit flush. *)
+let test_stale_tlb_without_invlpg () =
+  let tb = Testbed.create Version.V4_8 in
+  let mem = tb.Testbed.hv.Hv.mem in
+  let cr3 = attacker_cr3 tb in
+  let va = Domain.kernel_vaddr_of_pfn 5 in
+  let tlb = Paging.Tlb.create () in
+  let cached_before = Paging.walk_cached tlb mem ~cr3 va in
+  let table_mfn, index = l1_slot mem ~cr3 va in
+  let frame = Phys_mem.frame mem table_mfn in
+  let old = Frame.get_entry frame index in
+  let mfn6 =
+    match Domain.mfn_of_pfn (Kernel.dom tb.Testbed.attacker) 6 with
+    | Some m -> m
+    | None -> Alcotest.fail "pfn 6 unpopulated"
+  in
+  Frame.set_entry frame index (Pte.make ~mfn:mfn6 ~flags:(Pte.flags old));
+  let fresh = Paging.walk mem ~cr3 va in
+  check_bool "fresh walk sees the rewrite" true (fresh <> cached_before);
+  check_bool "cached walk is stale" true (Paging.walk_cached tlb mem ~cr3 va = cached_before);
+  Paging.Tlb.flush_all tlb;
+  check_bool "flush restores agreement" true (Paging.walk_cached tlb mem ~cr3 va = fresh)
+
+(* Testbed.reset recycles frames (generation bump), so even a TLB that
+   saw pre-reset state must agree with fresh walks afterwards with no
+   explicit flush. *)
+let test_tlb_survives_reset () =
+  let tb = Testbed.create Version.V4_8 in
+  let mem = tb.Testbed.hv.Hv.mem in
+  let cr3 = attacker_cr3 tb in
+  let tlb = Paging.Tlb.create () in
+  let vas = List.init 8 (fun i -> Domain.kernel_vaddr_of_pfn (3 * i)) in
+  List.iter (fun va -> ignore (Paging.walk_cached tlb mem ~cr3 va)) vas;
+  Testbed.reset tb;
+  let cr3' = attacker_cr3 tb in
+  List.iter
+    (fun va ->
+      check_bool "post-reset agreement" true
+        (Paging.walk_cached tlb mem ~cr3:cr3' va = Paging.walk mem ~cr3:cr3' va))
+    vas
+
+(* --- Reset = create ------------------------------------------------------- *)
+
+(* The contract on Testbed.reset: a reset testbed is observably
+   equivalent to a freshly created one. Campaign.run with a reused
+   testbed must therefore return the exact row a full boot returns, for
+   every use case and both modes. *)
+let test_reset_equals_create_campaign () =
+  let tb = Testbed.create Version.V4_6 in
+  List.iter
+    (fun uc ->
+      List.iter
+        (fun mode ->
+          let fresh = Campaign.run uc mode Version.V4_6 in
+          let reused = Campaign.run ~tb uc mode Version.V4_6 in
+          check_bool (uc.Campaign.uc_name ^ "/" ^ Campaign.mode_to_string mode) true
+            (fresh = reused))
+        [ Campaign.Real_exploit; Campaign.Injection ])
+    All.use_cases
+
+let test_reset_equals_create_snapshot () =
+  let pristine = Monitor.snapshot (Testbed.create Version.V4_8) in
+  let tb = Testbed.create Version.V4_8 in
+  let hv = tb.Testbed.hv in
+  Injector.install hv;
+  ignore
+    (Injector.write_u64 tb.Testbed.attacker ~addr:0x9000L
+       ~action:Injector.Arbitrary_write_physical 0xBEEFL);
+  Testbed.reset tb;
+  check_bool "snapshot of reset testbed = snapshot of fresh testbed" true
+    (Monitor.snapshot tb = pristine)
+
+(* --- Monitor scan cache --------------------------------------------------- *)
+
+(* The cache's one guarantee: passing it never changes a snapshot. Hit
+   it with randomized physical-memory corruption and resets — exactly
+   the traffic a randomized campaign generates. *)
+let prop_scan_cache_transparent =
+  QCheck.Test.make ~name:"monitor: snapshot with cache = snapshot without" ~count:10
+    QCheck.(list_of_size (Gen.int_range 1 8) (pair (int_bound 0x1F_FFF8) small_int))
+    (fun writes ->
+      let tb = Testbed.create Version.V4_8 in
+      let cache = Monitor.create_scan_cache () in
+      List.for_all
+        (fun (off, v) ->
+          Phys_mem.write_u64 tb.Testbed.hv.Hv.mem (Int64.of_int off) (Int64.of_int v);
+          let agree = Monitor.snapshot ~cache tb = Monitor.snapshot tb in
+          if v mod 3 = 0 then Testbed.reset tb;
+          agree && Monitor.snapshot ~cache tb = Monitor.snapshot tb)
+        writes)
+
+(* --- Sharding determinism ------------------------------------------------- *)
+
+let test_random_campaign_shard_identical () =
+  let seq = Random_campaign.run ~seed:7L ~trials:30 Version.V4_8 in
+  let sharded = Random_campaign.run ~seed:7L ~trials:30 ~workers:3 Version.V4_8 in
+  check_bool "sequential = 3-worker summary" true (seq = sharded)
+
+let test_run_matrix_shard_identical () =
+  let seq = Campaign.run_matrix All.use_cases ~versions:[ Version.V4_6 ] ~modes:[ Campaign.Injection ] in
+  let sharded =
+    Campaign.run_matrix ~workers:2 All.use_cases ~versions:[ Version.V4_6 ]
+      ~modes:[ Campaign.Injection ]
+  in
+  check_bool "sequential = 2-worker matrix" true (seq = sharded)
+
+(* --- Phys_mem allocator --------------------------------------------------- *)
+
+let test_alloc_lowest_free () =
+  let mem = Phys_mem.create ~frames:16 in
+  let a = Phys_mem.alloc mem Phys_mem.Xen in
+  let b = Phys_mem.alloc mem Phys_mem.Xen in
+  let c = Phys_mem.alloc mem (Phys_mem.Dom 1) in
+  check_int "first" 0 a;
+  check_int "second" 1 b;
+  check_int "third" 2 c;
+  Phys_mem.free mem b;
+  check_int "freed slot is reused first" b (Phys_mem.alloc mem Phys_mem.Xen)
+
+let test_alloc_zeroed_after_dirty_free () =
+  let mem = Phys_mem.create ~frames:8 in
+  let m = Phys_mem.alloc mem Phys_mem.Xen in
+  Frame.set_u64 (Phys_mem.frame mem m) 0 0xDEAD_BEEFL;
+  Phys_mem.free mem m;
+  let m' = Phys_mem.alloc mem (Phys_mem.Dom 3) in
+  check_int "same frame" m m';
+  check_bool "scrubbed on reallocation" true
+    (Frame.to_bytes (Phys_mem.frame_ro mem m') = Bytes.make 4096 '\000')
+
+let test_free_frames_counter () =
+  let mem = Phys_mem.create ~frames:12 in
+  check_int "all free" 12 (Phys_mem.free_frames mem);
+  let ms = Phys_mem.alloc_many mem Phys_mem.Xen 5 in
+  check_int "after alloc_many" 7 (Phys_mem.free_frames mem);
+  List.iter (Phys_mem.free mem) ms;
+  check_int "after freeing" 12 (Phys_mem.free_frames mem)
+
+(* --- Page_info generation and checkpointing ------------------------------- *)
+
+let test_page_info_generation () =
+  let pages = Page_info.create ~frames:8 in
+  let g0 = Page_info.generation pages in
+  Page_info.get_page pages 3;
+  check_int "plain refcounting does not move the generation" g0 (Page_info.generation pages);
+  (match Page_info.get_page_type pages 3 Page_info.PGT_l1 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "typing a fresh frame");
+  check_bool "typing bumps the generation" true (Page_info.generation pages > g0)
+
+let test_page_info_checkpoint_restore () =
+  let pages = Page_info.create ~frames:8 in
+  let ck = Page_info.checkpoint pages in
+  let g0 = Page_info.generation pages in
+  (match Page_info.get_page_type pages 2 Page_info.PGT_l2 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "typing a fresh frame");
+  Page_info.touch pages 5;
+  (Page_info.get pages 5).Page_info.ptype <- Page_info.PGT_seg;
+  Page_info.restore pages ck;
+  check_bool "type rolled back" true ((Page_info.get pages 2).Page_info.ptype = Page_info.PGT_none);
+  check_int "type count rolled back" 0 (Page_info.get pages 2).Page_info.type_count;
+  check_bool "out-of-band write rolled back" true
+    ((Page_info.get pages 5).Page_info.ptype = Page_info.PGT_none);
+  check_int "generation rolled back" g0 (Page_info.generation pages);
+  check_bool "counts consistent" true (Page_info.counts_consistent pages)
+
+let () =
+  Alcotest.run "perf_engine"
+    [
+      ( "tlb",
+        [
+          Alcotest.test_case "stale without invlpg" `Quick test_stale_tlb_without_invlpg;
+          Alcotest.test_case "coherent across reset" `Quick test_tlb_survives_reset;
+        ]
+        @ qsuite [ prop_tlb_transparent_under_invalidation ] );
+      ( "reset",
+        [
+          Alcotest.test_case "campaign rows: reset = create" `Quick
+            test_reset_equals_create_campaign;
+          Alcotest.test_case "snapshots: reset = create" `Quick test_reset_equals_create_snapshot;
+        ] );
+      ("scan_cache", qsuite [ prop_scan_cache_transparent ]);
+      ( "sharding",
+        [
+          Alcotest.test_case "random campaign" `Quick test_random_campaign_shard_identical;
+          Alcotest.test_case "run_matrix" `Quick test_run_matrix_shard_identical;
+        ] );
+      ( "allocator",
+        [
+          Alcotest.test_case "lowest free first" `Quick test_alloc_lowest_free;
+          Alcotest.test_case "zeroed after dirty free" `Quick test_alloc_zeroed_after_dirty_free;
+          Alcotest.test_case "free counter" `Quick test_free_frames_counter;
+        ] );
+      ( "page_info",
+        [
+          Alcotest.test_case "generation" `Quick test_page_info_generation;
+          Alcotest.test_case "checkpoint/restore" `Quick test_page_info_checkpoint_restore;
+        ] );
+    ]

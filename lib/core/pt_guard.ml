@@ -12,7 +12,7 @@ type t = {
   mutable tick_clock : int;
 }
 
-let snapshot t mfn = Hashtbl.replace t.golden mfn (Frame.copy (Phys_mem.frame t.hv.Hv.mem mfn))
+let snapshot t mfn = Hashtbl.replace t.golden mfn (Frame.copy (Phys_mem.frame_ro t.hv.Hv.mem mfn))
 
 let protect t mfn = snapshot t mfn
 

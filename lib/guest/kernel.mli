@@ -61,6 +61,13 @@ val write_u64 : t -> Addr.vaddr -> int64 -> (unit, Paging.fault) result
 val read_bytes : t -> Addr.vaddr -> int -> (bytes, Paging.fault) result
 val write_bytes : t -> Addr.vaddr -> bytes -> (unit, Paging.fault) result
 
+val invlpg : t -> Addr.vaddr -> unit
+(** MMUEXT_INVLPG_LOCAL: drop the cached translation of one page in
+    this domain's address space. Exploits that remap a window page by
+    rewriting a page-table entry directly must issue this — exactly as
+    their real-world counterparts do — or keep reading the old frame
+    through the TLB. *)
+
 val user_write_u64 : t -> Addr.vaddr -> int64 -> (unit, Paging.fault) result
 (** Same, with user privilege (used by the XSA-182 test's final
     user-space write). *)

@@ -12,6 +12,7 @@ let unpause hv dom =
 (* Release a Xen-side helper frame whose type was set manually by the
    builder (the per-domain M2P chain) or by grant-table setup. *)
 let release_xen_helper hv mfn =
+  Page_info.touch hv.Hv.pages mfn;
   let info = Page_info.get hv.Hv.pages mfn in
   info.Page_info.ptype <- Page_info.PGT_none;
   info.Page_info.type_count <- 0;

@@ -95,3 +95,6 @@ val unmap : t -> handle:int -> (unit, Errno.t) result
 val mappings : t -> map_record list
 val find_mapping : t -> handle:int -> map_record option
 val active_grants : t -> int
+
+val deep_copy : t -> t
+(** Structural copy (for hypervisor checkpointing). *)

@@ -91,3 +91,12 @@ let unhang_vcpu t ~dom =
       Ok ()
 
 let hung_vcpus t = hung_vcpus_internal t
+
+type checkpoint = { ck_queue : (int * vcpu_state * int) list; ck_stalled : int }
+
+let checkpoint t =
+  { ck_queue = List.map (fun v -> (v.v_dom, v.state, v.runs)) t.queue; ck_stalled = t.stalled }
+
+let restore t ck =
+  t.queue <- List.map (fun (v_dom, state, runs) -> { v_dom; state; runs }) ck.ck_queue;
+  t.stalled <- ck.ck_stalled
