@@ -33,7 +33,9 @@ let table3 () =
   hr "TABLE III (injection campaign, §VII/§VIII)";
   print_endline (Campaign.table3 (Lazy.force injection_rows));
   print_endline "\nPaper: all eight Err.State cells check; 4.13 shields XSA-212-priv and";
-  print_endline "XSA-182-test (different security level after the post-XSA-213 hardening)."
+  print_endline "XSA-182-test (different security level after the post-XSA-213 hardening).";
+  print_newline ();
+  print_endline (Campaign.telemetry_table (Lazy.force injection_rows))
 
 let fig1 () =
   hr "FIG 1 (chain of dependability threats + extended AVI)";
@@ -427,6 +429,24 @@ let perf_report ~trials =
           ~modes:[ Campaign.Injection ])
   in
   let matrix_identical = seq_m = par_m in
+  (* layer 5: the trace subsystem. Telemetry columns come from the
+     always-on counters; the ring-on vs ring-off trial timing is the
+     overhead contract (off must stay within noise of the pre-trace
+     numbers, on is allowed to cost). *)
+  let uc148 = Option.get (All.find "XSA-148-priv") in
+  let tb_tr = Testbed.create Version.V4_6 in
+  let row, trace_off_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_tr uc148 Campaign.Injection Version.V4_6)
+  in
+  Trace.enable tb_tr.Testbed.hv.Hv.trace;
+  let row_on, trace_on_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_tr uc148 Campaign.Injection Version.V4_6)
+  in
+  Trace.disable tb_tr.Testbed.hv.Hv.trace;
+  let tm = row.Campaign.r_telemetry in
+  let telemetry_stable = tm = row_on.Campaign.r_telemetry in
   [
     ("trials", I trials);
     ("walk_uncached_ns", F walk_uncached_ns);
@@ -444,6 +464,15 @@ let perf_report ~trials =
     ("run_matrix_sequential_s", F matrix_seq_s);
     ("run_matrix_sharded_s", F matrix_sharded_s);
     ("run_matrix_seq_shard_identical", B matrix_identical);
+    ("trial_hypercalls", I (Trace.total_hypercalls tm));
+    ("trial_hypercalls_failed", I tm.Trace.tm_hypercalls_failed);
+    ("trial_faults", I tm.Trace.tm_faults);
+    ("trial_flushes", I (tm.Trace.tm_flushes + tm.Trace.tm_invlpgs));
+    ("trial_page_type_changes", I tm.Trace.tm_page_type_changes);
+    ("trial_injector_accesses", I tm.Trace.tm_injector_accesses);
+    ("trace_off_trial_s", F trace_off_trial_s);
+    ("trace_on_trial_s", F trace_on_trial_s);
+    ("trace_on_off_telemetry_identical", B telemetry_stable);
   ]
 
 let print_report report =

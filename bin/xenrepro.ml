@@ -83,6 +83,8 @@ let campaign_cmd =
     in
     print_endline (Campaign.table3 rows);
     print_newline ();
+    print_endline (Campaign.telemetry_table rows);
+    print_newline ();
     print_endline "RQ1 validation on Xen 4.6 (exploit vs injection):";
     List.iter
       (fun (name, st, viol) ->
@@ -242,7 +244,7 @@ let stats_cmd =
           (Testbed.kernels tb);
         Printf.printf "hypercalls (nr: calls):";
         List.iter (fun (n, c) -> Printf.printf " %d:%d" n c) (Hv.hypercall_stats hv);
-        Printf.printf "   failed: %d\n" hv.Hv.hypercalls_failed;
+        Printf.printf "   failed: %d\n" (Hv.hypercalls_failed hv);
         `Ok ()
   in
   let mode_arg =
@@ -278,10 +280,77 @@ let ims_cmd =
   in
   Cmd.v (Cmd.info "ims" ~doc) Term.(const run $ verbose_arg)
 
+let trace_cmd =
+  let doc =
+    "Record a use case with the event tracer; print (or replay) the trace."
+  in
+  let uc_opt_arg =
+    let doc =
+      Printf.sprintf "Use case to record — a name (%s) or an XSA id like XSA-148."
+        (String.concat ", " Ii_exploits.All_exploits.names)
+    in
+    Arg.(required & opt (some string) None & info [ "use-case" ] ~docv:"USE-CASE" ~doc)
+  in
+  let mode_arg =
+    Arg.(value & opt string "injection" & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"exploit|injection")
+  in
+  let seed_arg =
+    let doc = "Campaign seed (echoed in the header; the trial itself is deterministic)." in
+    Arg.(value & opt int64 7L & info [ "s"; "seed" ] ~docv:"SEED" ~doc)
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the recording as JSON.") in
+  let replay_arg =
+    Arg.(value & flag & info [ "replay" ] ~doc:"Replay the recording and check final-state equivalence.")
+  in
+  let find_uc name =
+    match Ii_exploits.All_exploits.find name with
+    | Some uc -> Ok uc
+    | None -> (
+        match
+          List.find_opt
+            (fun uc -> uc.Campaign.uc_xsa = name)
+            Ii_exploits.All_exploits.use_cases
+        with
+        | Some uc -> Ok uc
+        | None ->
+            Error
+              (Printf.sprintf "unknown use case %S; available: %s" name
+                 (String.concat ", " Ii_exploits.All_exploits.names)))
+  in
+  let mode_of_string = function
+    | "exploit" -> Some Campaign.Real_exploit
+    | "injection" -> Some Campaign.Injection
+    | _ -> None
+  in
+  let run name mode_s seed version json replay =
+    match (find_uc name, mode_of_string mode_s) with
+    | Error e, _ -> `Error (false, e)
+    | _, None -> `Error (false, Printf.sprintf "unknown mode %S (exploit|injection)" mode_s)
+    | Ok uc, Some mode ->
+        let r = Trace_driver.record uc mode version in
+        if json then print_string (Trace_driver.to_json r)
+        else begin
+          Printf.printf "seed: %Ld\n" seed;
+          print_string (Trace_driver.render r)
+        end;
+        if replay then begin
+          let o = Trace_driver.replay r in
+          Printf.printf "replay: %d boundary events applied, %d records skipped\n"
+            o.Trace_driver.rp_applied o.Trace_driver.rp_skipped;
+          Printf.printf "final state %s\n"
+            (if o.Trace_driver.rp_equal then "EQUIVALENT to the recording"
+             else "DIVERGED from the recording")
+        end;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      ret (const run $ uc_opt_arg $ mode_arg $ seed_arg $ version_arg $ json_arg $ replay_arg))
+
 let main_cmd =
   let doc = "intrusion injection for virtualized systems (DSN'23 reproduction)" in
   Cmd.group
     (Cmd.info "xenrepro" ~version:"1.0.0" ~doc)
-    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd ]
+    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -24,6 +24,7 @@ type result_row = {
   r_violations : Monitor.violation list;
   r_transcript : string list;
   r_rc : int option;
+  r_telemetry : Trace.telemetry;
 }
 
 let mode_to_string = function Real_exploit -> "exploit" | Injection -> "injection"
@@ -39,6 +40,10 @@ let run ?frames ?tb uc mode version =
     | None -> Testbed.create ?frames version
   in
   if mode = Injection then Injector.install tb.Testbed.hv;
+  (* Telemetry comes only from the always-on counters, never the ring,
+     so a trial's result is identical with recording on or off. *)
+  let tr = tb.Testbed.hv.Hv.trace in
+  let counters_before = Trace.Counters.snapshot (Trace.counters tr) in
   let before = Monitor.snapshot tb in
   let attempt =
     match mode with Real_exploit -> uc.run_exploit tb | Injection -> uc.run_injection tb
@@ -52,15 +57,23 @@ let run ?frames ?tb uc mode version =
   let r_state = attempt.states <> [] && List.for_all (fun a -> a.Erroneous_state.holds) audits in
   let r_state_evidence = List.concat_map (fun a -> a.Erroneous_state.evidence) audits in
   let after = Monitor.snapshot tb in
+  let r_violations = Monitor.violations ~before ~after in
+  if Trace.recording tr then
+    Trace.emit tr
+      (Trace.Monitor_verdict
+         { violations = List.length r_violations; classes = Monitor.class_mask r_violations });
   {
     r_use_case = uc.uc_name;
     r_version = version;
     r_mode = mode;
     r_state;
     r_state_evidence;
-    r_violations = Monitor.violations ~before ~after;
+    r_violations;
     r_transcript = attempt.transcript;
     r_rc = attempt.rc;
+    r_telemetry =
+      Trace.delta ~before:counters_before
+        ~after:(Trace.Counters.snapshot (Trace.counters tr));
   }
 
 let run_matrix ?workers ?frames ucs ~versions ~modes =
@@ -139,3 +152,26 @@ let table3 rows =
       "TABLE III: Results of the injection campaign (shield = erroneous state handled by the \
        system)"
     ~header rows
+
+let telemetry_table rows =
+  let header =
+    [ "Use Case"; "Xen"; "Mode"; "Hypercalls"; "Failed"; "Faults"; "Flushes"; "Pg-type"; "Injector" ]
+  in
+  let body =
+    List.map
+      (fun r ->
+        let t = r.r_telemetry in
+        [
+          r.r_use_case;
+          Version.to_string r.r_version;
+          mode_to_string r.r_mode;
+          string_of_int (Trace.total_hypercalls t);
+          string_of_int t.Trace.tm_hypercalls_failed;
+          string_of_int t.Trace.tm_faults;
+          string_of_int (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
+          string_of_int t.Trace.tm_page_type_changes;
+          string_of_int t.Trace.tm_injector_accesses;
+        ])
+      rows
+  in
+  Report.table ~title:"Per-trial telemetry (counter deltas)" ~header body

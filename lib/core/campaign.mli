@@ -37,6 +37,10 @@ type result_row = {
   r_violations : Monitor.violation list;
   r_transcript : string list;
   r_rc : int option;
+  r_telemetry : Trace.telemetry;
+      (** counter delta over the trial: hypercalls by number, faults,
+          flushes, ... Derived from the always-on counters, so it is
+          filled whether or not the trace ring is recording. *)
 }
 
 val mode_to_string : mode -> string
@@ -71,5 +75,10 @@ val table2 : use_case list -> string
 val table3 : result_row list -> string
 (** The Err.State / Sec.Violation matrix for the injection campaign
     (Table III; a handled state renders as the shield). *)
+
+val telemetry_table : result_row list -> string
+(** Per-trial telemetry: hypercalls (total / failed), faults, TLB
+    flushes, page-type transitions and injector accesses for each
+    (use case, version, mode) row. *)
 
 val violated : result_row -> bool

@@ -49,6 +49,11 @@ let handler hv dom (args : int64 array) =
     match action_of_code args.(3) with
     | None -> Error Errno.EINVAL
     | Some action -> (
+        let tr = hv.Hv.trace in
+        Trace.note_injector tr;
+        if Trace.recording tr then
+          Trace.emit tr
+            (Trace.Injector_access { action = Int64.to_int args.(3); addr; len });
         let physical =
           match action with
           | Arbitrary_read_physical | Arbitrary_write_physical -> true

@@ -381,3 +381,6 @@ let class_of = function
 let same_class a b =
   let sig_of l = List.sort compare (List.map class_of l) in
   sig_of a = sig_of b
+
+let class_mask vs =
+  List.fold_left (fun acc v -> acc lor (1 lsl class_of v)) 0 vs

@@ -78,3 +78,8 @@ val pp_violation : Format.formatter -> violation -> unit
 val same_class : violation list -> violation list -> bool
 (** Same multiset of violation classes (ignoring evidence strings) —
     the comparison RQ1 makes between exploit and injection runs. *)
+
+val class_mask : violation list -> int
+(** Bitmask of the violation classes present (bit 0 = hypervisor crash,
+    … bit 5 = availability degradation) — the compact form trace
+    [Monitor_verdict] records carry. *)

@@ -1,0 +1,61 @@
+(** Record/replay on top of the trace subsystem.
+
+    {!record} runs one campaign trial with the trace ring enabled and
+    packages the result: the raw trace image, the result row, and a
+    final monitor snapshot of the testbed. {!replay} re-executes the
+    recorded {e boundary} events — the script-to-testbed crossings —
+    against a fresh testbed of the same configuration and checks that
+    it reaches the same final snapshot (the IRIS-style determinism
+    argument: the boundary stream is a sufficient description of the
+    trial). Internal events are not applied; the machine regenerates
+    them. *)
+
+type recording = {
+  rec_use_case : string;
+  rec_mode : Campaign.mode;
+  rec_version : Version.t;
+  rec_frames : int option;  (** testbed frame count, when non-default *)
+  rec_row : Campaign.result_row;
+  rec_bytes : string;  (** {!Trace.to_bytes} image of the trial *)
+  rec_dropped : int;  (** ring evictions during recording *)
+  rec_final : Monitor.snapshot;  (** testbed state after the trial *)
+}
+
+val record :
+  ?frames:int ->
+  ?capacity_bytes:int ->
+  Campaign.use_case ->
+  Campaign.mode ->
+  Version.t ->
+  recording
+(** Boot a fresh testbed, enable its ring (default capacity 4 MiB),
+    run the trial, disable the ring. Deterministic: the same
+    arguments produce a byte-identical [rec_bytes]. *)
+
+val events : recording -> Trace.record list
+
+type replay_outcome = {
+  rp_applied : int;  (** boundary events re-executed *)
+  rp_skipped : int;  (** records not applied (internal, or nested hypercalls) *)
+  rp_final : Monitor.snapshot;
+  rp_equal : bool;  (** [rp_final] structurally equals [rec_final] *)
+}
+
+val replay : recording -> replay_outcome
+(** Re-execute the recording's boundary events, in order, against a
+    fresh testbed ([rec_version]/[rec_frames], ring disabled; the
+    injector hypercall is installed first in [Injection] mode, matching
+    {!Campaign.run}). Raises [Invalid_argument] when the recording
+    dropped records — an evicted boundary event would desynchronize the
+    run. *)
+
+val hypercall_name : int -> string
+(** ["mmu_update"], ["arbitrary_access"], ... or ["hypercall_<n>"]. *)
+
+val render : recording -> string
+(** Human-readable dump: header, per-record pretty-print, and a
+    summary (counts, detection latency, telemetry). *)
+
+val to_json : recording -> string
+(** The recording as a JSON object (stable field order; events via
+    {!Trace.json_of_records}). *)

@@ -72,6 +72,13 @@ let vdso_mfn t =
   | Some mfn -> mfn
   | None -> failwith "Kernel: vdso page missing"
 
+(* A top-level crossing from a script into the guest: record it as a
+   boundary event. Everything the machine does underneath (faults,
+   flushes, nested hypercalls) is a consequence replay regenerates. *)
+let trace_boundary t event =
+  let tr = t.hv.Hv.trace in
+  if Trace.recording tr && Trace.top_level tr then Trace.emit tr (event ())
+
 let pt_entry t ~table_mfn ~index =
   match Domain.pfn_of_mfn t.domain table_mfn with
   | None -> None
@@ -79,6 +86,12 @@ let pt_entry t ~table_mfn ~index =
       let va =
         Int64.add (Domain.kernel_vaddr_of_pfn pfn) (Int64.of_int (8 * index))
       in
+      (* probe reads hit the TLB like any kernel read, so they are part
+         of the replayable input stream (op [Op_probe_u64]) even though
+         they never deliver a fault *)
+      trace_boundary t (fun () ->
+          Trace.Guest_mem
+            { domid = t.domain.Domain.id; op = Trace.Op_probe_u64; va; len = 8; data = "" });
       match
         Cpu.read_u64 t.hv.Hv.cpu ~ring:Cpu.Kernel ~cr3:t.domain.Domain.l4_mfn va
       with
@@ -105,24 +118,45 @@ let access t ~ring f =
   | Ok v -> Ok v
   | Error fault -> guest_fault t fault
 
-let read_u64 t va = access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.read_u64 t.hv.Hv.cpu ~ring ~cr3 va)
+let trace_mem t op va ~len ~data =
+  trace_boundary t (fun () ->
+      Trace.Guest_mem { domid = t.domain.Domain.id; op; va; len; data })
+
+let read_u64 t va =
+  trace_mem t Trace.Op_read_u64 va ~len:8 ~data:"";
+  access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.read_u64 t.hv.Hv.cpu ~ring ~cr3 va)
+
 let write_u64 t va v =
+  (if Trace.recording t.hv.Hv.trace then
+     let data = Bytes.create 8 in
+     Bytes.set_int64_le data 0 v;
+     trace_mem t Trace.Op_write_u64 va ~len:8 ~data:(Bytes.unsafe_to_string data));
   access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.write_u64 t.hv.Hv.cpu ~ring ~cr3 va v)
 
 let read_bytes t va len =
+  trace_mem t Trace.Op_read_bytes va ~len ~data:"";
   access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.read_bytes t.hv.Hv.cpu ~ring ~cr3 va len)
 
 let write_bytes t va b =
+  if Trace.recording t.hv.Hv.trace then
+    trace_mem t Trace.Op_write_bytes va ~len:(Bytes.length b) ~data:(Bytes.to_string b);
   access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.write_bytes t.hv.Hv.cpu ~ring ~cr3 va b)
 
 (* MMUEXT_INVLPG_LOCAL: a PV kernel (or an exploit running in it) drops
    the cached translation of a page it just remapped by hand. *)
-let invlpg t va = Cpu.tlb_invlpg t.hv.Hv.cpu ~cr3:t.domain.Domain.l4_mfn va
+let invlpg t va =
+  trace_boundary t (fun () -> Trace.Guest_invlpg { domid = t.domain.Domain.id; va });
+  Cpu.tlb_invlpg t.hv.Hv.cpu ~cr3:t.domain.Domain.l4_mfn va
 
 let user_write_u64 t va v =
+  (if Trace.recording t.hv.Hv.trace then
+     let data = Bytes.create 8 in
+     Bytes.set_int64_le data 0 v;
+     trace_mem t Trace.Op_user_write_u64 va ~len:8 ~data:(Bytes.unsafe_to_string data));
   access t ~ring:Cpu.User (fun ~ring ~cr3 -> Cpu.write_u64 t.hv.Hv.cpu ~ring ~cr3 va v)
 
 let user_read_u64 t va =
+  trace_mem t Trace.Op_user_read_u64 va ~len:8 ~data:"";
   access t ~ring:Cpu.User (fun ~ring ~cr3 -> Cpu.read_u64 t.hv.Hv.cpu ~ring ~cr3 va)
 
 (* --- shell ------------------------------------------------------------ *)
@@ -239,6 +273,10 @@ let balloon t =
           end)
 
 let tick t =
+  let tr = t.hv.Hv.trace in
+  trace_boundary t (fun () -> Trace.Kernel_tick { domid = t.domain.Domain.id });
+  Trace.enter tr;
+  Fun.protect ~finally:(fun () -> Trace.leave tr) @@ fun () ->
   if not (Hv.is_crashed t.hv) then begin
     drain_events t;
     balloon t;

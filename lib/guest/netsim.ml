@@ -7,15 +7,18 @@ type connection = {
   conn_uid : int;
   exec : string -> string;
   transcript : Buffer.t;
+  conn_trace : Trace.t option;
 }
 
 type t = {
   mutable listeners : (string * int) list;
   mutable connections : connection list;
   mutable next_id : int;
+  mutable tracer : Trace.t option;
 }
 
-let create () = { listeners = []; connections = []; next_id = 0 }
+let create () = { listeners = []; connections = []; next_id = 0; tracer = None }
+let set_tracer t tr = t.tracer <- Some tr
 
 let listen t ~host ~port =
   if not (List.mem (host, port) t.listeners) then t.listeners <- (host, port) :: t.listeners
@@ -40,6 +43,7 @@ let connect t ~from_host ~from_ip ~host ~port ~uid ~exec =
         conn_uid = uid;
         exec;
         transcript;
+        conn_trace = t.tracer;
       }
     in
     t.next_id <- t.next_id + 1;
@@ -47,8 +51,21 @@ let connect t ~from_host ~from_ip ~host ~port ~uid ~exec =
     Ok conn
   end
 
+(* A command typed on the remote side is an input to the testbed, so it
+   is a boundary event; the shell execution underneath is bracketed
+   with enter/leave like any other recorded crossing. *)
 let run_command conn cmd =
-  let out = conn.exec cmd in
+  let out =
+    match conn.conn_trace with
+    | None -> conn.exec cmd
+    | Some tr ->
+        if Trace.recording tr && Trace.top_level tr then
+          Trace.emit tr
+            (Trace.Net_cmd
+               { to_host = conn.to_host; port = conn.port; conn_id = conn.conn_id; cmd });
+        Trace.enter tr;
+        Fun.protect ~finally:(fun () -> Trace.leave tr) @@ fun () -> conn.exec cmd
+  in
   Buffer.add_string conn.transcript cmd;
   Buffer.add_char conn.transcript '\n';
   if out <> "" then begin

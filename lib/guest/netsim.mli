@@ -15,11 +15,16 @@ type connection = {
   conn_uid : int;  (** privilege of the shell behind the connection *)
   exec : string -> string;  (** run a command on the connecting side *)
   transcript : Buffer.t;
+  conn_trace : Trace.t option;  (** tracer captured at connect time *)
 }
 
 type t
 
 val create : unit -> t
+
+val set_tracer : t -> Trace.t -> unit
+(** Connections opened after this carry the tracer, so commands typed
+    over them are recorded as boundary events. *)
 
 val listen : t -> host:string -> port:int -> unit
 (** Start (or restart) a listener; its banner is recorded in the

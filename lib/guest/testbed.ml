@@ -11,6 +11,7 @@ type t = {
 let create ?(frames = 2048) ?(dom0_pages = 128) ?(guest_pages = 96) version =
   let hv = Hv.boot ~version ~frames in
   let net = Netsim.create () in
+  Netsim.set_tracer net hv.Hv.trace;
   let dom0 = Builder.create_domain hv ~name:"xen3" ~privileged:true ~pages:dom0_pages in
   let victim = Builder.create_domain hv ~name:"guest01" ~privileged:false ~pages:guest_pages in
   let attacker = Builder.create_domain hv ~name:"guest03" ~privileged:false ~pages:guest_pages in
@@ -30,6 +31,7 @@ let reset t =
      the kernels (which hold the old records) must be rebuilt around the
      restored ones — by domid, exactly as after [create] *)
   let net = Netsim.create () in
+  Netsim.set_tracer net t.hv.Hv.trace;
   let rebuild stale =
     match Hv.find_domain t.hv (Kernel.domid stale) with
     | Some dom -> Kernel.create t.hv dom net
@@ -48,10 +50,19 @@ let kernel_of t domid =
 (* One scheduling round: every vcpu gets (at most) one slice; a hung
    vcpu pins the pCPU and nobody else runs. *)
 let tick_all t =
+  let tr = t.hv.Hv.trace in
+  if Trace.recording tr && Trace.top_level tr then Trace.emit tr Trace.Sched_round;
+  Trace.enter tr;
+  Fun.protect ~finally:(fun () -> Trace.leave tr) @@ fun () ->
   for _ = 1 to List.length (kernels t) do
     match Hv.sched_tick t.hv with
     | Sched.Scheduled domid -> (
         match kernel_of t domid with Some k -> Kernel.tick k | None -> ())
     | Sched.Cpu_stalled _ | Sched.Idle -> ()
   done
-let remote_listen t ~port = Netsim.listen t.net ~host:t.remote_host ~port
+
+let remote_listen t ~port =
+  let tr = t.hv.Hv.trace in
+  if Trace.recording tr && Trace.top_level tr then
+    Trace.emit tr (Trace.Net_listen { host = t.remote_host; port });
+  Netsim.listen t.net ~host:t.remote_host ~port

@@ -10,8 +10,10 @@ type t = {
 
 type 'a access_result = ('a, Paging.fault) result
 
-let create mem ~hardened =
-  { mem; hardened; idt = None; handlers = Hashtbl.create 31; tlb = Paging.Tlb.create () }
+let create ?tracer mem ~hardened =
+  let tlb = Paging.Tlb.create () in
+  (match tracer with Some tr -> Paging.Tlb.set_tracer tlb tr | None -> ());
+  { mem; hardened; idt = None; handlers = Hashtbl.create 31; tlb }
 
 let mem t = t.mem
 let hardened t = t.hardened

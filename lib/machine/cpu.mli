@@ -16,7 +16,10 @@ type ring = Hyp | Kernel | User
 
 type t
 
-val create : Phys_mem.t -> hardened:bool -> t
+val create : ?tracer:Trace.t -> Phys_mem.t -> hardened:bool -> t
+(** [tracer] is wired into the software TLB so flushes and invlpgs
+    are counted, and recorded while the ring is enabled. *)
+
 val mem : t -> Phys_mem.t
 val hardened : t -> bool
 val set_idt : t -> Addr.mfn -> unit

@@ -128,21 +128,42 @@ module Tlb = struct
     mutable misses : int;
     mutable flushes : int;
     mutable invlpgs : int;
+    mutable tracer : Trace.t option;
   }
 
   let create ?(capacity = 4096) () =
     if capacity <= 0 then invalid_arg "Paging.Tlb.create: capacity must be positive";
-    { entries = Hashtbl.create 256; capacity; hits = 0; misses = 0; flushes = 0; invlpgs = 0 }
+    {
+      entries = Hashtbl.create 256;
+      capacity;
+      hits = 0;
+      misses = 0;
+      flushes = 0;
+      invlpgs = 0;
+      tracer = None;
+    }
+
+  let set_tracer t tr = t.tracer <- Some tr
 
   let vpn va = Int64.to_int (Int64.shift_right_logical (Addr.canonical va) Addr.page_shift)
 
   let flush_all t =
     if Hashtbl.length t.entries > 0 then Hashtbl.reset t.entries;
-    t.flushes <- t.flushes + 1
+    t.flushes <- t.flushes + 1;
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Trace.note_flush tr;
+        if Trace.recording tr then Trace.emit tr Trace.Tlb_flush_all
 
   let invlpg t ~cr3 va =
     Hashtbl.remove t.entries (cr3, vpn va);
-    t.invlpgs <- t.invlpgs + 1
+    t.invlpgs <- t.invlpgs + 1;
+    match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Trace.note_invlpg tr;
+        if Trace.recording tr then Trace.emit tr (Trace.Tlb_invlpg { va })
 
   let stats t = { hits = t.hits; misses = t.misses; flushes = t.flushes; invlpgs = t.invlpgs }
   let size t = Hashtbl.length t.entries

@@ -78,6 +78,10 @@ module Tlb : sig
   (** Default capacity 4096 cached pages; on overflow the whole cache is
       flushed (a coarse but faithful capacity eviction). *)
 
+  val set_tracer : t -> Trace.t -> unit
+  (** Report flushes and invlpgs to a tracer (counters always, ring
+      records while it is recording). *)
+
   val flush_all : t -> unit
   (** CR3 load / global flush. *)
 

@@ -1,0 +1,223 @@
+(** A xentrace-style event tracer: typed records in a binary ring
+    buffer, plus a set of always-on scalar counters.
+
+    The design splits observability in two tiers:
+
+    - {b Counters} are always on. They are plain integer increments
+      (hypercalls by number, faults, TLB flushes, page-type
+      transitions, ...), cheap enough to leave enabled on every
+      campaign trial. {!Hv.hypercall_stats} and the per-trial telemetry
+      columns are views over them.
+
+    - The {b ring} is off by default. When enabled ({!enable}), every
+      instrumentation point also serializes a typed record into a
+      circular byte buffer; when the ring fills, the oldest whole
+      records are evicted (xentrace keeps the newest). A disabled ring
+      costs one boolean load per instrumentation point.
+
+    Records carry a monotonically increasing sequence number instead of
+    a wall-clock timestamp, so a trace of a deterministic run is itself
+    byte-deterministic: the same trial recorded twice produces
+    bit-identical {!to_bytes} output.
+
+    {b Boundary vs. internal events.} Events subdivide into {e
+    boundary} events — crossings from a script into the testbed
+    (hypercalls with full argument payloads, guest memory accesses,
+    kernel ticks, network commands) — and {e internal} events, the
+    consequences the machine produces on its own (faults, flushes,
+    page-type transitions, verdicts). A recorded boundary stream is
+    sufficient to re-execute the trial ({!Trace_driver} in [ii_core]);
+    internal events are pure observability. The {!enter}/{!leave} depth
+    counter suppresses boundary records for nested crossings (a balloon
+    hypercall issued from inside a recorded kernel tick is a
+    consequence of the tick, not an input), which is what makes replay
+    apply each input exactly once. *)
+
+type t
+
+(** {1 Events} *)
+
+(** Guest memory access flavours, in the encoding used by
+    [Guest_mem.op]. *)
+type mem_op =
+  | Op_read_u64
+  | Op_write_u64
+  | Op_read_bytes
+  | Op_write_bytes
+  | Op_user_read_u64
+  | Op_user_write_u64
+  | Op_probe_u64
+      (** a page-table probe read ({!Kernel.pt_entry}): translated like
+          a kernel read but never delivers a fault *)
+
+val mem_op_code : mem_op -> int
+val mem_op_of_code : int -> mem_op option
+val mem_op_name : mem_op -> string
+
+type event =
+  (* boundary events (replayable inputs) *)
+  | Hypercall of { domid : int; number : int; digest : int64; payload : string }
+      (** [payload] is the {!Hypercall.encode_call} serialization when
+          the call was recorded at top level, [""] for nested calls
+          (which replay regenerates). [digest] is {!digest} of the
+          payload. *)
+  | Guest_mem of { domid : int; op : mem_op; va : int64; len : int; data : string }
+      (** [data] carries the written bytes for write flavours, [""] for
+          reads. *)
+  | Guest_invlpg of { domid : int; va : int64 }
+  | Kernel_tick of { domid : int }
+  | Sched_round
+  | Net_listen of { host : string; port : int }
+  | Net_cmd of { to_host : string; port : int; conn_id : int; cmd : string }
+  | Xenstore_write of { caller : int; injected : bool; path : string; value : string }
+  (* internal events (observability only; replay regenerates them) *)
+  | Hypercall_ret of { domid : int; number : int; rc : int64; failed : bool }
+  | Fault of { vector : int; escalation : int }
+      (** [escalation]: 0 handled, 1 double-fault panic, 2 triple fault *)
+  | Tlb_flush_all
+  | Tlb_invlpg of { va : int64 }
+  | Page_type of { mfn : int; from_type : int; to_type : int }
+      (** a [Page_info] type transition, as {!Page_info.ptype}
+          constructor indices *)
+  | Grant_op of { domid : int; op : int }
+  | Evtchn_op of { domid : int; op : int }
+  | Injector_access of { action : int; addr : int64; len : int }
+  | Console of { len : int; digest : int64 }
+  | Monitor_verdict of { violations : int; classes : int }
+      (** [classes] is a bitmask of violation classes (see
+          {!Monitor.class_mask}) *)
+  | Panic of { reason : string }
+
+val is_boundary : event -> bool
+(** True for the events replay applies: every boundary constructor,
+    except [Hypercall] records with an empty payload. *)
+
+val event_name : event -> string
+val pp_event : Format.formatter -> event -> unit
+
+type record = { seq : int; event : event }
+
+(** {1 Lifecycle} *)
+
+val create : unit -> t
+(** Counters armed, ring disabled. *)
+
+val enable : ?capacity_bytes:int -> t -> unit
+(** Clear the ring, size it to [capacity_bytes] (default 4 MiB) and
+    start recording. Sequence numbers restart at 0. *)
+
+val disable : t -> unit
+(** Stop recording. The recorded contents stay readable. *)
+
+val recording : t -> bool
+
+val clear : t -> unit
+(** Drop the ring contents and reset [seq]/[dropped]; recording state
+    and counters are unchanged. *)
+
+(** {1 Recording} *)
+
+val emit : t -> event -> unit
+(** Append a record (no-op when the ring is disabled). Call sites on
+    hot paths guard with [if Trace.recording t then ...] so the event
+    payload is never even allocated while tracing is off. *)
+
+val enter : t -> unit
+val leave : t -> unit
+(** Bracket the execution of a recorded boundary event, so boundary
+    records for nested crossings are suppressed. *)
+
+val top_level : t -> bool
+(** No enclosing boundary event is executing. *)
+
+val dropped : t -> int
+(** Records evicted by wraparound since {!enable}/{!clear}. *)
+
+val seq : t -> int
+(** Sequence number the next record will get (= records emitted so
+    far). *)
+
+(** {1 Reading a trace} *)
+
+val to_bytes : t -> string
+(** The live records, oldest first, in the framed binary layout
+    ([u32 len | u32 seq | u8 code | payload], little-endian). Two
+    recordings of the same deterministic run are byte-identical. *)
+
+val records : t -> record list
+(** Decoded view of {!to_bytes}, oldest first. *)
+
+val records_of_string : string -> record list
+(** Decode a {!to_bytes} image (e.g. one held by a
+    [Trace_driver.recording]). *)
+
+val detection_latency : record list -> int option
+(** Sequence distance from the first injector access to the first
+    non-empty monitor verdict after it — the trace-level
+    detection-latency metric (None when either end is missing). *)
+
+(** {1 Counters} *)
+
+module Counters : sig
+  type t
+
+  (** An immutable copy, for checkpoint/restore and for computing
+      per-trial deltas. *)
+  type snapshot
+
+  val snapshot : t -> snapshot
+  val restore : t -> snapshot -> unit
+  val hypercalls : t -> (int * int) list
+  (** (hypercall number, calls), ascending by number. *)
+
+  val hypercalls_failed : t -> int
+  val faults : t -> int
+  val double_faults : t -> int
+  val flushes : t -> int
+  val invlpgs : t -> int
+  val page_type_changes : t -> int
+  val grant_ops : t -> int
+  val evtchn_ops : t -> int
+  val injector_accesses : t -> int
+  val console_lines : t -> int
+end
+
+val counters : t -> Counters.t
+
+val note_hypercall : t -> number:int -> failed:bool -> unit
+val note_fault : t -> double:bool -> unit
+val note_flush : t -> unit
+val note_invlpg : t -> unit
+val note_page_type : t -> unit
+val note_grant : t -> unit
+val note_evtchn : t -> unit
+val note_injector : t -> unit
+val note_console : t -> unit
+
+(** {1 Per-trial telemetry} *)
+
+(** The counter delta over one campaign trial. *)
+type telemetry = {
+  tm_hypercalls : (int * int) list;  (** by hypercall number, ascending *)
+  tm_hypercalls_failed : int;
+  tm_faults : int;
+  tm_double_faults : int;
+  tm_flushes : int;
+  tm_invlpgs : int;
+  tm_page_type_changes : int;
+  tm_grant_ops : int;
+  tm_evtchn_ops : int;
+  tm_injector_accesses : int;
+}
+
+val delta : before:Counters.snapshot -> after:Counters.snapshot -> telemetry
+val total_hypercalls : telemetry -> int
+
+(** {1 Helpers} *)
+
+val digest : string -> int64
+(** FNV-1a (64-bit) — the argument digest attached to hypercall and
+    console records. *)
+
+val json_of_records : record list -> string
+(** A JSON array of record objects (hand-rolled, stable field order). *)

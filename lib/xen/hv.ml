@@ -16,8 +16,7 @@ type t = {
   mutable next_domid : int;
   mutable extra_hypercalls : (int * string * hypercall_handler) list;
   mutable pt_write_hook : (Addr.mfn -> unit) option;
-  hypercall_counts : (int, int) Hashtbl.t;
-  mutable hypercalls_failed : int;
+  trace : Trace.t;
 }
 
 and hypercall_handler = t -> Domain.t -> int64 array -> (int64, Errno.t) result
@@ -27,13 +26,18 @@ let hardened t = Version.hardened_address_space t.version
 let log t line =
   Buffer.add_string t.console "(XEN) ";
   Buffer.add_string t.console line;
-  Buffer.add_char t.console '\n'
+  Buffer.add_char t.console '\n';
+  Trace.note_console t.trace;
+  if Trace.recording t.trace then
+    Trace.emit t.trace
+      (Trace.Console { len = String.length line; digest = Trace.digest line })
 
 let console_lines t = String.split_on_char '\n' (Buffer.contents t.console)
 let is_crashed t = t.crashed <> None
 
 let panic t ~reason ~dump =
   if not (is_crashed t) then begin
+    if Trace.recording t.trace then Trace.emit t.trace (Trace.Panic { reason });
     t.crashed <- Some { reason; dump };
     List.iter (log t) dump;
     log t (Printf.sprintf "Panic on CPU 0: %s" reason);
@@ -86,13 +90,11 @@ let release_page t mfn =
 
 let notify_pt_write t mfn = match t.pt_write_hook with Some hook -> hook mfn | None -> ()
 
-let count_hypercall t ~number ~failed =
-  Hashtbl.replace t.hypercall_counts number
-    (1 + Option.value ~default:0 (Hashtbl.find_opt t.hypercall_counts number));
-  if failed then t.hypercalls_failed <- t.hypercalls_failed + 1
-
-let hypercall_stats t =
-  List.sort compare (Hashtbl.fold (fun n c acc -> (n, c) :: acc) t.hypercall_counts [])
+(* The hypercall bookkeeping is a thin view over the trace counters
+   (which are always on), so the historical API keeps working. *)
+let count_hypercall t ~number ~failed = Trace.note_hypercall t.trace ~number ~failed
+let hypercall_stats t = Trace.Counters.hypercalls (Trace.counters t.trace)
+let hypercalls_failed t = Trace.Counters.hypercalls_failed (Trace.counters t.trace)
 
 let exhaust_memory t ~leave =
   let taken = ref 0 in
@@ -151,6 +153,17 @@ let crash_dump t ~first_vector ~bad_handler ~detail =
 
 let deliver_fault t ~vector ~detail =
   let outcome = Cpu.deliver_exception t.cpu ~vector in
+  let double = match outcome with Cpu.Handled _ -> false | _ -> true in
+  Trace.note_fault t.trace ~double;
+  if Trace.recording t.trace then begin
+    let escalation =
+      match outcome with
+      | Cpu.Handled _ -> 0
+      | Cpu.Double_fault_panic _ -> 1
+      | Cpu.Triple_fault -> 2
+    in
+    Trace.emit t.trace (Trace.Fault { vector; escalation })
+  end;
   (match outcome with
   | Cpu.Handled _ -> ()
   | Cpu.Double_fault_panic { first_vector; bad_handler } ->
@@ -195,8 +208,7 @@ type checkpoint = {
   ck_sched : Sched.checkpoint;
   ck_extra : (int * string * hypercall_handler) list;
   ck_hook : (Addr.mfn -> unit) option;
-  ck_counts : (int * int) list;
-  ck_failed : int;
+  ck_counters : Trace.Counters.snapshot;
   ck_pages : Page_info.checkpoint;
   ck_handlers : (Addr.vaddr * string) list;
 }
@@ -212,8 +224,7 @@ let checkpoint t =
     ck_sched = Sched.checkpoint t.sched;
     ck_extra = t.extra_hypercalls;
     ck_hook = t.pt_write_hook;
-    ck_counts = hypercall_stats t;
-    ck_failed = t.hypercalls_failed;
+    ck_counters = Trace.Counters.snapshot (Trace.counters t.trace);
     ck_pages = Page_info.checkpoint t.pages;
     ck_handlers = Cpu.handlers_dump t.cpu;
   }
@@ -231,9 +242,9 @@ let restore t ck =
   Sched.restore t.sched ck.ck_sched;
   t.extra_hypercalls <- ck.ck_extra;
   t.pt_write_hook <- ck.ck_hook;
-  Hashtbl.reset t.hypercall_counts;
-  List.iter (fun (n, c) -> Hashtbl.replace t.hypercall_counts n c) ck.ck_counts;
-  t.hypercalls_failed <- ck.ck_failed;
+  (* the counters roll back with the machine; the trace ring does not —
+     a recording deliberately spans resets, which replay re-executes *)
+  Trace.Counters.restore (Trace.counters t.trace) ck.ck_counters;
   Cpu.handlers_restore t.cpu ck.ck_handlers;
   (* reset_to_baseline bumped the generation, but flush anyway so the
      restored machine starts from a cold TLB like a rebooted host *)
@@ -254,7 +265,8 @@ let lookup_hypercall t number =
 
 let boot ~version ~frames =
   let mem = Phys_mem.create ~frames in
-  let cpu = Cpu.create mem ~hardened:(Version.hardened_address_space version) in
+  let trace = Trace.create () in
+  let cpu = Cpu.create ~tracer:trace mem ~hardened:(Version.hardened_address_space version) in
   let pages = Page_info.create ~frames in
   let m2p_frame_count = (frames + entries_per_m2p_frame - 1) / entries_per_m2p_frame in
   (* Allocation order is deterministic: text, IDT, then the M2P frames. *)
@@ -278,10 +290,10 @@ let boot ~version ~frames =
       next_domid = 0;
       extra_hypercalls = [];
       pt_write_hook = None;
-      hypercall_counts = Hashtbl.create 17;
-      hypercalls_failed = 0;
+      trace;
     }
   in
+  Xenstore.set_tracer t.xenstore trace;
   mark_alloc t text_mfn Phys_mem.Xen;
   mark_alloc t idt_mfn Phys_mem.Xen;
   Array.iter (fun mfn -> mark_alloc t mfn Phys_mem.Xen) m2p_mfns;

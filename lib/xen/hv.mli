@@ -30,8 +30,9 @@ type t = {
   mutable pt_write_hook : (Addr.mfn -> unit) option;
       (** observer of legitimate, validated page-table writes — how an
           integrity monitor tracks the authorized update stream *)
-  hypercall_counts : (int, int) Hashtbl.t;
-  mutable hypercalls_failed : int;
+  trace : Trace.t;
+      (** the observability substrate: always-on counters plus the
+          optional event ring ({!Trace}) *)
 }
 
 and hypercall_handler = t -> Domain.t -> int64 array -> (int64, Errno.t) result
@@ -86,10 +87,14 @@ val notify_pt_write : t -> Addr.mfn -> unit
 (** Invoked by the MMU code after every validated entry write. *)
 
 val count_hypercall : t -> number:int -> failed:bool -> unit
-(** Bookkeeping the dispatcher calls on every hypercall. *)
+(** Bookkeeping the dispatcher calls on every hypercall — a thin view
+    over [t.trace]'s always-on counters. *)
 
 val hypercall_stats : t -> (int * int) list
 (** (hypercall number, calls) ascending by number. *)
+
+val hypercalls_failed : t -> int
+(** How many dispatched hypercalls returned an error. *)
 
 val exhaust_memory : t -> leave:int -> int
 (** The Uncontrolled-Memory-Allocation injector hook: grab free frames

@@ -53,6 +53,224 @@ let name_of_call = function
   | Event_channel_op _ -> "event_channel_op"
   | Raw { number; _ } -> Printf.sprintf "hypercall#%d" number
 
+(* --- binary serialization (trace payloads) --------------------------- *)
+
+(* A recorded hypercall carries its full argument structure, so a
+   replay driver can re-issue the exact same call against a fresh
+   testbed. The encoding is the same little-endian framing the trace
+   ring uses: u8 tags, u32 scalars, i64 words, u32-length strings. *)
+
+let put_u8 b v = Buffer.add_uint8 b (v land 0xff)
+let put_u32 b v = Buffer.add_int32_le b (Int32.of_int v)
+let put_i64 b (v : int64) = Buffer.add_int64_le b v
+
+let put_str b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode_mmuext b = function
+  | Pin_l4_table mfn -> put_u8 b 0; put_u32 b mfn
+  | Pin_l3_table mfn -> put_u8 b 1; put_u32 b mfn
+  | Pin_l2_table mfn -> put_u8 b 2; put_u32 b mfn
+  | Pin_l1_table mfn -> put_u8 b 3; put_u32 b mfn
+  | Unpin_table mfn -> put_u8 b 4; put_u32 b mfn
+  | New_baseptr mfn -> put_u8 b 5; put_u32 b mfn
+
+let encode_grant_op b = function
+  | Gnttab_setup_table { nr_frames } -> put_u8 b 0; put_u32 b nr_frames
+  | Gnttab_set_version v -> put_u8 b 1; put_u8 b (match v with Grant_table.V1 -> 1 | V2 -> 2)
+  | Gnttab_grant_access { gref; grantee; pfn; readonly } ->
+      put_u8 b 2; put_u32 b gref; put_u32 b grantee; put_u32 b pfn;
+      put_u8 b (if readonly then 1 else 0)
+  | Gnttab_end_access { gref } -> put_u8 b 3; put_u32 b gref
+  | Gnttab_map { granter; gref } -> put_u8 b 4; put_u32 b granter; put_u32 b gref
+  | Gnttab_unmap { granter; handle } -> put_u8 b 5; put_u32 b granter; put_u32 b handle
+
+let encode_evtchn_op b = function
+  | Evtchn_alloc_unbound { allowed_remote } -> put_u8 b 0; put_u32 b allowed_remote
+  | Evtchn_bind_interdomain { remote_dom; remote_port } ->
+      put_u8 b 1; put_u32 b remote_dom; put_u32 b remote_port
+  | Evtchn_bind_virq { virq } -> put_u8 b 2; put_u32 b virq
+  | Evtchn_send { port } -> put_u8 b 3; put_u32 b port
+  | Evtchn_close { port } -> put_u8 b 4; put_u32 b port
+
+let encode_call call =
+  let b = Buffer.create 64 in
+  (match call with
+  | Mmu_update updates ->
+      put_u8 b 0;
+      put_u32 b (List.length updates);
+      List.iter
+        (fun (ptr, pte) ->
+          put_i64 b ptr;
+          put_i64 b pte)
+        updates
+  | Mmuext_op op -> put_u8 b 1; encode_mmuext b op
+  | Update_va_mapping { va; value } -> put_u8 b 2; put_i64 b va; put_i64 b value
+  | Memory_exchange { Memory_exchange.in_pfns; out_extent_start } ->
+      put_u8 b 3;
+      put_u32 b (List.length in_pfns);
+      List.iter (put_u32 b) in_pfns;
+      put_i64 b out_extent_start
+  | Decrease_reservation pfns ->
+      put_u8 b 4;
+      put_u32 b (List.length pfns);
+      List.iter (put_u32 b) pfns
+  | Grant_table_op op -> put_u8 b 5; encode_grant_op b op
+  | Event_channel_op op -> put_u8 b 6; encode_evtchn_op b op
+  | Console_io s -> put_u8 b 7; put_str b s
+  | Raw { number; args } ->
+      put_u8 b 8;
+      put_u32 b number;
+      put_u32 b (Array.length args);
+      Array.iter (put_i64 b) args);
+  Buffer.contents b
+
+type reader = { src : string; mutable pos : int }
+
+let fits r n = r.pos + n <= String.length r.src
+
+let get_u8 r =
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let get_u32 r =
+  let v = Int32.to_int (String.get_int32_le r.src r.pos) in
+  r.pos <- r.pos + 4;
+  v
+
+let get_i64 r =
+  let v = String.get_int64_le r.src r.pos in
+  r.pos <- r.pos + 8;
+  v
+
+let decode_mmuext r =
+  if not (fits r 5) then None
+  else
+    let tag = get_u8 r in
+    let mfn = get_u32 r in
+    match tag with
+    | 0 -> Some (Pin_l4_table mfn)
+    | 1 -> Some (Pin_l3_table mfn)
+    | 2 -> Some (Pin_l2_table mfn)
+    | 3 -> Some (Pin_l1_table mfn)
+    | 4 -> Some (Unpin_table mfn)
+    | 5 -> Some (New_baseptr mfn)
+    | _ -> None
+
+let decode_grant_op r =
+  if not (fits r 1) then None
+  else
+    match get_u8 r with
+    | 0 when fits r 4 -> Some (Gnttab_setup_table { nr_frames = get_u32 r })
+    | 1 when fits r 1 -> (
+        match get_u8 r with
+        | 1 -> Some (Gnttab_set_version Grant_table.V1)
+        | 2 -> Some (Gnttab_set_version Grant_table.V2)
+        | _ -> None)
+    | 2 when fits r 13 ->
+        let gref = get_u32 r in
+        let grantee = get_u32 r in
+        let pfn = get_u32 r in
+        let readonly = get_u8 r = 1 in
+        Some (Gnttab_grant_access { gref; grantee; pfn; readonly })
+    | 3 when fits r 4 -> Some (Gnttab_end_access { gref = get_u32 r })
+    | 4 when fits r 8 ->
+        let granter = get_u32 r in
+        let gref = get_u32 r in
+        Some (Gnttab_map { granter; gref })
+    | 5 when fits r 8 ->
+        let granter = get_u32 r in
+        let handle = get_u32 r in
+        Some (Gnttab_unmap { granter; handle })
+    | _ -> None
+
+let decode_evtchn_op r =
+  if not (fits r 1) then None
+  else
+    match get_u8 r with
+    | 0 when fits r 4 -> Some (Evtchn_alloc_unbound { allowed_remote = get_u32 r })
+    | 1 when fits r 8 ->
+        let remote_dom = get_u32 r in
+        let remote_port = get_u32 r in
+        Some (Evtchn_bind_interdomain { remote_dom; remote_port })
+    | 2 when fits r 4 -> Some (Evtchn_bind_virq { virq = get_u32 r })
+    | 3 when fits r 4 -> Some (Evtchn_send { port = get_u32 r })
+    | 4 when fits r 4 -> Some (Evtchn_close { port = get_u32 r })
+    | _ -> None
+
+(* [List.init]/[Array.init] do not specify evaluation order, so lists
+   read off the cursor are built with explicit left-to-right recursion. *)
+let read_list n f r =
+  let rec go i acc = if i >= n then List.rev acc else go (i + 1) (f r :: acc) in
+  go 0 []
+
+let decode_call src =
+  let r = { src; pos = 0 } in
+  if not (fits r 1) then None
+  else
+    match get_u8 r with
+    | 0 when fits r 4 ->
+        let n = get_u32 r in
+        if n < 0 || not (fits r (16 * n)) then None
+        else
+          Some
+            (Mmu_update
+               (read_list n
+                  (fun r ->
+                    let ptr = get_i64 r in
+                    let pte = get_i64 r in
+                    (ptr, pte))
+                  r))
+    | 1 -> Option.map (fun op -> Mmuext_op op) (decode_mmuext r)
+    | 2 when fits r 16 ->
+        let va = get_i64 r in
+        let value = get_i64 r in
+        Some (Update_va_mapping { va; value })
+    | 3 when fits r 4 ->
+        let n = get_u32 r in
+        if n < 0 || not (fits r ((4 * n) + 8)) then None
+        else
+          let in_pfns = read_list n get_u32 r in
+          let out_extent_start = get_i64 r in
+          Some (Memory_exchange { Memory_exchange.in_pfns; out_extent_start })
+    | 4 when fits r 4 ->
+        let n = get_u32 r in
+        if n < 0 || not (fits r (4 * n)) then None
+        else Some (Decrease_reservation (read_list n get_u32 r))
+    | 5 -> Option.map (fun op -> Grant_table_op op) (decode_grant_op r)
+    | 6 -> Option.map (fun op -> Event_channel_op op) (decode_evtchn_op r)
+    | 7 when fits r 4 ->
+        let n = get_u32 r in
+        if n < 0 || not (fits r n) then None
+        else begin
+          let s = String.sub r.src r.pos n in
+          r.pos <- r.pos + n;
+          Some (Console_io s)
+        end
+    | 8 when fits r 8 ->
+        let number = get_u32 r in
+        let n = get_u32 r in
+        if n < 0 || not (fits r (8 * n)) then None
+        else Some (Raw { number; args = Array.of_list (read_list n get_i64 r) })
+    | _ -> None
+
+let grant_op_index = function
+  | Gnttab_setup_table _ -> 0
+  | Gnttab_set_version _ -> 1
+  | Gnttab_grant_access _ -> 2
+  | Gnttab_end_access _ -> 3
+  | Gnttab_map _ -> 4
+  | Gnttab_unmap _ -> 5
+
+let evtchn_op_index = function
+  | Evtchn_alloc_unbound _ -> 0
+  | Evtchn_bind_interdomain _ -> 1
+  | Evtchn_bind_virq _ -> 2
+  | Evtchn_send _ -> 3
+  | Evtchn_close _ -> 4
+
 let ok0 = Ok 0L
 let of_unit = function Ok () -> ok0 | Error e -> Error e
 let of_int = function Ok n -> Ok (Int64.of_int n) | Error e -> Error e
@@ -153,8 +371,18 @@ let dispatch_uncounted hv dom call =
         | Ok { Memory_exchange.nr_exchanged; _ } -> Ok (Int64.of_int nr_exchanged)
         | Error e -> Error e)
     | Decrease_reservation pfns -> of_int (Mm.decrease_reservation hv dom pfns)
-    | Grant_table_op op -> do_grant_op hv dom op
-    | Event_channel_op op -> do_evtchn hv dom op
+    | Grant_table_op op ->
+        let tr = hv.Hv.trace in
+        Trace.note_grant tr;
+        if Trace.recording tr then
+          Trace.emit tr (Trace.Grant_op { domid = dom.Domain.id; op = grant_op_index op });
+        do_grant_op hv dom op
+    | Event_channel_op op ->
+        let tr = hv.Hv.trace in
+        Trace.note_evtchn tr;
+        if Trace.recording tr then
+          Trace.emit tr (Trace.Evtchn_op { domid = dom.Domain.id; op = evtchn_op_index op });
+        do_evtchn hv dom op
     | Console_io s ->
         Hv.log hv (Printf.sprintf "(d%d) %s" dom.Domain.id s);
         ok0
@@ -164,8 +392,27 @@ let dispatch_uncounted hv dom call =
         | None -> Error Errno.ENOSYS)
 
 let dispatch hv dom call =
+  let tr = hv.Hv.trace in
+  let number = number_of_call call in
+  (* Only a top-level call is a replayable input: nested calls (the
+     balloon driver inside a recorded kernel tick) are consequences the
+     replay regenerates, so their entry records carry no payload. *)
+  if Trace.recording tr && Trace.top_level tr then begin
+    let payload = encode_call call in
+    Trace.emit tr
+      (Trace.Hypercall
+         { domid = dom.Domain.id; number; digest = Trace.digest payload; payload })
+  end;
+  Trace.enter tr;
   let result = dispatch_uncounted hv dom call in
-  Hv.count_hypercall hv ~number:(number_of_call call) ~failed:(Result.is_error result);
+  Trace.leave tr;
+  Hv.count_hypercall hv ~number ~failed:(Result.is_error result);
+  if Trace.recording tr then begin
+    let rc = match result with Ok v -> v | Error e -> Int64.of_int (Errno.to_return_code e) in
+    Trace.emit tr
+      (Trace.Hypercall_ret
+         { domid = dom.Domain.id; number; rc; failed = Result.is_error result })
+  end;
   result
 
 let dispatch_unit hv dom call =

@@ -48,9 +48,27 @@ val number_of_call : call -> int
 
 val name_of_call : call -> string
 
+val encode_call : call -> string
+(** The binary serialization recorded as a traced hypercall's payload
+    ({!Trace.event.Hypercall}); [decode_call] inverts it, which is what
+    lets a replay driver re-issue a recorded call. *)
+
+val decode_call : string -> call option
+
+val grant_op_index : grant_op -> int
+val evtchn_op_index : evtchn_op -> int
+(** Constructor indices, as recorded in trace [Grant_op]/[Evtchn_op]
+    events. *)
+
 val dispatch : Hv.t -> Domain.t -> call -> (int64, Errno.t) result
 (** Execute a hypercall on behalf of a domain. Never raises on guest
-    input; a crashed hypervisor refuses everything with [EINVAL]. *)
+    input; a crashed hypervisor refuses everything with [EINVAL].
+
+    Every dispatch feeds the hypervisor's trace: counters always
+    (number + failure), and — while the ring is recording — an entry
+    record (with the full {!encode_call} payload at top level, or a
+    payload-less record for nested calls) plus an exit record with the
+    return value. *)
 
 val dispatch_unit : Hv.t -> Domain.t -> call -> (unit, Errno.t) result
 val return_code : (int64, Errno.t) result -> int

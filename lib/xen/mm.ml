@@ -83,6 +83,20 @@ let validate_entry hv dom ~level ~table_mfn e =
 
 (* --- accounting ------------------------------------------------------ *)
 
+(* A [Page_info] type transition (PGT_none <-> writable/table), fed to
+   the trace: the counter always, a ring record while recording. *)
+let trace_ptype hv mfn ~from_type ~to_type =
+  let tr = hv.Hv.trace in
+  Trace.note_page_type tr;
+  if Trace.recording tr then
+    Trace.emit tr
+      (Trace.Page_type
+         {
+           mfn;
+           from_type = Page_info.ptype_code from_type;
+           to_type = Page_info.ptype_code to_type;
+         })
+
 let rec commit_account hv dom = function
   | None -> Ok ()
   | Some { acc_target; acc_kind } -> (
@@ -93,6 +107,9 @@ let rec commit_account hv dom = function
       | `Data_rw -> (
           match Page_info.get_page_type hv.Hv.pages acc_target Page_info.PGT_writable with
           | Ok () ->
+              if (Page_info.get hv.Hv.pages acc_target).Page_info.type_count = 1 then
+                trace_ptype hv acc_target ~from_type:Page_info.PGT_none
+                  ~to_type:Page_info.PGT_writable;
               Page_info.get_page hv.Hv.pages acc_target;
               Ok ()
           | Error e -> Error e)
@@ -103,13 +120,18 @@ let rec commit_account hv dom = function
               Ok ()
           | Error e -> Error e))
 
+and put_writable_type hv mfn =
+  Page_info.put_page_type hv.Hv.pages mfn;
+  if (Page_info.get hv.Hv.pages mfn).Page_info.type_count = 0 then
+    trace_ptype hv mfn ~from_type:Page_info.PGT_writable ~to_type:Page_info.PGT_none
+
 and uncommit_account hv dom = function
   | None -> ()
   | Some { acc_target; acc_kind } -> (
       Page_info.put_page hv.Hv.pages acc_target;
       match acc_kind with
       | `Data_ro | `Linear -> ()
-      | `Data_rw -> Page_info.put_page_type hv.Hv.pages acc_target
+      | `Data_rw -> put_writable_type hv acc_target
       | `Table _ -> put_table_type hv dom acc_target)
 
 (* Classify an existing (present) entry so it can be un-accounted. The
@@ -135,7 +157,7 @@ and unaccount_existing hv dom ~level e =
       Page_info.put_page hv.Hv.pages acc_target;
       match acc_kind with
       | `Data_ro | `Linear -> ()
-      | `Data_rw -> Page_info.put_page_type hv.Hv.pages acc_target
+      | `Data_rw -> put_writable_type hv acc_target
       | `Table _ -> put_table_type hv dom acc_target)
 
 (* --- promotion / demotion ------------------------------------------- *)
@@ -186,6 +208,7 @@ and promote hv dom ~level mfn =
     match entries 0 with
     | Ok () ->
         info.Page_info.validated <- true;
+        trace_ptype hv mfn ~from_type:Page_info.PGT_none ~to_type:wanted;
         Ok ()
     | Error err ->
         rollback ();
@@ -196,7 +219,10 @@ and put_table_type hv dom mfn =
   let pages = hv.Hv.pages in
   let info = Page_info.get pages mfn in
   let level = Page_info.table_level info.Page_info.ptype in
+  let old_ptype = info.Page_info.ptype in
   Page_info.put_page_type pages mfn;
+  if info.Page_info.type_count = 0 then
+    trace_ptype hv mfn ~from_type:old_ptype ~to_type:Page_info.PGT_none;
   if info.Page_info.type_count = 0 then
     match level with
     | None -> ()

@@ -64,6 +64,15 @@ let ptype_of_level = function
   | 4 -> PGT_l4
   | _ -> invalid_arg "Page_info.ptype_of_level"
 
+let ptype_code = function
+  | PGT_none -> 0
+  | PGT_writable -> 1
+  | PGT_l1 -> 2
+  | PGT_l2 -> 3
+  | PGT_l3 -> 4
+  | PGT_l4 -> 5
+  | PGT_seg -> 6
+
 let ptype_to_string = function
   | PGT_none -> "none"
   | PGT_writable -> "writable"

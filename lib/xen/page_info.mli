@@ -36,6 +36,11 @@ val table_level : ptype -> int option
 (** [Some 1..4] for page-table types. *)
 
 val ptype_of_level : int -> ptype
+
+val ptype_code : ptype -> int
+(** A stable small-integer encoding (the one trace [Page_type] records
+    carry). *)
+
 val ptype_to_string : ptype -> string
 
 val get_page : t -> Addr.mfn -> unit

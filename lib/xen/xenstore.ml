@@ -1,6 +1,10 @@
-type t = (string, string) Hashtbl.t
+type t = {
+  tbl : (string, string) Hashtbl.t;
+  mutable tracer : Trace.t option;
+}
 
-let create () = Hashtbl.create 31
+let create () = { tbl = Hashtbl.create 31; tracer = None }
+let set_tracer t tr = t.tracer <- Some tr
 let domain_path id key = Printf.sprintf "/local/domain/%d/%s" id key
 
 let own_subtree caller path =
@@ -9,21 +13,32 @@ let own_subtree caller path =
 
 let may_access ~caller path = caller = 0 || own_subtree caller path
 
+(* Store writes are management-plane inputs to the system, so they are
+   boundary events: recorded (and replayed) when they originate outside
+   any already-recorded crossing. *)
+let trace_write t ~caller ~injected path value =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      if Trace.recording tr && Trace.top_level tr then
+        Trace.emit tr (Trace.Xenstore_write { caller; injected; path; value })
+
 let write t ~caller path value =
   if may_access ~caller path then begin
-    Hashtbl.replace t path value;
+    trace_write t ~caller ~injected:false path value;
+    Hashtbl.replace t.tbl path value;
     Ok ()
   end
   else Error Errno.EACCES
 
 let read t ~caller path =
   if not (may_access ~caller path) then Error Errno.EACCES
-  else match Hashtbl.find_opt t path with Some v -> Ok v | None -> Error Errno.ENOENT
+  else match Hashtbl.find_opt t.tbl path with Some v -> Ok v | None -> Error Errno.ENOENT
 
 let rm t ~caller path =
   if not (may_access ~caller path) then Error Errno.EACCES
-  else if Hashtbl.mem t path then begin
-    Hashtbl.remove t path;
+  else if Hashtbl.mem t.tbl path then begin
+    Hashtbl.remove t.tbl path;
     Ok ()
   end
   else Error Errno.ENOENT
@@ -40,11 +55,14 @@ let list_prefix t ~caller prefix =
                 && String.sub path 0 (String.length prefix) = prefix
               then path :: acc
               else acc)
-            t []))
+            t.tbl []))
 
-let inject_write t path value = Hashtbl.replace t path value
-let dump t = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t [])
+let inject_write t path value =
+  trace_write t ~caller:(-1) ~injected:true path value;
+  Hashtbl.replace t.tbl path value
+
+let dump t = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])
 
 let restore_dump t entries =
-  Hashtbl.reset t;
-  List.iter (fun (k, v) -> Hashtbl.replace t k v) entries
+  Hashtbl.reset t.tbl;
+  List.iter (fun (k, v) -> Hashtbl.replace t.tbl k v) entries

@@ -16,6 +16,11 @@ type t
 
 val create : unit -> t
 
+val set_tracer : t -> Trace.t -> unit
+(** Record store writes as boundary events while the tracer's ring is
+    enabled (management-plane inputs are part of a trial's replayable
+    input stream). *)
+
 val domain_path : int -> string -> string
 (** [domain_path 3 "memory/target"] is ["/local/domain/3/memory/target"]. *)
 
