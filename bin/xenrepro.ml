@@ -339,7 +339,9 @@ let trace_cmd =
             o.Trace_driver.rp_applied o.Trace_driver.rp_skipped;
           Printf.printf "final state %s\n"
             (if o.Trace_driver.rp_equal then "EQUIVALENT to the recording"
-             else "DIVERGED from the recording")
+             else "DIVERGED from the recording");
+          (* non-zero exit so CI can gate on replay equivalence *)
+          if not o.Trace_driver.rp_equal then exit 1
         end;
         `Ok ()
   in
@@ -347,10 +349,69 @@ let trace_cmd =
     Term.(
       ret (const run $ uc_opt_arg $ mode_arg $ seed_arg $ version_arg $ json_arg $ replay_arg))
 
+let vmi_cmd =
+  let doc =
+    "Run the VMI detector suite over every use case: coverage matrix, detection latencies \
+     and the metrics registry. Exits non-zero when a use-case state escapes every detector \
+     on a vulnerable version, or when a scan perturbs the machine."
+  in
+  let mode_arg =
+    Arg.(value & opt string "injection" & info [ "m"; "mode" ] ~docv:"MODE" ~doc:"exploit|injection")
+  in
+  let period_arg =
+    Arg.(value & opt int 1 & info [ "p"; "period" ] ~docv:"N" ~doc:"Scan every N trial steps.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit per-trial latencies as JSON.") in
+  let run mode_s period version json =
+    let mode =
+      if mode_s = "exploit" then Campaign.Real_exploit else Campaign.Injection
+    in
+    let ucs = Ii_exploits.All_exploits.use_cases in
+    let registry = Metrics.create () in
+    let trials = Vmi_driver.coverage ~period ~registry ucs mode version in
+    if json then print_string (Vmi_driver.to_json trials)
+    else begin
+      print_endline (Vmi_driver.matrix_table trials);
+      List.iter
+        (fun t ->
+          List.iter
+            (fun (det, findings) ->
+              Printf.printf "%s / %s:\n" t.Vmi_driver.t_recording.Trace_driver.rec_use_case det;
+              List.iter (fun f -> Printf.printf "  - %s\n" f) findings)
+            t.Vmi_driver.t_findings)
+        trials;
+      print_newline ();
+      print_string (Metrics.render_prometheus registry)
+    end;
+    (* CI gates: every injected state must be caught on the vulnerable
+       version, and scans must never perturb the trial they observe. *)
+    let failed = ref false in
+    if version = Version.V4_6 && mode = Campaign.Injection then
+      List.iter
+        (fun t ->
+          if not (Vmi_driver.covered t) then begin
+            Printf.eprintf "vmi: %s escaped every detector\n"
+              t.Vmi_driver.t_recording.Trace_driver.rec_use_case;
+            failed := true
+          end)
+        trials;
+    List.iter
+      (fun uc ->
+        if not (Vmi_driver.side_effect_free uc mode version) then begin
+          Printf.eprintf "vmi: detectors perturbed the %s trial\n" uc.Campaign.uc_name;
+          failed := true
+        end)
+      ucs;
+    if !failed then exit 1;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "vmi" ~doc)
+    Term.(ret (const run $ mode_arg $ period_arg $ version_arg $ json_arg))
+
 let main_cmd =
   let doc = "intrusion injection for virtualized systems (DSN'23 reproduction)" in
   Cmd.group
     (Cmd.info "xenrepro" ~version:"1.0.0" ~doc)
-    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd ]
+    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd; vmi_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

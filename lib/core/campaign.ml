@@ -31,7 +31,7 @@ let mode_to_string = function Real_exploit -> "exploit" | Injection -> "injectio
 
 let scheduler_rounds = 3
 
-let run ?frames ?tb uc mode version =
+let run ?frames ?tb ?observer uc mode version =
   let tb =
     match tb with
     | Some tb ->
@@ -45,13 +45,16 @@ let run ?frames ?tb uc mode version =
   let tr = tb.Testbed.hv.Hv.trace in
   let counters_before = Trace.Counters.snapshot (Trace.counters tr) in
   let before = Monitor.snapshot tb in
+  let observe () = match observer with Some f -> f tb | None -> () in
   let attempt =
     match mode with Real_exploit -> uc.run_exploit tb | Injection -> uc.run_injection tb
   in
+  observe ();
   (* Let every domain run: vDSO hooks (and thus installed backdoors)
      execute during normal scheduling. *)
   for _ = 1 to scheduler_rounds do
-    Testbed.tick_all tb
+    Testbed.tick_all tb;
+    observe ()
   done;
   let audits = List.map (Erroneous_state.audit tb.Testbed.hv) attempt.states in
   let r_state = attempt.states <> [] && List.for_all (fun a -> a.Erroneous_state.holds) audits in
@@ -155,7 +158,10 @@ let table3 rows =
 
 let telemetry_table rows =
   let header =
-    [ "Use Case"; "Xen"; "Mode"; "Hypercalls"; "Failed"; "Faults"; "Flushes"; "Pg-type"; "Injector" ]
+    [
+      "Use Case"; "Xen"; "Mode"; "Hypercalls"; "Failed"; "Faults"; "Flushes"; "Pg-type";
+      "Injector"; "VMI";
+    ]
   in
   let body =
     List.map
@@ -171,7 +177,49 @@ let telemetry_table rows =
           string_of_int (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
           string_of_int t.Trace.tm_page_type_changes;
           string_of_int t.Trace.tm_injector_accesses;
+          Printf.sprintf "%d/%d" t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings;
         ])
       rows
   in
   Report.table ~title:"Per-trial telemetry (counter deltas)" ~header body
+
+let hypercall_name = function
+  | 1 -> "mmu_update"
+  | 3 -> "update_va_mapping"
+  | 12 -> "memory_op"
+  | 18 -> "console_io"
+  | 20 -> "grant_table_op"
+  | 26 -> "mmuext_op"
+  | 32 -> "event_channel_op"
+  | n when n = Injector.hypercall_number -> Injector.hypercall_name
+  | n -> Printf.sprintf "hypercall_%d" n
+
+let publish reg row =
+  let t = row.r_telemetry in
+  let bump ?(labels = []) ~help name by =
+    if by > 0 then Metrics.inc ~by (Metrics.counter reg ~help ~labels name)
+  in
+  Metrics.inc
+    (Metrics.counter reg ~help:"Campaign trials run"
+       ~labels:[ ("mode", mode_to_string row.r_mode) ]
+       "campaign_trials_total");
+  List.iter
+    (fun (n, calls) ->
+      bump
+        ~labels:[ ("name", hypercall_name n) ]
+        ~help:"Hypercalls dispatched" "hypercalls_total" calls)
+    t.Trace.tm_hypercalls;
+  bump ~help:"Hypercalls that returned an error" "hypercalls_failed_total"
+    t.Trace.tm_hypercalls_failed;
+  bump ~help:"Hardware exceptions delivered" "faults_total" t.Trace.tm_faults;
+  bump ~help:"TLB flushes and invlpgs" "tlb_flushes_total"
+    (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
+  bump ~help:"Page_info type transitions" "page_type_changes_total"
+    t.Trace.tm_page_type_changes;
+  bump ~help:"Raw injector memory accesses" "injector_accesses_total"
+    t.Trace.tm_injector_accesses;
+  bump ~help:"Monitor violations observed" "violations_total"
+    (List.length row.r_violations);
+  bump ~help:"VMI detector scans" "campaign_vmi_scans_total" t.Trace.tm_vmi_scans;
+  bump ~help:"VMI detector findings" "campaign_vmi_findings_total" t.Trace.tm_vmi_findings;
+  bump ~help:"Frames read by VMI scans" "campaign_vmi_frames_total" t.Trace.tm_vmi_frames

@@ -45,7 +45,14 @@ type result_row = {
 
 val mode_to_string : mode -> string
 
-val run : ?frames:int -> ?tb:Testbed.t -> use_case -> mode -> Version.t -> result_row
+val run :
+  ?frames:int ->
+  ?tb:Testbed.t ->
+  ?observer:(Testbed.t -> unit) ->
+  use_case ->
+  mode ->
+  Version.t ->
+  result_row
 (** Pristine testbed, snapshot, run the attempt (the injector hypercall
     is installed first in [Injection] mode), let every domain schedule a
     few times, audit the states, snapshot again and diff.
@@ -53,7 +60,13 @@ val run : ?frames:int -> ?tb:Testbed.t -> use_case -> mode -> Version.t -> resul
     Without [tb] a testbed is booted from scratch; with [tb] it is
     {!Testbed.reset} instead — O(dirty pages) rather than a full boot —
     which the equivalence property tests pin down as observably
-    identical. [tb] must have been created for the same [version]. *)
+    identical. [tb] must have been created for the same [version].
+
+    [observer] is the out-of-band monitoring hook: it is called after
+    the attempt and again after every scheduler round — the points where
+    a VMI scan scheduler ({!Vmi.Scheduler.step}) interleaves with the
+    trial. Observers must be side-effect-free on the testbed; the
+    trial's result must be identical with or without one installed. *)
 
 val run_matrix :
   ?workers:int ->
@@ -78,7 +91,18 @@ val table3 : result_row list -> string
 
 val telemetry_table : result_row list -> string
 (** Per-trial telemetry: hypercalls (total / failed), faults, TLB
-    flushes, page-type transitions and injector accesses for each
-    (use case, version, mode) row. *)
+    flushes, page-type transitions, injector accesses and VMI scan
+    activity (scans/findings) for each (use case, version, mode) row. *)
 
 val violated : result_row -> bool
+
+val hypercall_name : int -> string
+(** ["mmu_update"], ["arbitrary_access"], ... or ["hypercall_<n>"]. *)
+
+val publish : Metrics.registry -> result_row -> unit
+(** Fold one trial's telemetry into the shared metrics registry:
+    [campaign_trials_total] (by mode), [hypercalls_total] (by name),
+    fault/flush/page-type/injector counters, violation counts and the
+    trial's VMI scan totals. Idempotent per call, cumulative across
+    calls — the registry is the one publication point campaign,
+    detectors and bench share. *)

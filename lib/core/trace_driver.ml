@@ -9,11 +9,15 @@ type recording = {
   rec_final : Monitor.snapshot;
 }
 
-let record ?frames ?capacity_bytes uc mode version =
+let record ?frames ?capacity_bytes ?prepare ?observer uc mode version =
   let tb = Testbed.create ?frames version in
+  (* [prepare] runs before the ring opens (and before Campaign.run's
+     reset, which returns to this very state): the place to arm VMI
+     detector baselines against the known-good testbed. *)
+  (match prepare with Some f -> f tb | None -> ());
   let tr = tb.Testbed.hv.Hv.trace in
   Trace.enable ?capacity_bytes tr;
-  let row = Campaign.run ~tb uc mode version in
+  let row = Campaign.run ~tb ?observer uc mode version in
   Trace.disable tr;
   {
     rec_use_case = uc.Campaign.uc_name;
@@ -119,7 +123,7 @@ let apply tb (ev : Trace.event) =
       true
   | Trace.Hypercall_ret _ | Trace.Fault _ | Trace.Tlb_flush_all | Trace.Tlb_invlpg _
   | Trace.Page_type _ | Trace.Grant_op _ | Trace.Evtchn_op _ | Trace.Injector_access _
-  | Trace.Console _ | Trace.Monitor_verdict _ | Trace.Panic _ ->
+  | Trace.Console _ | Trace.Monitor_verdict _ | Trace.Panic _ | Trace.Vmi_scan _ ->
       false
 
 let replay r =
@@ -143,16 +147,7 @@ let replay r =
 
 (* --- reporting --------------------------------------------------------- *)
 
-let hypercall_name = function
-  | 1 -> "mmu_update"
-  | 3 -> "update_va_mapping"
-  | 12 -> "memory_op"
-  | 18 -> "console_io"
-  | 20 -> "grant_table_op"
-  | 26 -> "mmuext_op"
-  | 32 -> "event_channel_op"
-  | n when n = Injector.hypercall_number -> Injector.hypercall_name
-  | n -> Printf.sprintf "hypercall_%d" n
+let hypercall_name = Campaign.hypercall_name
 
 let render r =
   let buf = Buffer.create 4096 in
@@ -201,7 +196,8 @@ let json_of_telemetry t =
   Printf.sprintf
     "{\"hypercalls\":[%s],\"hypercalls_total\":%d,\"hypercalls_failed\":%d,\"faults\":%d,\
      \"double_faults\":%d,\"flushes\":%d,\"invlpgs\":%d,\"page_type_changes\":%d,\
-     \"grant_ops\":%d,\"evtchn_ops\":%d,\"injector_accesses\":%d}"
+     \"grant_ops\":%d,\"evtchn_ops\":%d,\"injector_accesses\":%d,\"vmi_scans\":%d,\
+     \"vmi_findings\":%d,\"vmi_frames\":%d}"
     (String.concat ","
        (List.map
           (fun (n, c) ->
@@ -212,6 +208,7 @@ let json_of_telemetry t =
     (Trace.total_hypercalls t) t.Trace.tm_hypercalls_failed t.Trace.tm_faults
     t.Trace.tm_double_faults t.Trace.tm_flushes t.Trace.tm_invlpgs t.Trace.tm_page_type_changes
     t.Trace.tm_grant_ops t.Trace.tm_evtchn_ops t.Trace.tm_injector_accesses
+    t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings t.Trace.tm_vmi_frames
 
 let to_json r =
   let recs = events r in

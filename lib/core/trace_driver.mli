@@ -24,13 +24,24 @@ type recording = {
 val record :
   ?frames:int ->
   ?capacity_bytes:int ->
+  ?prepare:(Testbed.t -> unit) ->
+  ?observer:(Testbed.t -> unit) ->
   Campaign.use_case ->
   Campaign.mode ->
   Version.t ->
   recording
 (** Boot a fresh testbed, enable its ring (default capacity 4 MiB),
     run the trial, disable the ring. Deterministic: the same
-    arguments produce a byte-identical [rec_bytes]. *)
+    arguments produce a byte-identical [rec_bytes].
+
+    [prepare] runs against the fresh testbed before the ring opens —
+    where VMI detectors arm their baselines (the trial's initial reset
+    returns to exactly this state). [observer] is threaded to
+    {!Campaign.run}: called after the attempt and after every scheduler
+    round, the interleaving points for {!Vmi.Scheduler.step}. Both must
+    be side-effect-free on the machine; replay ignores [Vmi_scan]
+    records, so a detector-enabled recording replays to the same final
+    snapshot. *)
 
 val events : recording -> Trace.record list
 

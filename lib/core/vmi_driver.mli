@@ -1,0 +1,64 @@
+(** VMI detector campaigns: run trials with the scan scheduler
+    interleaved, extract per-detector detection latencies from the
+    trace, and render the detector × erroneous-state coverage matrix.
+
+    Detection latency is measured in trace sequence numbers: the
+    distance from the injection point (the first [Injector_access]
+    record in injection mode, the first boundary event in exploit mode)
+    to the [Vmi_scan] record of the detector's first non-empty scan.
+    Both ends come from the same ring, so the metric is deterministic
+    and survives replay. *)
+
+type trial = {
+  t_recording : Trace_driver.recording;
+  t_inject_seq : int option;  (** the latency origin; [None] if nothing ran *)
+  t_first_fire : (string * int) list;  (** detector -> firing seq *)
+  t_latency : (string * int option) list;
+      (** every detector, in scheduler order; [None] = never fired *)
+  t_findings : (string * string list) list;
+  t_scans : int;
+  t_frames_read : int;
+}
+
+val run_trial :
+  ?frames:int ->
+  ?period:int ->
+  ?registry:Metrics.registry ->
+  ?detectors:Vmi.Detector.t list ->
+  Campaign.use_case ->
+  Campaign.mode ->
+  Version.t ->
+  trial
+(** One recorded trial with detectors armed on the pristine testbed and
+    scanned at every interleaving point (default period 1, default
+    detector set {!Vmi.Detector.all}). Detector instances carry mutable
+    baselines, so pass a fresh list per trial when overriding. *)
+
+val covered : trial -> bool
+(** Some detector fired with a finite positive latency. *)
+
+val best_latency : trial -> int option
+(** The smallest latency across detectors that fired. *)
+
+val coverage :
+  ?frames:int ->
+  ?period:int ->
+  ?registry:Metrics.registry ->
+  Campaign.use_case list ->
+  Campaign.mode ->
+  Version.t ->
+  trial list
+(** One trial per use case, fresh detectors each. *)
+
+val matrix_table : trial list -> string
+(** Detector × use-case matrix; each cell is the detection latency in
+    trace events, or "-" when the detector never fired. *)
+
+val side_effect_free :
+  ?frames:int -> Campaign.use_case -> Campaign.mode -> Version.t -> bool
+(** The acceptance property: a trial with detectors enabled reaches the
+    same final monitor snapshot, the same verdict, the same non-VMI
+    event stream and the same non-VMI telemetry as one without. *)
+
+val to_json : trial list -> string
+(** Stable-order JSON array of per-trial latency summaries. *)

@@ -78,3 +78,11 @@ let find_string t pat =
 
 let equal = Bytes.equal
 let to_bytes t = Bytes.copy t
+
+let fnv64 t =
+  let h = ref 0xcbf29ce484222325L in
+  for i = 0 to Addr.page_size - 1 do
+    h := Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get t i)));
+    h := Int64.mul !h 0x100000001b3L
+  done;
+  !h

@@ -58,3 +58,7 @@ val find_string : t -> string -> int option
 
 val equal : t -> t -> bool
 val to_bytes : t -> bytes
+
+val fnv64 : t -> int64
+(** FNV-1a (64-bit) over the whole page — the integrity-baseline hash.
+    Pure read: never observes or perturbs dirty tracking. *)

@@ -27,7 +27,7 @@ let write_gate mem mfn v { handler; selector; gate_present } =
 
 let read_gate mem mfn v =
   check_vector v;
-  let frame = Phys_mem.frame mem mfn in
+  let frame = Phys_mem.frame_ro mem mfn in
   let handler = Frame.get_u64 frame (handler_offset v) in
   let word = Frame.get_u64 frame (handler_offset v + 8) in
   {

@@ -157,6 +157,8 @@ let frame_ro t mfn =
   if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
   t.frames.(mfn)
 
+let frame_hash t mfn = Frame.fnv64 (frame_ro t mfn)
+
 let owner t mfn =
   if not (is_valid_mfn t mfn) then raise (Bad_maddr (Addr.maddr_of_mfn mfn));
   t.owners.(mfn)

@@ -36,6 +36,10 @@ val frame_ro : t -> Addr.mfn -> Frame.t
 (** Like {!frame} but does not mark the frame dirty. The caller promises
     not to write through the returned view. *)
 
+val frame_hash : t -> Addr.mfn -> int64
+(** {!Frame.fnv64} of the frame via the read-only path — the VMI
+    integrity primitive. Never marks the frame dirty. *)
+
 (** {1 Allocation} *)
 
 val alloc : t -> owner -> Addr.mfn

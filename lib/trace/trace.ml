@@ -16,6 +16,9 @@ module Counters = struct
     mutable evtchn_ops : int;
     mutable injector_accesses : int;
     mutable console_lines : int;
+    mutable vmi_scans : int;
+    mutable vmi_findings : int;
+    mutable vmi_frames : int;
   }
 
   type snapshot = {
@@ -30,6 +33,9 @@ module Counters = struct
     s_evtchn_ops : int;
     s_injector_accesses : int;
     s_console_lines : int;
+    s_vmi_scans : int;
+    s_vmi_findings : int;
+    s_vmi_frames : int;
   }
 
   let create () =
@@ -45,6 +51,9 @@ module Counters = struct
       evtchn_ops = 0;
       injector_accesses = 0;
       console_lines = 0;
+      vmi_scans = 0;
+      vmi_findings = 0;
+      vmi_frames = 0;
     }
 
   let hypercalls t =
@@ -60,6 +69,9 @@ module Counters = struct
   let evtchn_ops t = t.evtchn_ops
   let injector_accesses t = t.injector_accesses
   let console_lines t = t.console_lines
+  let vmi_scans t = t.vmi_scans
+  let vmi_findings t = t.vmi_findings
+  let vmi_frames t = t.vmi_frames
 
   let snapshot t =
     {
@@ -74,6 +86,9 @@ module Counters = struct
       s_evtchn_ops = t.evtchn_ops;
       s_injector_accesses = t.injector_accesses;
       s_console_lines = t.console_lines;
+      s_vmi_scans = t.vmi_scans;
+      s_vmi_findings = t.vmi_findings;
+      s_vmi_frames = t.vmi_frames;
     }
 
   let restore t s =
@@ -88,7 +103,10 @@ module Counters = struct
     t.grant_ops <- s.s_grant_ops;
     t.evtchn_ops <- s.s_evtchn_ops;
     t.injector_accesses <- s.s_injector_accesses;
-    t.console_lines <- s.s_console_lines
+    t.console_lines <- s.s_console_lines;
+    t.vmi_scans <- s.s_vmi_scans;
+    t.vmi_findings <- s.s_vmi_findings;
+    t.vmi_frames <- s.s_vmi_frames
 end
 
 (* --- events ----------------------------------------------------------- *)
@@ -150,6 +168,7 @@ type event =
   | Console of { len : int; digest : int64 }
   | Monitor_verdict of { violations : int; classes : int }
   | Panic of { reason : string }
+  | Vmi_scan of { detector : string; findings : int; frames : int }
 
 let is_boundary = function
   | Hypercall { payload; _ } -> payload <> ""
@@ -157,7 +176,8 @@ let is_boundary = function
   | Xenstore_write _ ->
       true
   | Hypercall_ret _ | Fault _ | Tlb_flush_all | Tlb_invlpg _ | Page_type _ | Grant_op _
-  | Evtchn_op _ | Injector_access _ | Console _ | Monitor_verdict _ | Panic _ ->
+  | Evtchn_op _ | Injector_access _ | Console _ | Monitor_verdict _ | Panic _ | Vmi_scan _
+    ->
       false
 
 let event_name = function
@@ -180,6 +200,7 @@ let event_name = function
   | Console _ -> "console"
   | Monitor_verdict _ -> "monitor_verdict"
   | Panic _ -> "panic"
+  | Vmi_scan _ -> "vmi_scan"
 
 let code_of_event = function
   | Hypercall _ -> 1
@@ -201,6 +222,7 @@ let code_of_event = function
   | Console _ -> 24
   | Monitor_verdict _ -> 25
   | Panic _ -> 26
+  | Vmi_scan _ -> 27
 
 (* --- binary encoding -------------------------------------------------- *)
 
@@ -273,6 +295,10 @@ let encode_payload b = function
       put_u32 b violations;
       put_u32 b classes
   | Panic { reason } -> put_str b reason
+  | Vmi_scan { detector; findings; frames } ->
+      put_str b detector;
+      put_u32 b findings;
+      put_u32 b frames
 
 (* A little cursor over a linearized trace image. *)
 type reader = { src : string; mutable pos : int }
@@ -384,6 +410,11 @@ let decode_payload code r =
       let classes = get_u32 r in
       Monitor_verdict { violations; classes }
   | 26 -> Panic { reason = get_str r }
+  | 27 ->
+      let detector = get_str r in
+      let findings = get_u32 r in
+      let frames = get_u32 r in
+      Vmi_scan { detector; findings; frames }
   | n -> failwith (Printf.sprintf "Trace: unknown record code %d" n)
 
 (* --- the ring --------------------------------------------------------- *)
@@ -546,6 +577,12 @@ let note_injector t =
 let note_console t =
   t.counters.Counters.console_lines <- t.counters.Counters.console_lines + 1
 
+let note_vmi_scan t ~findings ~frames =
+  let c = t.counters in
+  c.Counters.vmi_scans <- c.Counters.vmi_scans + 1;
+  c.Counters.vmi_findings <- c.Counters.vmi_findings + findings;
+  c.Counters.vmi_frames <- c.Counters.vmi_frames + frames
+
 (* --- telemetry -------------------------------------------------------- *)
 
 type telemetry = {
@@ -559,6 +596,9 @@ type telemetry = {
   tm_grant_ops : int;
   tm_evtchn_ops : int;
   tm_injector_accesses : int;
+  tm_vmi_scans : int;
+  tm_vmi_findings : int;
+  tm_vmi_frames : int;
 }
 
 let delta ~(before : Counters.snapshot) ~(after : Counters.snapshot) =
@@ -585,6 +625,9 @@ let delta ~(before : Counters.snapshot) ~(after : Counters.snapshot) =
     tm_evtchn_ops = after.Counters.s_evtchn_ops - before.Counters.s_evtchn_ops;
     tm_injector_accesses =
       after.Counters.s_injector_accesses - before.Counters.s_injector_accesses;
+    tm_vmi_scans = after.Counters.s_vmi_scans - before.Counters.s_vmi_scans;
+    tm_vmi_findings = after.Counters.s_vmi_findings - before.Counters.s_vmi_findings;
+    tm_vmi_frames = after.Counters.s_vmi_frames - before.Counters.s_vmi_frames;
   }
 
 let total_hypercalls tm = List.fold_left (fun acc (_, c) -> acc + c) 0 tm.tm_hypercalls
@@ -657,6 +700,8 @@ let pp_event ppf = function
   | Monitor_verdict { violations; classes } ->
       Format.fprintf ppf "monitor_verdict violations=%d classes=%#x" violations classes
   | Panic { reason } -> Format.fprintf ppf "panic %S" reason
+  | Vmi_scan { detector; findings; frames } ->
+      Format.fprintf ppf "vmi_scan %s findings=%d frames=%d" detector findings frames
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in

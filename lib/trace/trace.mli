@@ -87,6 +87,11 @@ type event =
       (** [classes] is a bitmask of violation classes (see
           {!Monitor.class_mask}) *)
   | Panic of { reason : string }
+  | Vmi_scan of { detector : string; findings : int; frames : int }
+      (** one out-of-band detector scan: how many anomalies it reported
+          and how many frames it read (the deterministic cost proxy).
+          Internal — scans are side-effect-free, so replay never needs
+          to re-run them. *)
 
 val is_boundary : event -> bool
 (** True for the events replay applies: every boundary constructor,
@@ -180,6 +185,12 @@ module Counters : sig
   val evtchn_ops : t -> int
   val injector_accesses : t -> int
   val console_lines : t -> int
+  val vmi_scans : t -> int
+  val vmi_findings : t -> int
+
+  val vmi_frames : t -> int
+  (** Frames read across all VMI scans — the detectors' cost in
+      deterministic units. *)
 end
 
 val counters : t -> Counters.t
@@ -193,6 +204,10 @@ val note_grant : t -> unit
 val note_evtchn : t -> unit
 val note_injector : t -> unit
 val note_console : t -> unit
+
+val note_vmi_scan : t -> findings:int -> frames:int -> unit
+(** One detector scan: bumps the scan count and accumulates findings
+    and frames-read. *)
 
 (** {1 Per-trial telemetry} *)
 
@@ -208,6 +223,9 @@ type telemetry = {
   tm_grant_ops : int;
   tm_evtchn_ops : int;
   tm_injector_accesses : int;
+  tm_vmi_scans : int;
+  tm_vmi_findings : int;
+  tm_vmi_frames : int;
 }
 
 val delta : before:Counters.snapshot -> after:Counters.snapshot -> telemetry
