@@ -495,8 +495,28 @@ let perf_report ~trials =
   let scan_frames_h =
     Metrics.histogram registry ~buckets:Vmi.scan_buckets "vmi_scan_frames"
   in
+  (* layer 7: the pluggable backends. The same injection trial timed
+     through the substrate-generic engine on each backend, plus the
+     KVM record/replay contract. *)
+  let _, backend_xen_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_tr uc148 Campaign.Injection Version.V4_6)
+  in
+  let kvm_tb = Ii_backends.Backend_kvm.create Ii_backends.Backend_kvm.Stock in
+  let kvm_row, backend_kvm_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Ii_backends.Backends.Kvm_campaign.run ~tb:kvm_tb Ii_backends.Kvm_use_cases.vmcs_uc
+          Campaign.Injection Ii_backends.Backend_kvm.Stock)
+  in
+  let kvm_replay_equal =
+    let r =
+      Ii_backends.Backends.Kvm_trace.record Ii_backends.Kvm_use_cases.idt_uc
+        Campaign.Injection Ii_backends.Backend_kvm.Stock
+    in
+    (Ii_backends.Backends.Kvm_trace.replay r).Ii_backends.Backends.Kvm_trace.rp_equal
+  in
   ( [
-    ("schema_version", I 3);
+    ("schema_version", I 4);
     ("trials", I trials);
     ("walk_uncached_ns", F walk_uncached_ns);
     ("walk_cached_ns", F walk_cached_ns);
@@ -535,6 +555,10 @@ let perf_report ~trials =
     @ bucket_keys "hypercall_dispatch_ns" dispatch_h
     @ [
         ("hypercall_dispatch_ns_count", I (Metrics.histogram_count dispatch_h));
+        ("backend_xen_trial_s", F backend_xen_trial_s);
+        ("backend_kvm_trial_s", F backend_kvm_trial_s);
+        ("backend_kvm_state", B kvm_row.Ii_backends.Backends.Kvm_campaign.r_state);
+        ("backend_kvm_replay_equal", B kvm_replay_equal);
       ],
     Metrics.render_prometheus registry )
 

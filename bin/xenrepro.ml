@@ -25,6 +25,16 @@ let verbose_arg =
   let doc = "Print transcripts and console output." in
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
 
+let backend_arg =
+  let doc = "Hypervisor backend to drive (xen|kvm)." in
+  Arg.(value & opt string "xen" & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc)
+
+let bad_backend b =
+  `Error
+    ( false,
+      Printf.sprintf "unknown backend %S; available: %s" b
+        (String.concat ", " (List.map fst Ii_backends.Backends.known)) )
+
 let lookup_use_case name =
   match Ii_exploits.All_exploits.find name with
   | Some uc -> Ok uc
@@ -76,7 +86,7 @@ let inject_cmd =
 
 let campaign_cmd =
   let doc = "Run the full evaluation campaign and print Table III." in
-  let run verbose =
+  let run_xen verbose =
     let rows =
       Campaign.run_matrix Ii_exploits.All_exploits.use_cases ~versions:Version.all
         ~modes:[ Campaign.Real_exploit; Campaign.Injection ]
@@ -102,7 +112,45 @@ let campaign_cmd =
         rows
     end
   in
-  Cmd.v (Cmd.info "campaign" ~doc) Term.(const run $ verbose_arg)
+  let run_kvm verbose =
+    let module KC = Ii_backends.Backends.Kvm_campaign in
+    let rows =
+      KC.run_matrix Ii_backends.Kvm_use_cases.use_cases
+        ~versions:Ii_backends.Backend_kvm.configs
+        ~modes:[ Campaign.Real_exploit; Campaign.Injection ]
+    in
+    print_endline (KC.table3 rows);
+    print_newline ();
+    print_endline (KC.telemetry_table rows);
+    print_newline ();
+    print_endline "RQ1 validation on KVM stock (exploit vs injection):";
+    List.iter
+      (fun (name, st, viol) ->
+        Printf.printf "  %-14s same erroneous state: %b   same violation class: %b\n" name st viol)
+      (KC.validate_rq1 Ii_backends.Kvm_use_cases.use_cases);
+    if verbose then begin
+      print_newline ();
+      List.iter
+        (fun r ->
+          Printf.printf "=== %s / %s / %s ===\n" r.KC.r_use_case
+            (Ii_backends.Backend_kvm.config_to_string r.KC.r_version)
+            (Campaign.mode_to_string r.KC.r_mode);
+          List.iter print_endline r.KC.r_transcript;
+          print_newline ())
+        rows
+    end
+  in
+  let run verbose backend =
+    match backend with
+    | "xen" ->
+        run_xen verbose;
+        `Ok ()
+    | "kvm" ->
+        run_kvm verbose;
+        `Ok ()
+    | b -> bad_backend b
+  in
+  Cmd.v (Cmd.info "campaign" ~doc) Term.(ret (const run $ verbose_arg $ backend_arg))
 
 let tables_cmd =
   let doc = "Regenerate the paper's tables (I, II, III)." in
@@ -322,32 +370,67 @@ let trace_cmd =
     | "injection" -> Some Campaign.Injection
     | _ -> None
   in
-  let run name mode_s seed version json replay =
-    match (find_uc name, mode_of_string mode_s) with
-    | Error e, _ -> `Error (false, e)
-    | _, None -> `Error (false, Printf.sprintf "unknown mode %S (exploit|injection)" mode_s)
-    | Ok uc, Some mode ->
-        let r = Trace_driver.record uc mode version in
-        if json then print_string (Trace_driver.to_json r)
-        else begin
-          Printf.printf "seed: %Ld\n" seed;
-          print_string (Trace_driver.render r)
-        end;
+  let run_kvm name mode json replay =
+    let module KT = Ii_backends.Backends.Kvm_trace in
+    match
+      List.find_opt
+        (fun uc -> uc.Ii_backends.Backends.Kvm_campaign.uc_name = name)
+        Ii_backends.Kvm_use_cases.use_cases
+    with
+    | None ->
+        `Error
+          ( false,
+            Printf.sprintf "unknown KVM use case %S; available: %s" name
+              (String.concat ", "
+                 (List.map
+                    (fun uc -> uc.Ii_backends.Backends.Kvm_campaign.uc_name)
+                    Ii_backends.Kvm_use_cases.use_cases)) )
+    | Some uc ->
+        let r = KT.record uc mode Ii_backends.Backend_kvm.Stock in
+        if json then print_string (KT.to_json r) else print_string (KT.render r);
         if replay then begin
-          let o = Trace_driver.replay r in
+          let o = KT.replay r in
           Printf.printf "replay: %d boundary events applied, %d records skipped\n"
-            o.Trace_driver.rp_applied o.Trace_driver.rp_skipped;
+            o.KT.rp_applied o.KT.rp_skipped;
           Printf.printf "final state %s\n"
-            (if o.Trace_driver.rp_equal then "EQUIVALENT to the recording"
+            (if o.KT.rp_equal then "EQUIVALENT to the recording"
              else "DIVERGED from the recording");
-          (* non-zero exit so CI can gate on replay equivalence *)
-          if not o.Trace_driver.rp_equal then exit 1
+          if not o.KT.rp_equal then exit 1
         end;
         `Ok ()
   in
+  let run name mode_s seed version json replay backend =
+    match (mode_of_string mode_s, backend) with
+    | None, _ -> `Error (false, Printf.sprintf "unknown mode %S (exploit|injection)" mode_s)
+    | Some mode, "kvm" -> run_kvm name mode json replay
+    | Some mode, "xen" -> (
+        match find_uc name with
+        | Error e -> `Error (false, e)
+        | Ok uc ->
+            let r = Trace_driver.record uc mode version in
+            if json then print_string (Trace_driver.to_json r)
+            else begin
+              Printf.printf "seed: %Ld\n" seed;
+              print_string (Trace_driver.render r)
+            end;
+            if replay then begin
+              let o = Trace_driver.replay r in
+              Printf.printf "replay: %d boundary events applied, %d records skipped\n"
+                o.Trace_driver.rp_applied o.Trace_driver.rp_skipped;
+              Printf.printf "final state %s\n"
+                (if o.Trace_driver.rp_equal then "EQUIVALENT to the recording"
+                 else "DIVERGED from the recording");
+              (* non-zero exit so CI can gate on replay equivalence *)
+              if not o.Trace_driver.rp_equal then exit 1
+            end;
+            `Ok ())
+    | Some _, b -> bad_backend b
+  in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
-      ret (const run $ uc_opt_arg $ mode_arg $ seed_arg $ version_arg $ json_arg $ replay_arg))
+      ret
+        (const run $ uc_opt_arg $ mode_arg $ seed_arg $ version_arg $ json_arg $ replay_arg
+       $ backend_arg))
 
 let vmi_cmd =
   let doc =
@@ -362,56 +445,109 @@ let vmi_cmd =
     Arg.(value & opt int 1 & info [ "p"; "period" ] ~docv:"N" ~doc:"Scan every N trial steps.")
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit per-trial latencies as JSON.") in
-  let run mode_s period version json =
-    let mode =
-      if mode_s = "exploit" then Campaign.Real_exploit else Campaign.Injection
-    in
-    let ucs = Ii_exploits.All_exploits.use_cases in
+  let run_kvm mode period json =
+    let module KC = Ii_backends.Backends.Kvm_campaign in
+    let module KT = Ii_backends.Backends.Kvm_trace in
+    let module KV = Ii_backends.Backends.Kvm_vmi in
+    let ucs = Ii_backends.Kvm_use_cases.use_cases in
     let registry = Metrics.create () in
-    let trials = Vmi_driver.coverage ~period ~registry ucs mode version in
-    if json then print_string (Vmi_driver.to_json trials)
+    let trials = KV.coverage ~period ~registry ucs mode Ii_backends.Backend_kvm.Stock in
+    if json then print_string (KV.to_json trials)
     else begin
-      print_endline (Vmi_driver.matrix_table trials);
+      print_endline (KV.matrix_table trials);
       List.iter
         (fun t ->
           List.iter
             (fun (det, findings) ->
-              Printf.printf "%s / %s:\n" t.Vmi_driver.t_recording.Trace_driver.rec_use_case det;
+              Printf.printf "%s / %s:\n" t.KV.t_recording.KT.rec_use_case det;
               List.iter (fun f -> Printf.printf "  - %s\n" f) findings)
-            t.Vmi_driver.t_findings)
+            t.KV.t_findings)
         trials;
       print_newline ();
       print_string (Metrics.render_prometheus registry)
     end;
-    (* CI gates: every injected state must be caught on the vulnerable
-       version, and scans must never perturb the trial they observe. *)
     let failed = ref false in
-    if version = Version.V4_6 && mode = Campaign.Injection then
+    if mode = Campaign.Injection then
       List.iter
         (fun t ->
-          if not (Vmi_driver.covered t) then begin
-            Printf.eprintf "vmi: %s escaped every detector\n"
-              t.Vmi_driver.t_recording.Trace_driver.rec_use_case;
+          if not (KV.covered t) then begin
+            Printf.eprintf "vmi: %s escaped every detector\n" t.KV.t_recording.KT.rec_use_case;
             failed := true
           end)
         trials;
     List.iter
       (fun uc ->
-        if not (Vmi_driver.side_effect_free uc mode version) then begin
-          Printf.eprintf "vmi: detectors perturbed the %s trial\n" uc.Campaign.uc_name;
+        if not (KV.side_effect_free uc mode Ii_backends.Backend_kvm.Stock) then begin
+          Printf.eprintf "vmi: detectors perturbed the %s trial\n" uc.KC.uc_name;
           failed := true
         end)
       ucs;
     if !failed then exit 1;
     `Ok ()
   in
+  let run mode_s period version json backend =
+    let mode =
+      if mode_s = "exploit" then Campaign.Real_exploit else Campaign.Injection
+    in
+    if backend = "kvm" then run_kvm mode period json
+    else if backend <> "xen" then bad_backend backend
+    else begin
+      let ucs = Ii_exploits.All_exploits.use_cases in
+      let registry = Metrics.create () in
+      let trials = Vmi_driver.coverage ~period ~registry ucs mode version in
+      if json then print_string (Vmi_driver.to_json trials)
+      else begin
+        print_endline (Vmi_driver.matrix_table trials);
+        List.iter
+          (fun t ->
+            List.iter
+              (fun (det, findings) ->
+                Printf.printf "%s / %s:\n" t.Vmi_driver.t_recording.Trace_driver.rec_use_case det;
+                List.iter (fun f -> Printf.printf "  - %s\n" f) findings)
+              t.Vmi_driver.t_findings)
+          trials;
+        print_newline ();
+        print_string (Metrics.render_prometheus registry)
+      end;
+      (* CI gates: every injected state must be caught on the vulnerable
+         version, and scans must never perturb the trial they observe. *)
+      let failed = ref false in
+      if version = Version.V4_6 && mode = Campaign.Injection then
+        List.iter
+          (fun t ->
+            if not (Vmi_driver.covered t) then begin
+              Printf.eprintf "vmi: %s escaped every detector\n"
+                t.Vmi_driver.t_recording.Trace_driver.rec_use_case;
+              failed := true
+            end)
+          trials;
+      List.iter
+        (fun uc ->
+          if not (Vmi_driver.side_effect_free uc mode version) then begin
+            Printf.eprintf "vmi: detectors perturbed the %s trial\n" uc.Campaign.uc_name;
+            failed := true
+          end)
+        ucs;
+      if !failed then exit 1;
+      `Ok ()
+    end
+  in
   Cmd.v (Cmd.info "vmi" ~doc)
-    Term.(ret (const run $ mode_arg $ period_arg $ version_arg $ json_arg))
+    Term.(ret (const run $ mode_arg $ period_arg $ version_arg $ json_arg $ backend_arg))
+
+let backends_cmd =
+  let doc = "List the hypervisor backends the injection stack can drive." in
+  let run () =
+    List.iter
+      (fun (name, desc) -> Printf.printf "%-6s %s\n" name desc)
+      Ii_backends.Backends.known
+  in
+  Cmd.v (Cmd.info "backends" ~doc) Term.(const run $ const ())
 
 let main_cmd =
   let doc = "intrusion injection for virtualized systems (DSN'23 reproduction)" in
   Cmd.group
     (Cmd.info "xenrepro" ~version:"1.0.0" ~doc)
-    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd; vmi_cmd ]
+    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd; vmi_cmd; backends_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

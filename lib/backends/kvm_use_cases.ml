@@ -1,0 +1,123 @@
+(* The KVM campaign's use cases: the same conceptual intrusion model as
+   the Xen IDT study — corrupt a descriptor-table handler — pointed at
+   the two places KVM's architecture puts the equivalent structures.
+   The VMCS is host state (corruption fails the next VM entry and KVM
+   kills the VM); the guest's IDT is guest state (corruption panics
+   that guest only). Either way the host survives — the blast-radius
+   contrast the cross-backend matrix measures. *)
+
+module C = Campaign.Make (Backend_kvm)
+
+let corrupt_value = 0xDEAD_0DE5_C0DEL
+
+let im_vmcs =
+  Intrusion_model.make ~name:"IM-corrupt-vm-control-structure"
+    ~source:Intrusion_model.Device_driver
+    ~interface:(Intrusion_model.Hypercall_interface "arbitrary_access (ioctl)")
+    ~target:Intrusion_model.Device_model
+    ~functionality:Abusive_functionality.Write_unauthorized_arbitrary_memory
+    ~representative_of:[ "CVE-2021-29657" ]
+    "corrupt the per-VM control structure (VMCS) held in host memory"
+
+let im_guest_idt =
+  Intrusion_model.make ~name:"IM-corrupt-descriptor-handler"
+    ~source:Intrusion_model.Device_driver
+    ~interface:(Intrusion_model.Hypercall_interface "arbitrary_access (ioctl)")
+    ~target:Intrusion_model.Interrupt_virtualization
+    ~functionality:Abusive_functionality.Write_unauthorized_arbitrary_memory
+    ~representative_of:[ "XSA-148 (Xen analogue)" ]
+    "corrupt an interrupt descriptor handler of a running guest"
+
+let rc_of = function Ok () -> 0 | Error e -> Errno.to_return_code e
+
+(* --- KVM-VMCS: the host-critical structure ------------------------------ *)
+
+let vmcs_target (t : Backend_kvm.t) =
+  Int64.add (Addr.maddr_of_mfn t.Backend_kvm.victim.Kvm.vmcs_mfn) 8L
+
+let vmcs_states (t : Backend_kvm.t) =
+  [ Backend_kvm.Vmcs_entry_tampered t.Backend_kvm.victim.Kvm.vm_id ]
+
+let vmcs_uc =
+  {
+    C.uc_name = "KVM-VMCS";
+    uc_xsa = "-";
+    uc_description =
+      "overwrite the victim's VMCS entry handler; the next VM entry fails and KVM kills the VM";
+    im = im_vmcs;
+    run_exploit =
+      (fun t ->
+        (* a compromised device model scribbling over host memory *)
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 corrupt_value;
+        let r = Backend_kvm.host_write t ~addr:(vmcs_target t) b in
+        {
+          C.transcript = [ "device model: overwrote VMCS entry handler" ];
+          states = vmcs_states t;
+          rc = Some (rc_of r);
+        });
+    run_injection =
+      (fun t ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 corrupt_value;
+        let r =
+          Backend_kvm.inject_write t ~addr:(vmcs_target t) Access.Arbitrary_write_physical b
+        in
+        {
+          C.transcript = [ "ioctl arbitrary_access: overwrote VMCS entry handler" ];
+          states = vmcs_states t;
+          rc = Some (rc_of r);
+        });
+  }
+
+(* --- KVM-IDT: guest state ----------------------------------------------- *)
+
+let idt_gate_target (t : Backend_kvm.t) =
+  let vm = t.Backend_kvm.victim in
+  match Kvm.gpa_to_maddr t.Backend_kvm.kvm vm vm.Kvm.idt_gpa with
+  | Ok ma -> Int64.add ma (Int64.of_int (Idt.handler_offset Idt.vector_page_fault))
+  | Error _ -> invalid_arg "kvm_use_cases: guest IDT unmapped"
+
+let idt_states (t : Backend_kvm.t) =
+  [
+    Backend_kvm.Guest_idt_gate_corrupted
+      (t.Backend_kvm.victim.Kvm.vm_id, Idt.vector_page_fault);
+  ]
+
+let idt_uc =
+  {
+    C.uc_name = "KVM-IDT";
+    uc_xsa = "-";
+    uc_description =
+      "corrupt the page-fault gate of the victim's in-guest IDT, then deliver a fault: the \
+       guest kernel panics, the host and the bystander VM survive";
+    im = im_guest_idt;
+    run_exploit =
+      (fun t ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 corrupt_value;
+        let r = Backend_kvm.host_write t ~addr:(idt_gate_target t) b in
+        ignore
+          (Backend_kvm.deliver_fault t t.Backend_kvm.victim ~vector:Idt.vector_page_fault);
+        {
+          C.transcript = [ "device model: corrupted guest PF gate; fault delivered" ];
+          states = idt_states t;
+          rc = Some (rc_of r);
+        });
+    run_injection =
+      (fun t ->
+        let b = Bytes.create 8 in
+        Bytes.set_int64_le b 0 corrupt_value;
+        let r =
+          Backend_kvm.inject_write t ~addr:(idt_gate_target t) Access.Arbitrary_write_physical b
+        in
+        ignore
+          (Backend_kvm.deliver_fault t t.Backend_kvm.victim ~vector:Idt.vector_page_fault);
+        {
+          C.transcript = [ "ioctl arbitrary_access: corrupted guest PF gate; fault delivered" ];
+          states = idt_states t;
+          rc = Some (rc_of r);
+        });
+  }
+
+let use_cases = [ vmcs_uc; idt_uc ]

@@ -1,187 +1,24 @@
-type attempt = {
-  transcript : string list;
-  states : Erroneous_state.spec list;
-  rc : int option;
-}
+(** Campaign orchestration: the experimental strategy of Fig 4.
 
-type use_case = {
-  uc_name : string;
-  uc_xsa : string;
-  uc_description : string;
-  im : Intrusion_model.t;
-  run_exploit : Testbed.t -> attempt;
-  run_injection : Testbed.t -> attempt;
-}
+    A {e use case} packages a third-party exploit together with the
+    injection script that reproduces its erroneous state and the
+    intrusion model both derive from. Running a use case on a fresh
+    testbed in either mode yields a result row: did the erroneous state
+    hold (audited against live machine state), and which security
+    violations did the monitor observe?
+
+    The engine is a functor over {!Substrate.S}, so the same
+    orchestration runs unchanged on any backend; the toplevel of this
+    module is the functor applied to {!Substrate_xen} (the historical
+    interface, preserved verbatim). The use cases themselves live in
+    [ii_exploits] (Xen) and [ii_backends] (KVM) and plug in here — the
+    campaign engine is exploit-agnostic, as an injection tool must
+    be. *)
 
 type mode = Real_exploit | Injection
 
-type result_row = {
-  r_use_case : string;
-  r_version : Version.t;
-  r_mode : mode;
-  r_state : bool;
-  r_state_evidence : string list;
-  r_violations : Monitor.violation list;
-  r_transcript : string list;
-  r_rc : int option;
-  r_telemetry : Trace.telemetry;
-}
-
 let mode_to_string = function Real_exploit -> "exploit" | Injection -> "injection"
-
 let scheduler_rounds = 3
-
-let run ?frames ?tb ?observer uc mode version =
-  let tb =
-    match tb with
-    | Some tb ->
-        Testbed.reset tb;
-        tb
-    | None -> Testbed.create ?frames version
-  in
-  if mode = Injection then Injector.install tb.Testbed.hv;
-  (* Telemetry comes only from the always-on counters, never the ring,
-     so a trial's result is identical with recording on or off. *)
-  let tr = tb.Testbed.hv.Hv.trace in
-  let counters_before = Trace.Counters.snapshot (Trace.counters tr) in
-  let before = Monitor.snapshot tb in
-  let observe () = match observer with Some f -> f tb | None -> () in
-  let attempt =
-    match mode with Real_exploit -> uc.run_exploit tb | Injection -> uc.run_injection tb
-  in
-  observe ();
-  (* Let every domain run: vDSO hooks (and thus installed backdoors)
-     execute during normal scheduling. *)
-  for _ = 1 to scheduler_rounds do
-    Testbed.tick_all tb;
-    observe ()
-  done;
-  let audits = List.map (Erroneous_state.audit tb.Testbed.hv) attempt.states in
-  let r_state = attempt.states <> [] && List.for_all (fun a -> a.Erroneous_state.holds) audits in
-  let r_state_evidence = List.concat_map (fun a -> a.Erroneous_state.evidence) audits in
-  let after = Monitor.snapshot tb in
-  let r_violations = Monitor.violations ~before ~after in
-  if Trace.recording tr then
-    Trace.emit tr
-      (Trace.Monitor_verdict
-         { violations = List.length r_violations; classes = Monitor.class_mask r_violations });
-  {
-    r_use_case = uc.uc_name;
-    r_version = version;
-    r_mode = mode;
-    r_state;
-    r_state_evidence;
-    r_violations;
-    r_transcript = attempt.transcript;
-    r_rc = attempt.rc;
-    r_telemetry =
-      Trace.delta ~before:counters_before
-        ~after:(Trace.Counters.snapshot (Trace.counters tr));
-  }
-
-let run_matrix ?workers ?frames ucs ~versions ~modes =
-  (* One cell per (uc, version, mode), in that nesting order; cells are
-     independent, so they shard. Each worker keeps one testbed per
-     version and resets it between cells instead of re-booting. *)
-  let cells =
-    List.concat_map
-      (fun uc ->
-        List.concat_map (fun version -> List.map (fun mode -> (uc, version, mode)) modes) versions)
-      ucs
-  in
-  Shard.map_init ?workers
-    ~init:(fun () -> Hashtbl.create 4)
-    (fun testbeds _ (uc, version, mode) ->
-      let tb =
-        match Hashtbl.find_opt testbeds version with
-        | Some tb -> tb
-        | None ->
-            let tb = Testbed.create ?frames version in
-            Hashtbl.replace testbeds version tb;
-            tb
-      in
-      run ~tb uc mode version)
-    cells
-
-let violated r = r.r_violations <> []
-
-let validate_rq1 ?frames ucs =
-  let tb = Testbed.create ?frames Version.V4_6 in
-  List.map
-    (fun uc ->
-      let e = run ~tb uc Real_exploit Version.V4_6 in
-      let i = run ~tb uc Injection Version.V4_6 in
-      let same_state = e.r_state && i.r_state in
-      let same_violation = Monitor.same_class e.r_violations i.r_violations in
-      (uc.uc_name, same_state, same_violation))
-    ucs
-
-let table2 ucs =
-  Report.table ~title:"TABLE II: Use case -> abusive functionality"
-    ~header:[ "Use Case"; "Abusive Functionality" ]
-    (List.map
-       (fun uc ->
-         [ uc.uc_name; Abusive_functionality.to_string uc.im.Intrusion_model.functionality ])
-       ucs)
-
-let table3 rows =
-  let injections = List.filter (fun r -> r.r_mode = Injection) rows in
-  let use_cases = List.sort_uniq compare (List.map (fun r -> r.r_use_case) injections) in
-  let versions = List.sort_uniq compare (List.map (fun r -> r.r_version) injections) in
-  let cell uc version =
-    match
-      List.find_opt (fun r -> r.r_use_case = uc && r.r_version = version) injections
-    with
-    | None -> [ "?"; "?" ]
-    | Some r ->
-        [
-          Report.check r.r_state;
-          (if violated r then Report.check true
-           else if r.r_state then Report.shield
-           else "");
-        ]
-  in
-  let header =
-    "Use Case"
-    :: List.concat_map
-         (fun v ->
-           [ Printf.sprintf "%s Err.State" (Version.to_string v);
-             Printf.sprintf "%s Sec.Viol." (Version.to_string v) ])
-         versions
-  in
-  let rows = List.map (fun uc -> uc :: List.concat_map (cell uc) versions) use_cases in
-  Report.table
-    ~title:
-      "TABLE III: Results of the injection campaign (shield = erroneous state handled by the \
-       system)"
-    ~header rows
-
-let telemetry_table rows =
-  let header =
-    [
-      "Use Case"; "Xen"; "Mode"; "Hypercalls"; "Failed"; "Faults"; "Flushes"; "Pg-type";
-      "Injector"; "VMI";
-    ]
-  in
-  let body =
-    List.map
-      (fun r ->
-        let t = r.r_telemetry in
-        [
-          r.r_use_case;
-          Version.to_string r.r_version;
-          mode_to_string r.r_mode;
-          string_of_int (Trace.total_hypercalls t);
-          string_of_int t.Trace.tm_hypercalls_failed;
-          string_of_int t.Trace.tm_faults;
-          string_of_int (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
-          string_of_int t.Trace.tm_page_type_changes;
-          string_of_int t.Trace.tm_injector_accesses;
-          Printf.sprintf "%d/%d" t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings;
-        ])
-      rows
-  in
-  Report.table ~title:"Per-trial telemetry (counter deltas)" ~header body
 
 let hypercall_name = function
   | 1 -> "mmu_update"
@@ -194,32 +31,223 @@ let hypercall_name = function
   | n when n = Injector.hypercall_number -> Injector.hypercall_name
   | n -> Printf.sprintf "hypercall_%d" n
 
-let publish reg row =
-  let t = row.r_telemetry in
-  let bump ?(labels = []) ~help name by =
-    if by > 0 then Metrics.inc ~by (Metrics.counter reg ~help ~labels name)
-  in
-  Metrics.inc
-    (Metrics.counter reg ~help:"Campaign trials run"
-       ~labels:[ ("mode", mode_to_string row.r_mode) ]
-       "campaign_trials_total");
-  List.iter
-    (fun (n, calls) ->
-      bump
-        ~labels:[ ("name", hypercall_name n) ]
-        ~help:"Hypercalls dispatched" "hypercalls_total" calls)
-    t.Trace.tm_hypercalls;
-  bump ~help:"Hypercalls that returned an error" "hypercalls_failed_total"
-    t.Trace.tm_hypercalls_failed;
-  bump ~help:"Hardware exceptions delivered" "faults_total" t.Trace.tm_faults;
-  bump ~help:"TLB flushes and invlpgs" "tlb_flushes_total"
-    (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
-  bump ~help:"Page_info type transitions" "page_type_changes_total"
-    t.Trace.tm_page_type_changes;
-  bump ~help:"Raw injector memory accesses" "injector_accesses_total"
-    t.Trace.tm_injector_accesses;
-  bump ~help:"Monitor violations observed" "violations_total"
-    (List.length row.r_violations);
-  bump ~help:"VMI detector scans" "campaign_vmi_scans_total" t.Trace.tm_vmi_scans;
-  bump ~help:"VMI detector findings" "campaign_vmi_findings_total" t.Trace.tm_vmi_findings;
-  bump ~help:"Frames read by VMI scans" "campaign_vmi_frames_total" t.Trace.tm_vmi_frames
+module Make (B : Substrate.S) = struct
+  type attempt = {
+    transcript : string list;  (** guest/attacker console output *)
+    states : B.state_spec list;  (** states this attempt should establish *)
+    rc : int option;  (** injection-port return code if the attempt was refused *)
+  }
+
+  type use_case = {
+    uc_name : string;  (** e.g. "XSA-212-crash" *)
+    uc_xsa : string;
+    uc_description : string;
+    im : Intrusion_model.t;
+    run_exploit : B.t -> attempt;
+    run_injection : B.t -> attempt;
+  }
+
+  type result_row = {
+    r_use_case : string;
+    r_version : B.config;
+    r_mode : mode;
+    r_state : bool;  (** the erroneous state holds (audited) *)
+    r_state_evidence : string list;
+    r_violations : Monitor.violation list;
+    r_transcript : string list;
+    r_rc : int option;
+    r_telemetry : Trace.telemetry;
+        (** counter delta over the trial: hypercalls by number, faults,
+            flushes, ... Derived from the always-on counters, so it is
+            filled whether or not the trace ring is recording. *)
+    r_backend : string;  (** {!B.name}, for cross-backend rows *)
+  }
+
+  let run ?frames ?tb ?observer uc mode version =
+    let tb =
+      match tb with
+      | Some tb ->
+          B.reset tb;
+          tb
+      | None -> B.create ?frames version
+    in
+    if mode = Injection then B.install_injector tb;
+    (* Telemetry comes only from the always-on counters, never the ring,
+       so a trial's result is identical with recording on or off. *)
+    let tr = B.trace tb in
+    let counters_before = Trace.Counters.snapshot (Trace.counters tr) in
+    let before = B.snapshot tb in
+    let observe () = match observer with Some f -> f tb | None -> () in
+    let attempt =
+      match mode with Real_exploit -> uc.run_exploit tb | Injection -> uc.run_injection tb
+    in
+    observe ();
+    (* Let every domain run: vDSO hooks (and thus installed backdoors)
+       execute during normal scheduling. *)
+    for _ = 1 to scheduler_rounds do
+      B.tick_all tb;
+      observe ()
+    done;
+    let audits = List.map (B.audit tb) attempt.states in
+    let r_state = attempt.states <> [] && List.for_all (fun a -> a.Erroneous_state.holds) audits in
+    let r_state_evidence = List.concat_map (fun a -> a.Erroneous_state.evidence) audits in
+    let after = B.snapshot tb in
+    let r_violations = B.violations ~before ~after in
+    if Trace.recording tr then
+      Trace.emit tr
+        (Trace.Monitor_verdict
+           { violations = List.length r_violations; classes = Monitor.class_mask r_violations });
+    {
+      r_use_case = uc.uc_name;
+      r_version = version;
+      r_mode = mode;
+      r_state;
+      r_state_evidence;
+      r_violations;
+      r_transcript = attempt.transcript;
+      r_rc = attempt.rc;
+      r_telemetry =
+        Trace.delta ~before:counters_before
+          ~after:(Trace.Counters.snapshot (Trace.counters tr));
+      r_backend = B.name;
+    }
+
+  let run_matrix ?workers ?frames ucs ~versions ~modes =
+    (* One cell per (uc, version, mode), in that nesting order; cells are
+       independent, so they shard. Each worker keeps one testbed per
+       version and resets it between cells instead of re-booting. *)
+    let cells =
+      List.concat_map
+        (fun uc ->
+          List.concat_map (fun version -> List.map (fun mode -> (uc, version, mode)) modes) versions)
+        ucs
+    in
+    Shard.map_init ?workers
+      ~init:(fun () -> Hashtbl.create 4)
+      (fun testbeds _ (uc, version, mode) ->
+        let tb =
+          match Hashtbl.find_opt testbeds version with
+          | Some tb -> tb
+          | None ->
+              let tb = B.create ?frames version in
+              Hashtbl.replace testbeds version tb;
+              tb
+        in
+        run ~tb uc mode version)
+      cells
+
+  let violated r = r.r_violations <> []
+
+  let validate_rq1 ?frames ucs =
+    let tb = B.create ?frames B.rq1_config in
+    List.map
+      (fun uc ->
+        let e = run ~tb uc Real_exploit B.rq1_config in
+        let i = run ~tb uc Injection B.rq1_config in
+        let same_state = e.r_state && i.r_state in
+        let same_violation = Monitor.same_class e.r_violations i.r_violations in
+        (uc.uc_name, same_state, same_violation))
+      ucs
+
+  let table2 ucs =
+    Report.table ~title:"TABLE II: Use case -> abusive functionality"
+      ~header:[ "Use Case"; "Abusive Functionality" ]
+      (List.map
+         (fun uc ->
+           [ uc.uc_name; Abusive_functionality.to_string uc.im.Intrusion_model.functionality ])
+         ucs)
+
+  let table3 rows =
+    let injections = List.filter (fun r -> r.r_mode = Injection) rows in
+    let use_cases = List.sort_uniq compare (List.map (fun r -> r.r_use_case) injections) in
+    let versions = List.sort_uniq compare (List.map (fun r -> r.r_version) injections) in
+    let cell uc version =
+      match
+        List.find_opt (fun r -> r.r_use_case = uc && r.r_version = version) injections
+      with
+      | None -> [ "?"; "?" ]
+      | Some r ->
+          [
+            Report.check r.r_state;
+            (if violated r then Report.check true
+             else if r.r_state then Report.shield
+             else "");
+          ]
+    in
+    let header =
+      "Use Case"
+      :: List.concat_map
+           (fun v ->
+             [ Printf.sprintf "%s Err.State" (B.config_to_string v);
+               Printf.sprintf "%s Sec.Viol." (B.config_to_string v) ])
+           versions
+    in
+    let rows = List.map (fun uc -> uc :: List.concat_map (cell uc) versions) use_cases in
+    Report.table
+      ~title:
+        "TABLE III: Results of the injection campaign (shield = erroneous state handled by the \
+         system)"
+      ~header rows
+
+  let telemetry_table rows =
+    let header =
+      [
+        "Use Case"; B.config_heading; "Mode"; "Hypercalls"; "Failed"; "Faults"; "Flushes";
+        "Pg-type"; "Injector"; "VMI";
+      ]
+    in
+    let body =
+      List.map
+        (fun r ->
+          let t = r.r_telemetry in
+          [
+            r.r_use_case;
+            B.config_to_string r.r_version;
+            mode_to_string r.r_mode;
+            string_of_int (Trace.total_hypercalls t);
+            string_of_int t.Trace.tm_hypercalls_failed;
+            string_of_int t.Trace.tm_faults;
+            string_of_int (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
+            string_of_int t.Trace.tm_page_type_changes;
+            string_of_int t.Trace.tm_injector_accesses;
+            Printf.sprintf "%d/%d" t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings;
+          ])
+        rows
+    in
+    Report.table ~title:"Per-trial telemetry (counter deltas)" ~header body
+
+  let publish reg row =
+    let t = row.r_telemetry in
+    let bump ?(labels = []) ~help name by =
+      if by > 0 then Metrics.inc ~by (Metrics.counter reg ~help ~labels name)
+    in
+    Metrics.inc
+      (Metrics.counter reg ~help:"Campaign trials run"
+         ~labels:[ ("mode", mode_to_string row.r_mode) ]
+         "campaign_trials_total");
+    List.iter
+      (fun (n, calls) ->
+        bump
+          ~labels:[ ("name", hypercall_name n) ]
+          ~help:"Hypercalls dispatched" "hypercalls_total" calls)
+      t.Trace.tm_hypercalls;
+    bump ~help:"Hypercalls that returned an error" "hypercalls_failed_total"
+      t.Trace.tm_hypercalls_failed;
+    bump ~help:"Hardware exceptions delivered" "faults_total" t.Trace.tm_faults;
+    bump ~help:"TLB flushes and invlpgs" "tlb_flushes_total"
+      (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
+    bump ~help:"Page_info type transitions" "page_type_changes_total"
+      t.Trace.tm_page_type_changes;
+    bump ~help:"Raw injector memory accesses" "injector_accesses_total"
+      t.Trace.tm_injector_accesses;
+    bump ~help:"Monitor violations observed" "violations_total"
+      (List.length row.r_violations);
+    bump ~help:"VMI detector scans" "campaign_vmi_scans_total" t.Trace.tm_vmi_scans;
+    bump ~help:"VMI detector findings" "campaign_vmi_findings_total" t.Trace.tm_vmi_findings;
+    bump ~help:"Frames read by VMI scans" "campaign_vmi_frames_total" t.Trace.tm_vmi_frames
+end
+
+(* The default instantiation: the historical [Campaign] interface, on
+   the Xen substrate. [Make] is applicative, so [Campaign.result_row]
+   and [Campaign.Make(Substrate_xen).result_row] are the same type. *)
+include Make (Substrate_xen)

@@ -1,46 +1,23 @@
 let hypercall_number = 40
 let hypercall_name = "arbitrary_access"
 
-type action =
+(* The four-action surface and its wire codec live in [Access]
+   (lib/machine) so the KVM ioctl port shares them verbatim. *)
+type action = Access.action =
   | Arbitrary_read_linear
   | Arbitrary_write_linear
   | Arbitrary_read_physical
   | Arbitrary_write_physical
 
-let action_code = function
-  | Arbitrary_read_linear -> 0L
-  | Arbitrary_write_linear -> 1L
-  | Arbitrary_read_physical -> 2L
-  | Arbitrary_write_physical -> 3L
-
-let action_of_code = function
-  | 0L -> Some Arbitrary_read_linear
-  | 1L -> Some Arbitrary_write_linear
-  | 2L -> Some Arbitrary_read_physical
-  | 3L -> Some Arbitrary_write_physical
-  | _ -> None
-
-let action_to_string = function
-  | Arbitrary_read_linear -> "ARBITRARY_READ_LINEAR"
-  | Arbitrary_write_linear -> "ARBITRARY_WRITE_LINEAR"
-  | Arbitrary_read_physical -> "ARBITRARY_READ_PHYSICAL"
-  | Arbitrary_write_physical -> "ARBITRARY_WRITE_PHYSICAL"
-
+let action_code = Access.code
+let action_of_code = Access.of_code
+let action_to_string = Access.to_string
 let scratch_pfn = 2
 
-(* Resolve the target to a machine address. Linear addresses must
-   already be mapped in the hypervisor (its direct map); physical
-   addresses are mapped on demand — in this machine model, through the
-   same direct map, mirroring the map_domain_page path of the real
-   prototype. *)
 let resolve_target hv ~addr ~len ~physical =
-  let ma = if physical then Some addr else Layout.maddr_of_directmap addr in
-  match ma with
+  match Access.resolve hv.Hv.mem ~addr ~len ~physical with
   | None -> Error Errno.EINVAL
-  | Some ma ->
-      let last = Int64.add ma (Int64.of_int (max 0 (len - 1))) in
-      let mfn_ok a = Phys_mem.is_valid_mfn hv.Hv.mem (Addr.mfn_of_maddr a) in
-      if len <= 0 || (not (mfn_ok ma)) || not (mfn_ok last) then Error Errno.EINVAL else Ok ma
+  | Some ma -> Ok ma
 
 let handler hv dom (args : int64 array) =
   if Array.length args <> 4 then Error Errno.EINVAL
@@ -54,27 +31,21 @@ let handler hv dom (args : int64 array) =
         if Trace.recording tr then
           Trace.emit tr
             (Trace.Injector_access { action = Int64.to_int args.(3); addr; len });
-        let physical =
-          match action with
-          | Arbitrary_read_physical | Arbitrary_write_physical -> true
-          | Arbitrary_read_linear | Arbitrary_write_linear -> false
-        in
-        match resolve_target hv ~addr ~len ~physical with
+        match resolve_target hv ~addr ~len ~physical:(Access.is_physical action) with
         | Error e -> Error e
         | Ok ma -> (
-            match action with
-            | Arbitrary_write_linear | Arbitrary_write_physical -> (
-                (* __copy_from_user: fetch the payload from the guest. *)
-                match Uaccess.copy_from_guest hv dom buf len with
-                | Error e -> Error e
-                | Ok data ->
-                    Phys_mem.write_bytes hv.Hv.mem ma data;
-                    Ok 0L)
-            | Arbitrary_read_linear | Arbitrary_read_physical -> (
-                let data = Phys_mem.read_bytes hv.Hv.mem ma len in
-                match Uaccess.copy_to_guest hv dom buf data with
-                | Error e -> Error e
-                | Ok () -> Ok 0L)))
+            if Access.is_write action then (
+              (* __copy_from_user: fetch the payload from the guest. *)
+              match Uaccess.copy_from_guest hv dom buf len with
+              | Error e -> Error e
+              | Ok data ->
+                  Phys_mem.write_bytes hv.Hv.mem ma data;
+                  Ok 0L)
+            else (
+              let data = Phys_mem.read_bytes hv.Hv.mem ma len in
+              match Uaccess.copy_to_guest hv dom buf data with
+              | Error e -> Error e
+              | Ok () -> Ok 0L)))
 
 let installed hv = Hv.lookup_hypercall hv hypercall_number <> None
 

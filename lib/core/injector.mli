@@ -21,11 +21,13 @@ val hypercall_number : int
 
 val hypercall_name : string
 
-type action =
+type action = Access.action =
   | Arbitrary_read_linear
   | Arbitrary_write_linear
   | Arbitrary_read_physical
   | Arbitrary_write_physical
+(** Equal to {!Access.action} — the codec shared with every other
+    backend's injection port. *)
 
 val action_code : action -> int64
 val action_of_code : int64 -> action option

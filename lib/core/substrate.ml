@@ -1,0 +1,124 @@
+(** The substrate abstraction: what the injection stack needs from a
+    hypervisor under test.
+
+    The campaign engine, the trace recorder/replayer and the VMI driver
+    are all functors over this signature, so retargeting the whole
+    stack onto a new hypervisor means writing one module: how to boot
+    it, how to reset it in O(dirty), how its injection port moves bytes
+    (a hypercall on Xen PV, an ioctl on KVM), what its host-critical
+    structures are, and how to re-drive its recorded boundary events.
+
+    {!Substrate_xen} is the default backend (the original Xen PV
+    testbed, wrapped unchanged); [Backend_kvm] in [ii_backends] is the
+    hardware-assisted one. *)
+
+module type S = sig
+  val name : string
+  (** Short machine-readable backend id (["xen"], ["kvm"]). *)
+
+  val description : string
+
+  (** {1 Configurations}
+
+      The key a campaign varies per backend: the hypervisor version on
+      Xen ("the only difference was the Xen version"), the build
+      flavour elsewhere. *)
+
+  type config
+
+  val configs : config list
+  (** Every configuration the backend can boot, campaign order. *)
+
+  val default_config : config
+  val rq1_config : config
+  (** The configuration RQ1 validation runs on (the one the real
+      exploits were written against). *)
+
+  val config_to_string : config -> string
+  (** Short form for table columns and JSON ("4.6", "stock"). *)
+
+  val config_of_string : string -> config option
+
+  val config_label : config -> string
+  (** Human form for report headings ("Xen 4.6"). *)
+
+  val config_heading : string
+  (** Column title for the configuration in telemetry tables. *)
+
+  (** {1 The system under test} *)
+
+  type t
+
+  val create : ?frames:int -> config -> t
+  (** Boot a fresh testbed: host plus its standard population of
+      guests, with a reset checkpoint captured at the end. *)
+
+  val reset : t -> unit
+  (** Roll back to the post-boot checkpoint in O(frames dirtied);
+      observably equivalent to a fresh [create]. *)
+
+  val trace : t -> Trace.t
+  (** The host's tracer — counters and (when enabled) the event ring. *)
+
+  val console : t -> string list
+  val tick_all : t -> unit
+  (** One scheduler round over every guest. *)
+
+  (** {1 The injection port}
+
+      The four-action {!Access.action} surface of §V, reached however
+      the backend reaches its host: Xen adds a hypercall to the call
+      table, KVM exposes an ioctl. Scripts written against these two
+      entry points port across backends verbatim. *)
+
+  val install_injector : t -> unit
+  (** Idempotent; a no-op for backends whose port is always present. *)
+
+  val injector_installed : t -> bool
+
+  val inject_write :
+    t -> addr:int64 -> Access.action -> bytes -> (unit, Errno.t) result
+
+  val inject_read :
+    t -> addr:int64 -> Access.action -> len:int -> (bytes, Errno.t) result
+
+  (** {1 Erroneous-state auditing} *)
+
+  type state_spec
+  (** The backend's vocabulary of injectable erroneous states. *)
+
+  val audit : t -> state_spec -> Erroneous_state.audit
+  (** Does the state hold in live machine state right now? *)
+
+  (** {1 Security-violation monitoring} *)
+
+  type snapshot
+
+  val snapshot : t -> snapshot
+  val violations : before:snapshot -> after:snapshot -> Monitor.violation list
+  (** Diff two snapshots into the shared violation vocabulary
+      ({!Monitor.violation}), so rows compare across backends. *)
+
+  val host_alive : snapshot -> bool
+  val guests_alive : snapshot -> int
+  (** Blast-radius primitives for the cross-backend matrix. *)
+
+  (** {1 Out-of-band monitoring (VMI)} *)
+
+  val frame_hash : t -> Addr.mfn -> int64
+  (** Read-only FNV-1a of a host frame — the integrity primitive. *)
+
+  val critical_frames : t -> (string * Addr.mfn) list
+  (** The backend's host-critical structures, named: IDT/text/M2P on
+      Xen, EPT roots and VMCSs on KVM. *)
+
+  val detectors : unit -> t Vmi.Detector.t list
+  (** Fresh instances of the backend's detector suite. *)
+
+  (** {1 Trace replay} *)
+
+  val apply_event : t -> Trace.event -> bool
+  (** Re-drive one recorded boundary event against a fresh testbed;
+      false when it cannot be matched (a desynchronized replay) or is
+      not a boundary this backend emits. *)
+end

@@ -1,183 +1,16 @@
-type recording = {
-  rec_use_case : string;
-  rec_mode : Campaign.mode;
-  rec_version : Version.t;
-  rec_frames : int option;
-  rec_row : Campaign.result_row;
-  rec_bytes : string;
-  rec_dropped : int;
-  rec_final : Monitor.snapshot;
-}
+(** Record/replay driving for campaign trials.
 
-let record ?frames ?capacity_bytes ?prepare ?observer uc mode version =
-  let tb = Testbed.create ?frames version in
-  (* [prepare] runs before the ring opens (and before Campaign.run's
-     reset, which returns to this very state): the place to arm VMI
-     detector baselines against the known-good testbed. *)
-  (match prepare with Some f -> f tb | None -> ());
-  let tr = tb.Testbed.hv.Hv.trace in
-  Trace.enable ?capacity_bytes tr;
-  let row = Campaign.run ~tb ?observer uc mode version in
-  Trace.disable tr;
-  {
-    rec_use_case = uc.Campaign.uc_name;
-    rec_mode = mode;
-    rec_version = version;
-    rec_frames = frames;
-    rec_row = row;
-    rec_bytes = Trace.to_bytes tr;
-    rec_dropped = Trace.dropped tr;
-    rec_final = Monitor.snapshot tb;
-  }
+    A {e recording} is one trial run with the trace ring enabled: the
+    result row plus the raw ring bytes. Replaying re-drives the
+    boundary events of the ring against a fresh testbed and compares
+    final monitor snapshots — the determinism property the trace
+    subsystem exists to provide.
 
-let events r = Trace.records_of_string r.rec_bytes
-
-type replay_outcome = {
-  rp_applied : int;
-  rp_skipped : int;
-  rp_final : Monitor.snapshot;
-  rp_equal : bool;
-}
-
-let kernel_of tb domid =
-  List.find_opt (fun k -> Kernel.domid k = domid) (Testbed.kernels tb)
-
-(* Apply one boundary event. Returns false when the event could not be
-   matched to the testbed (a desynchronized replay) — callers count
-   those as skipped rather than failing midway, so the final-snapshot
-   comparison still reports how far off the run ended up. *)
-let apply tb (ev : Trace.event) =
-  let hv = tb.Testbed.hv in
-  match ev with
-  | Trace.Hypercall { domid; payload; _ } -> (
-      if payload = "" then false
-      else
-        match (kernel_of tb domid, Hypercall.decode_call payload) with
-        | Some k, Some call ->
-            ignore (Kernel.hypercall k call);
-            true
-        | _ -> false)
-  | Trace.Guest_mem { domid; op; va; len; data } -> (
-      match kernel_of tb domid with
-      | None -> false
-      | Some k -> (
-          match op with
-          | Trace.Op_read_u64 ->
-              ignore (Kernel.read_u64 k va);
-              true
-          | Trace.Op_write_u64 when String.length data = 8 ->
-              ignore (Kernel.write_u64 k va (String.get_int64_le data 0));
-              true
-          | Trace.Op_read_bytes ->
-              ignore (Kernel.read_bytes k va len);
-              true
-          | Trace.Op_write_bytes ->
-              ignore (Kernel.write_bytes k va (Bytes.of_string data));
-              true
-          | Trace.Op_user_read_u64 ->
-              ignore (Kernel.user_read_u64 k va);
-              true
-          | Trace.Op_user_write_u64 when String.length data = 8 ->
-              ignore (Kernel.user_write_u64 k va (String.get_int64_le data 0));
-              true
-          | Trace.Op_probe_u64 ->
-              (* a page-table probe: translated like a kernel read (and
-                 thus populating the TLB, which stale-translation
-                 exploits depend on) but never faulting *)
-              ignore
-                (Cpu.read_u64 hv.Hv.cpu ~ring:Cpu.Kernel
-                   ~cr3:(Kernel.dom k).Domain.l4_mfn va);
-              true
-          | Trace.Op_write_u64 | Trace.Op_user_write_u64 -> false))
-  | Trace.Guest_invlpg { domid; va } -> (
-      match kernel_of tb domid with
-      | None -> false
-      | Some k ->
-          Kernel.invlpg k va;
-          true)
-  | Trace.Kernel_tick { domid } -> (
-      match kernel_of tb domid with
-      | None -> false
-      | Some k ->
-          Kernel.tick k;
-          true)
-  | Trace.Sched_round ->
-      Testbed.tick_all tb;
-      true
-  | Trace.Net_listen { host; port } ->
-      Netsim.listen tb.Testbed.net ~host ~port;
-      true
-  | Trace.Net_cmd { to_host; port; conn_id; cmd } -> (
-      match
-        List.find_opt
-          (fun c -> c.Netsim.conn_id = conn_id)
-          (Netsim.connections_to tb.Testbed.net ~host:to_host ~port)
-      with
-      | None -> false
-      | Some conn ->
-          ignore (Netsim.run_command conn cmd);
-          true)
-  | Trace.Xenstore_write { caller; injected; path; value } ->
-      if injected then Xenstore.inject_write hv.Hv.xenstore path value
-      else ignore (Xenstore.write hv.Hv.xenstore ~caller path value);
-      true
-  | Trace.Hypercall_ret _ | Trace.Fault _ | Trace.Tlb_flush_all | Trace.Tlb_invlpg _
-  | Trace.Page_type _ | Trace.Grant_op _ | Trace.Evtchn_op _ | Trace.Injector_access _
-  | Trace.Console _ | Trace.Monitor_verdict _ | Trace.Panic _ | Trace.Vmi_scan _ ->
-      false
-
-let replay r =
-  if r.rec_dropped > 0 then
-    invalid_arg
-      (Printf.sprintf "Trace_driver.replay: recording dropped %d records" r.rec_dropped);
-  let tb = Testbed.create ?frames:r.rec_frames r.rec_version in
-  if r.rec_mode = Campaign.Injection then Injector.install tb.Testbed.hv;
-  let applied = ref 0 and skipped = ref 0 in
-  List.iter
-    (fun { Trace.event; _ } ->
-      if Trace.is_boundary event && apply tb event then incr applied else incr skipped)
-    (events r);
-  let rp_final = Monitor.snapshot tb in
-  {
-    rp_applied = !applied;
-    rp_skipped = !skipped;
-    rp_final;
-    rp_equal = rp_final = r.rec_final;
-  }
-
-(* --- reporting --------------------------------------------------------- *)
+    Like {!Campaign}, the driver is a functor over {!Substrate.S}
+    (replay delegates event application to {!Substrate.S.apply_event})
+    with the toplevel instantiated at {!Substrate_xen}. *)
 
 let hypercall_name = Campaign.hypercall_name
-
-let render r =
-  let buf = Buffer.create 4096 in
-  let recs = events r in
-  Buffer.add_string buf
-    (Printf.sprintf "trace: %s / %s / Xen %s\n" r.rec_use_case
-       (Campaign.mode_to_string r.rec_mode)
-       (Version.to_string r.rec_version));
-  Buffer.add_string buf
-    (Printf.sprintf "records: %d (%d dropped)\n" (List.length recs) r.rec_dropped);
-  List.iter
-    (fun { Trace.seq; event } ->
-      Buffer.add_string buf (Format.asprintf "%6d  %a\n" seq Trace.pp_event event))
-    recs;
-  let t = r.rec_row.Campaign.r_telemetry in
-  Buffer.add_string buf
-    (Printf.sprintf "telemetry: %d hypercalls (%d failed), %d faults, %d flushes\n"
-       (Trace.total_hypercalls t) t.Trace.tm_hypercalls_failed t.Trace.tm_faults
-       (t.Trace.tm_flushes + t.Trace.tm_invlpgs));
-  List.iter
-    (fun (n, count) ->
-      Buffer.add_string buf (Printf.sprintf "  %-20s %d\n" (hypercall_name n) count))
-    t.Trace.tm_hypercalls;
-  (match Trace.detection_latency recs with
-  | Some d -> Buffer.add_string buf (Printf.sprintf "detection latency: %d events\n" d)
-  | None -> ());
-  Buffer.add_string buf
-    (Printf.sprintf "verdict: state=%b violations=%d\n" r.rec_row.Campaign.r_state
-       (List.length r.rec_row.Campaign.r_violations));
-  Buffer.contents buf
 
 let json_escape s =
   let buf = Buffer.create (String.length s + 8) in
@@ -210,17 +43,119 @@ let json_of_telemetry t =
     t.Trace.tm_grant_ops t.Trace.tm_evtchn_ops t.Trace.tm_injector_accesses
     t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings t.Trace.tm_vmi_frames
 
-let to_json r =
-  let recs = events r in
-  Printf.sprintf
-    "{\"use_case\":\"%s\",\"mode\":\"%s\",\"version\":\"%s\",\"records\":%d,\"dropped\":%d,\
-     \"detection_latency\":%s,\"state\":%b,\"violations\":%d,\"telemetry\":%s,\"events\":%s}"
-    (json_escape r.rec_use_case)
-    (Campaign.mode_to_string r.rec_mode)
-    (json_escape (Version.to_string r.rec_version))
-    (List.length recs) r.rec_dropped
-    (match Trace.detection_latency recs with Some d -> string_of_int d | None -> "null")
-    r.rec_row.Campaign.r_state
-    (List.length r.rec_row.Campaign.r_violations)
-    (json_of_telemetry r.rec_row.Campaign.r_telemetry)
-    (Trace.json_of_records recs)
+module Make (B : Substrate.S) = struct
+  module C = Campaign.Make (B)
+
+  type recording = {
+    rec_use_case : string;
+    rec_mode : Campaign.mode;
+    rec_version : B.config;
+    rec_frames : int option;
+    rec_row : C.result_row;
+    rec_bytes : string;
+    rec_dropped : int;
+    rec_final : B.snapshot;
+  }
+
+  let record ?frames ?capacity_bytes ?prepare ?observer uc mode version =
+    let tb = B.create ?frames version in
+    (* [prepare] runs before the ring opens (and before Campaign.run's
+       reset, which returns to this very state): the place to arm VMI
+       detector baselines against the known-good testbed. *)
+    (match prepare with Some f -> f tb | None -> ());
+    let tr = B.trace tb in
+    Trace.enable ?capacity_bytes tr;
+    let row = C.run ~tb ?observer uc mode version in
+    Trace.disable tr;
+    {
+      rec_use_case = uc.C.uc_name;
+      rec_mode = mode;
+      rec_version = version;
+      rec_frames = frames;
+      rec_row = row;
+      rec_bytes = Trace.to_bytes tr;
+      rec_dropped = Trace.dropped tr;
+      rec_final = B.snapshot tb;
+    }
+
+  let events r = Trace.records_of_string r.rec_bytes
+
+  type replay_outcome = {
+    rp_applied : int;
+    rp_skipped : int;
+    rp_final : B.snapshot;
+    rp_equal : bool;
+  }
+
+  let replay r =
+    if r.rec_dropped > 0 then
+      invalid_arg
+        (Printf.sprintf "Trace_driver.replay: recording dropped %d records" r.rec_dropped);
+    let tb = B.create ?frames:r.rec_frames r.rec_version in
+    if r.rec_mode = Campaign.Injection then B.install_injector tb;
+    let applied = ref 0 and skipped = ref 0 in
+    List.iter
+      (fun { Trace.event; _ } ->
+        if Trace.is_boundary event && B.apply_event tb event then incr applied
+        else incr skipped)
+      (events r);
+    let rp_final = B.snapshot tb in
+    {
+      rp_applied = !applied;
+      rp_skipped = !skipped;
+      rp_final;
+      rp_equal = rp_final = r.rec_final;
+    }
+
+  (* --- reporting ------------------------------------------------------- *)
+
+  let render r =
+    let buf = Buffer.create 4096 in
+    let recs = events r in
+    Buffer.add_string buf
+      (Printf.sprintf "trace: %s / %s / %s\n" r.rec_use_case
+         (Campaign.mode_to_string r.rec_mode)
+         (B.config_label r.rec_version));
+    Buffer.add_string buf
+      (Printf.sprintf "records: %d (%d dropped)\n" (List.length recs) r.rec_dropped);
+    List.iter
+      (fun { Trace.seq; event } ->
+        Buffer.add_string buf (Format.asprintf "%6d  %a\n" seq Trace.pp_event event))
+      recs;
+    let t = r.rec_row.C.r_telemetry in
+    Buffer.add_string buf
+      (Printf.sprintf "telemetry: %d hypercalls (%d failed), %d faults, %d flushes\n"
+         (Trace.total_hypercalls t) t.Trace.tm_hypercalls_failed t.Trace.tm_faults
+         (t.Trace.tm_flushes + t.Trace.tm_invlpgs));
+    List.iter
+      (fun (n, count) ->
+        Buffer.add_string buf (Printf.sprintf "  %-20s %d\n" (hypercall_name n) count))
+      t.Trace.tm_hypercalls;
+    (match Trace.detection_latency recs with
+    | Some d -> Buffer.add_string buf (Printf.sprintf "detection latency: %d events\n" d)
+    | None -> ());
+    Buffer.add_string buf
+      (Printf.sprintf "verdict: state=%b violations=%d\n" r.rec_row.C.r_state
+         (List.length r.rec_row.C.r_violations));
+    Buffer.contents buf
+
+  let to_json r =
+    let recs = events r in
+    Printf.sprintf
+      "{\"use_case\":\"%s\",\"mode\":\"%s\",\"version\":\"%s\",\"records\":%d,\"dropped\":%d,\
+       \"detection_latency\":%s,\"state\":%b,\"violations\":%d,\"telemetry\":%s,\"events\":%s}"
+      (json_escape r.rec_use_case)
+      (Campaign.mode_to_string r.rec_mode)
+      (json_escape (B.config_to_string r.rec_version))
+      (List.length recs) r.rec_dropped
+      (match Trace.detection_latency recs with Some d -> string_of_int d | None -> "null")
+      r.rec_row.C.r_state
+      (List.length r.rec_row.C.r_violations)
+      (json_of_telemetry r.rec_row.C.r_telemetry)
+      (Trace.json_of_records recs)
+end
+
+include Make (Substrate_xen)
+
+let apply = Substrate_xen.apply_event
+(** Kept under its historical name for direct callers. *)

@@ -1,12 +1,12 @@
-type trial = {
-  t_recording : Trace_driver.recording;
-  t_inject_seq : int option;
-  t_first_fire : (string * int) list;
-  t_latency : (string * int option) list;
-  t_findings : (string * string list) list;
-  t_scans : int;
-  t_frames_read : int;
-}
+(** Driving VMI detectors against campaign trials: coverage and
+    detection latency (which detectors catch which erroneous states,
+    and how many trace events after injection).
+
+    A functor over {!Substrate.S} like the rest of the stack — a trial
+    arms the backend's detector suite ({!Substrate.S.detectors}), steps
+    it at every observer point of the trial, and correlates detector
+    firings against the injector's trace records. The toplevel is the
+    Xen instantiation. *)
 
 (* The latency origin: where the intrusion entered the machine. In
    injection mode that is the injector's first raw access; a real
@@ -27,99 +27,10 @@ let inject_seq mode records =
       | Some r -> Some r.Trace.seq
       | None -> None)
 
-let run_trial ?frames ?period ?registry ?(detectors = Vmi.Detector.all ()) uc mode version
-    =
-  let sched = Vmi.Scheduler.create ?period ?registry detectors in
-  let recording =
-    Trace_driver.record ?frames
-      ~prepare:(fun tb -> Vmi.Scheduler.arm sched tb.Testbed.hv)
-      ~observer:(fun tb -> Vmi.Scheduler.step sched tb.Testbed.hv)
-      uc mode version
-  in
-  let records = Trace_driver.events recording in
-  let t_inject_seq = inject_seq mode records in
-  let first_fire = Vmi.Scheduler.first_fire sched in
-  let latency_of name =
-    match (List.assoc_opt name first_fire, t_inject_seq) with
-    | Some fire, Some inj when fire > inj -> Some (fire - inj)
-    | _ -> None
-  in
-  {
-    t_recording = recording;
-    t_inject_seq;
-    t_first_fire = first_fire;
-    t_latency = List.map (fun d -> (d.Vmi.Detector.name, latency_of d.Vmi.Detector.name)) detectors;
-    t_findings = Vmi.Scheduler.findings sched;
-    t_scans = Vmi.Scheduler.scans_run sched;
-    t_frames_read = Vmi.Scheduler.frames_read sched;
-  }
-
-let covered t = List.exists (fun (_, l) -> l <> None) t.t_latency
-
-let best_latency t =
-  List.fold_left
-    (fun best (_, l) ->
-      match (best, l) with
-      | None, l -> l
-      | Some b, Some l -> Some (min b l)
-      | Some b, None -> Some b)
-    None t.t_latency
-
-let coverage ?frames ?period ?registry ucs mode version =
-  List.map (fun uc -> run_trial ?frames ?period ?registry uc mode version) ucs
-
-let matrix_table trials =
-  let detectors =
-    match trials with [] -> [] | t :: _ -> List.map fst t.t_latency
-  in
-  let header =
-    "Detector"
-    :: List.map (fun t -> t.t_recording.Trace_driver.rec_use_case) trials
-  in
-  let rows =
-    List.map
-      (fun d ->
-        d
-        :: List.map
-             (fun t ->
-               match List.assoc_opt d t.t_latency with
-               | Some (Some l) -> string_of_int l
-               | _ -> "-")
-             trials)
-      detectors
-  in
-  Report.table
-    ~title:"Detector x erroneous-state coverage (detection latency in trace events)"
-    ~header rows
-
 (* Strip the VMI contribution out of a telemetry delta so detector-on
    and detector-off trials compare equal everywhere else. *)
 let telemetry_sans_vmi (t : Trace.telemetry) =
   { t with Trace.tm_vmi_scans = 0; tm_vmi_findings = 0; tm_vmi_frames = 0 }
-
-let non_vmi_events recording =
-  List.filter_map
-    (fun r ->
-      match r.Trace.event with Trace.Vmi_scan _ -> None | e -> Some e)
-    (Trace_driver.events recording)
-
-let side_effect_free ?frames uc mode version =
-  let plain = Trace_driver.record ?frames uc mode version in
-  let t = run_trial ?frames uc mode version in
-  let watched = t.t_recording in
-  let row_equal =
-    let a = plain.Trace_driver.rec_row and b = watched.Trace_driver.rec_row in
-    a.Campaign.r_state = b.Campaign.r_state
-    && a.Campaign.r_state_evidence = b.Campaign.r_state_evidence
-    && a.Campaign.r_violations = b.Campaign.r_violations
-    && a.Campaign.r_transcript = b.Campaign.r_transcript
-    && a.Campaign.r_rc = b.Campaign.r_rc
-    && telemetry_sans_vmi a.Campaign.r_telemetry
-       = telemetry_sans_vmi b.Campaign.r_telemetry
-  in
-  plain.Trace_driver.rec_final = watched.Trace_driver.rec_final
-  && row_equal
-  && non_vmi_events plain = non_vmi_events watched
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -134,23 +45,126 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let to_json trials =
-  let one t =
-    let lat =
-      String.concat ","
-        (List.map
-           (fun (d, l) ->
-             Printf.sprintf "\"%s\":%s" (json_escape d)
-               (match l with Some l -> string_of_int l | None -> "null"))
-           t.t_latency)
+module Make (B : Substrate.S) = struct
+  module C = Campaign.Make (B)
+  module T = Trace_driver.Make (B)
+
+  type trial = {
+    t_recording : T.recording;
+    t_inject_seq : int option;
+    t_first_fire : (string * int) list;
+    t_latency : (string * int option) list;
+    t_findings : (string * string list) list;
+    t_scans : int;
+    t_frames_read : int;
+  }
+
+  let run_trial ?frames ?period ?registry ?(detectors = B.detectors ()) uc mode version =
+    let sched = Vmi.Scheduler.create ?period ?registry detectors in
+    let recording =
+      T.record ?frames
+        ~prepare:(fun tb -> Vmi.Scheduler.arm sched tb)
+        ~observer:(fun tb -> Vmi.Scheduler.step sched (B.trace tb) tb)
+        uc mode version
     in
-    Printf.sprintf
-      "{\"use_case\":\"%s\",\"mode\":\"%s\",\"version\":\"%s\",\"inject_seq\":%s,\
-       \"scans\":%d,\"frames_read\":%d,\"covered\":%b,\"latency\":{%s}}"
-      (json_escape t.t_recording.Trace_driver.rec_use_case)
-      (Campaign.mode_to_string t.t_recording.Trace_driver.rec_mode)
-      (json_escape (Version.to_string t.t_recording.Trace_driver.rec_version))
-      (match t.t_inject_seq with Some s -> string_of_int s | None -> "null")
-      t.t_scans t.t_frames_read (covered t) lat
-  in
-  "[" ^ String.concat ",\n " (List.map one trials) ^ "]"
+    let records = T.events recording in
+    let t_inject_seq = inject_seq mode records in
+    let first_fire = Vmi.Scheduler.first_fire sched in
+    let latency_of name =
+      match (List.assoc_opt name first_fire, t_inject_seq) with
+      | Some fire, Some inj when fire > inj -> Some (fire - inj)
+      | _ -> None
+    in
+    {
+      t_recording = recording;
+      t_inject_seq;
+      t_first_fire = first_fire;
+      t_latency = List.map (fun d -> (d.Vmi.Detector.name, latency_of d.Vmi.Detector.name)) detectors;
+      t_findings = Vmi.Scheduler.findings sched;
+      t_scans = Vmi.Scheduler.scans_run sched;
+      t_frames_read = Vmi.Scheduler.frames_read sched;
+    }
+
+  let covered t = List.exists (fun (_, l) -> l <> None) t.t_latency
+
+  let best_latency t =
+    List.fold_left
+      (fun best (_, l) ->
+        match (best, l) with
+        | None, l -> l
+        | Some b, Some l -> Some (min b l)
+        | Some b, None -> Some b)
+      None t.t_latency
+
+  let coverage ?frames ?period ?registry ucs mode version =
+    List.map (fun uc -> run_trial ?frames ?period ?registry uc mode version) ucs
+
+  let matrix_table trials =
+    let detectors =
+      match trials with [] -> [] | t :: _ -> List.map fst t.t_latency
+    in
+    let header =
+      "Detector" :: List.map (fun t -> t.t_recording.T.rec_use_case) trials
+    in
+    let rows =
+      List.map
+        (fun d ->
+          d
+          :: List.map
+               (fun t ->
+                 match List.assoc_opt d t.t_latency with
+                 | Some (Some l) -> string_of_int l
+                 | _ -> "-")
+               trials)
+        detectors
+    in
+    Report.table
+      ~title:"Detector x erroneous-state coverage (detection latency in trace events)"
+      ~header rows
+
+  let non_vmi_events recording =
+    List.filter_map
+      (fun r ->
+        match r.Trace.event with Trace.Vmi_scan _ -> None | e -> Some e)
+      (T.events recording)
+
+  let side_effect_free ?frames uc mode version =
+    let plain = T.record ?frames uc mode version in
+    let t = run_trial ?frames uc mode version in
+    let watched = t.t_recording in
+    let row_equal =
+      let a = plain.T.rec_row and b = watched.T.rec_row in
+      a.C.r_state = b.C.r_state
+      && a.C.r_state_evidence = b.C.r_state_evidence
+      && a.C.r_violations = b.C.r_violations
+      && a.C.r_transcript = b.C.r_transcript
+      && a.C.r_rc = b.C.r_rc
+      && telemetry_sans_vmi a.C.r_telemetry = telemetry_sans_vmi b.C.r_telemetry
+    in
+    plain.T.rec_final = watched.T.rec_final
+    && row_equal
+    && non_vmi_events plain = non_vmi_events watched
+
+  let to_json trials =
+    let one t =
+      let lat =
+        String.concat ","
+          (List.map
+             (fun (d, l) ->
+               Printf.sprintf "\"%s\":%s" (json_escape d)
+                 (match l with Some l -> string_of_int l | None -> "null"))
+             t.t_latency)
+      in
+      Printf.sprintf
+        "{\"use_case\":\"%s\",\"mode\":\"%s\",\"version\":\"%s\",\"inject_seq\":%s,\
+         \"scans\":%d,\"frames_read\":%d,\"covered\":%b,\"latency\":{%s}}"
+        (json_escape t.t_recording.T.rec_use_case)
+        (Campaign.mode_to_string t.t_recording.T.rec_mode)
+        (json_escape (B.config_to_string t.t_recording.T.rec_version))
+        (match t.t_inject_seq with Some s -> string_of_int s | None -> "null")
+        t.t_scans t.t_frames_read (covered t) lat
+    in
+    "[" ^ String.concat ",\n " (List.map one trials) ^ "]"
+end
+
+include Make (Substrate_xen)

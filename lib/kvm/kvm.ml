@@ -99,28 +99,29 @@ let create_vm t ~name ~pages =
   log t (Printf.sprintf "vm%d (%s): %d guest pages, EPT root mfn 0x%x" vm.vm_id name pages ept_root);
   vm
 
+let crash_reason vm = match vm.state with Vm_running -> None | Vm_crashed why -> Some why
+
 let vm_entry t vm =
   match vm.state with
-  | Vm_crashed why -> Error why
+  | Vm_crashed _ -> Error Errno.EINVAL
   | Vm_running ->
       let vmcs = Phys_mem.frame t.kvm_mem vm.vmcs_mfn in
       if Frame.get_u64 vmcs 0 <> vmcs_magic || Frame.get_u64 vmcs 8 <> vmcs_entry_handler then begin
         let why = "KVM: VM-entry failed (invalid guest state)" in
         vm.state <- Vm_crashed why;
         log t (Printf.sprintf "vm%d: %s -- VM killed, host continues" vm.vm_id why);
-        Error why
+        Error Errno.EINVAL
       end
       else Ok ()
 
 let deliver_guest_fault t vm ~vector =
   match vm.state with
-  | Vm_crashed why -> Error why
+  | Vm_crashed _ -> Error Errno.EFAULT
   | Vm_running -> (
       match gpa_to_maddr t vm vm.idt_gpa with
       | Error _ ->
-          let why = "guest IDT unmapped" in
-          vm.state <- Vm_crashed why;
-          Error why
+          vm.state <- Vm_crashed "guest IDT unmapped";
+          Error Errno.EFAULT
       | Ok idt_ma ->
           let frame = Phys_mem.frame t.kvm_mem (Addr.mfn_of_maddr idt_ma) in
           let handler = Frame.get_u64 frame (Idt.handler_offset vector) in
@@ -131,7 +132,7 @@ let deliver_guest_fault t vm ~vector =
             in
             vm.state <- Vm_crashed why;
             log t (Printf.sprintf "vm%d: %s -- VM killed, host continues" vm.vm_id why);
-            Error why
+            Error Errno.EFAULT
           end)
 
 let guest_read_u64 t vm va =
@@ -150,29 +151,101 @@ let guest_write_u64 t vm va v =
       Ok ()
   | Error f -> Error f
 
+(* --- checkpoint / restore ---------------------------------------------- *)
+
+(* The O(dirty) testbed-reset primitive, mirroring [Hv.checkpoint]: the
+   memory baseline plus the host-side bookkeeping a trial can mutate.
+   The [vm] records themselves survive across resets (scripts hold on
+   to them); only their mutable [state] is rolled back. *)
+type checkpoint = {
+  ck_vms : vm list;
+  ck_states : (vm * vm_state) list;
+  ck_next_id : int;
+  ck_console : string;
+}
+
+let checkpoint t =
+  Phys_mem.capture_baseline t.kvm_mem;
+  {
+    ck_vms = t.vm_list;
+    ck_states = List.map (fun vm -> (vm, vm.state)) t.vm_list;
+    ck_next_id = t.next_id;
+    ck_console = Buffer.contents t.kvm_console;
+  }
+
+let restore t ck =
+  let restored = Phys_mem.reset_to_baseline t.kvm_mem in
+  List.iter (fun (vm, st) -> vm.state <- st) ck.ck_states;
+  t.vm_list <- ck.ck_vms;
+  t.next_id <- ck.ck_next_id;
+  Buffer.clear t.kvm_console;
+  Buffer.add_string t.kvm_console ck.ck_console;
+  restored
+
 (* --- the ioctl-style injector ------------------------------------------ *)
 
-type action = Read_host_linear | Write_host_linear | Read_host_physical | Write_host_physical
+type action = Access.action =
+  | Arbitrary_read_linear
+  | Arbitrary_write_linear
+  | Arbitrary_read_physical
+  | Arbitrary_write_physical
 
 let arbitrary_access t ~addr action ~data =
   let len = Bytes.length data in
-  let resolve physical =
-    let ma = if physical then Some addr else Layout.maddr_of_directmap addr in
-    match ma with
-    | Some ma
-      when len > 0
-           && Phys_mem.is_valid_mfn t.kvm_mem (Addr.mfn_of_maddr ma)
-           && Phys_mem.is_valid_mfn t.kvm_mem
-                (Addr.mfn_of_maddr (Int64.add ma (Int64.of_int (len - 1)))) ->
-        Ok ma
-    | Some _ | None -> Error Errno.EINVAL
+  match Access.resolve t.kvm_mem ~addr ~len ~physical:(Access.is_physical action) with
+  | None -> Error Errno.EINVAL
+  | Some ma ->
+      if Access.is_write action then begin
+        Phys_mem.write_bytes t.kvm_mem ma data;
+        Ok None
+      end
+      else Ok (Some (Phys_mem.read_bytes t.kvm_mem ma len))
+
+(* --- VMI views (out-of-band, read-only) -------------------------------- *)
+
+let vmcs_hash t vm = Phys_mem.frame_hash t.kvm_mem vm.vmcs_mfn
+
+(* The EPT graph rebuilt from raw table bytes, exactly as hardware
+   would walk it — the KVM analogue of [Vmi.View.pt_graph]. *)
+type ept_graph = {
+  eg_tables : Addr.mfn list;  (** table frames, root first *)
+  eg_leaves : (Nested.gpa * Addr.mfn) list;
+      (** (guest-physical address, host frame) per mapped guest page *)
+  eg_frames_read : int;
+}
+
+let level_shift = function 4 -> 39 | 3 -> 30 | 2 -> 21 | _ -> 12
+
+let ept_graph t vm =
+  let tables = ref [] and leaves = ref [] and read = ref 0 in
+  let rec walk level mfn gpa =
+    tables := mfn :: !tables;
+    incr read;
+    Frame.iter_present (Phys_mem.frame_ro t.kvm_mem mfn) (fun i e ->
+        let gpa' = Int64.logor gpa (Int64.shift_left (Int64.of_int i) (level_shift level)) in
+        let target = Pte.mfn e in
+        if level = 1 then begin
+          if Phys_mem.is_valid_mfn t.kvm_mem target then leaves := (gpa', target) :: !leaves
+        end
+        else if Phys_mem.is_valid_mfn t.kvm_mem target then walk (level - 1) target gpa')
   in
-  let physical = match action with Read_host_physical | Write_host_physical -> true | _ -> false in
-  match resolve physical with
-  | Error e -> Error e
-  | Ok ma -> (
-      match action with
-      | Write_host_linear | Write_host_physical ->
-          Phys_mem.write_bytes t.kvm_mem ma data;
-          Ok None
-      | Read_host_linear | Read_host_physical -> Ok (Some (Phys_mem.read_bytes t.kvm_mem ma len)))
+  walk 4 vm.ept_root 0L;
+  { eg_tables = List.rev !tables; eg_leaves = List.rev !leaves; eg_frames_read = !read }
+
+let ept_exposure t vm =
+  let g = ept_graph t vm in
+  List.length
+    (List.filter
+       (fun (_, mfn) ->
+         match Phys_mem.owner t.kvm_mem mfn with
+         | Phys_mem.Xen -> true (* host-owned: EPT tables, VMCSs, KVM itself *)
+         | Phys_mem.Dom id -> id <> vm.vm_id (* another VM's memory *)
+         | Phys_mem.Free -> false)
+       g.eg_leaves)
+
+let guest_idt_gate t vm ~vector =
+  match gpa_to_maddr t vm vm.idt_gpa with
+  | Error _ -> None
+  | Ok ma ->
+      let frame = Phys_mem.frame_ro t.kvm_mem (Addr.mfn_of_maddr ma) in
+      Some (Frame.get_u64 frame (Idt.handler_offset vector))

@@ -47,13 +47,22 @@ val vmcs_magic : int64
 val vmcs_entry_handler : int64
 (** The legitimate VMCS fields [vm_entry] checks. *)
 
-val vm_entry : t -> vm -> (unit, string) result
-(** Run the VM for a slice: validates the VMCS first; corruption fails
-    the entry and kills the VM ("KVM: VM-entry failed"). *)
+val guest_handler : int -> int64
+(** The legitimate guest IDT handler for a vector — what
+    {!deliver_guest_fault} expects to find in the gate. *)
 
-val deliver_guest_fault : t -> vm -> vector:int -> (unit, string) result
+val vm_entry : t -> vm -> (unit, Errno.t) result
+(** Run the VM for a slice: validates the VMCS first; corruption fails
+    the entry with [EINVAL] and kills the VM ("KVM: VM-entry failed" —
+    the narrative reason lands in {!crash_reason} and the console). *)
+
+val deliver_guest_fault : t -> vm -> vector:int -> (unit, Errno.t) result
 (** Deliver an exception through the {e guest's} IDT: a corrupted gate
-    panics the guest kernel (the VM), never the host. *)
+    panics the guest kernel (the VM), never the host. Fails with
+    [EFAULT] when the VM is (or ends up) dead. *)
+
+val crash_reason : vm -> string option
+(** Why the VM died, when it has. *)
 
 val guest_read_u64 : t -> vm -> Addr.vaddr -> (int64, Nested.fault) result
 val guest_write_u64 : t -> vm -> Addr.vaddr -> int64 -> (unit, Nested.fault) result
@@ -61,9 +70,28 @@ val guest_write_u64 : t -> vm -> Addr.vaddr -> int64 -> (unit, Nested.fault) res
 
 val gpa_to_maddr : t -> vm -> Nested.gpa -> (Addr.maddr, Nested.fault) result
 
+(** {1 Checkpoint / reset} *)
+
+type checkpoint
+
+val checkpoint : t -> checkpoint
+(** Capture the current state as the reset baseline (memory via
+    {!Phys_mem.capture_baseline}, plus VM states, the VM list and the
+    console). *)
+
+val restore : t -> checkpoint -> int
+(** Roll back to the checkpoint in O(frames dirtied); returns the
+    number of frames restored. *)
+
 (** {1 The KVM injector (ioctl-style)} *)
 
-type action = Read_host_linear | Write_host_linear | Read_host_physical | Write_host_physical
+type action = Access.action =
+  | Arbitrary_read_linear
+  | Arbitrary_write_linear
+  | Arbitrary_read_physical
+  | Arbitrary_write_physical
+(** Equal to {!Access.action}: the same four-action surface (and wire
+    codes) as the Xen hypercall prototype. *)
 
 val arbitrary_access :
   t -> addr:int64 -> action -> data:bytes -> (bytes option, Errno.t) result
@@ -71,3 +99,28 @@ val arbitrary_access :
     prototype ([linear] resolves through the host direct map). Write
     actions consume [data]; read actions return bytes of
     [Bytes.length data]. *)
+
+(** {1 VMI views (out-of-band, read-only)} *)
+
+val vmcs_hash : t -> vm -> int64
+(** FNV-1a of the VM's VMCS frame — the KVM integrity baseline. *)
+
+(** The EPT graph rebuilt from raw table bytes, exactly as hardware
+    would walk it — the KVM analogue of {!Vmi.View.pt_graph}. *)
+type ept_graph = {
+  eg_tables : Addr.mfn list;  (** table frames, root first *)
+  eg_leaves : (Nested.gpa * Addr.mfn) list;
+      (** (guest-physical address, host frame) per mapped guest page *)
+  eg_frames_read : int;  (** table frames visited (the scan cost) *)
+}
+
+val ept_graph : t -> vm -> ept_graph
+
+val ept_exposure : t -> vm -> int
+(** How many EPT leaves expose memory the VM must not see: host-owned
+    frames (EPT tables, VMCSs) or another VM's pages. Zero on a healthy
+    system; rises when an intrusion remaps the EPT. *)
+
+val guest_idt_gate : t -> vm -> vector:int -> int64 option
+(** The guest's IDT gate handler for [vector], read through the EPT
+    without guest cooperation ([None] if the IDT page is unmapped). *)

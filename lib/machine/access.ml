@@ -1,0 +1,57 @@
+(* The four-action arbitrary-access surface shared by every backend's
+   injection port. See access.mli. *)
+
+type action =
+  | Arbitrary_read_linear
+  | Arbitrary_write_linear
+  | Arbitrary_read_physical
+  | Arbitrary_write_physical
+
+let all =
+  [
+    Arbitrary_read_linear;
+    Arbitrary_write_linear;
+    Arbitrary_read_physical;
+    Arbitrary_write_physical;
+  ]
+
+let code = function
+  | Arbitrary_read_linear -> 0L
+  | Arbitrary_write_linear -> 1L
+  | Arbitrary_read_physical -> 2L
+  | Arbitrary_write_physical -> 3L
+
+let of_code = function
+  | 0L -> Some Arbitrary_read_linear
+  | 1L -> Some Arbitrary_write_linear
+  | 2L -> Some Arbitrary_read_physical
+  | 3L -> Some Arbitrary_write_physical
+  | _ -> None
+
+let to_string = function
+  | Arbitrary_read_linear -> "ARBITRARY_READ_LINEAR"
+  | Arbitrary_write_linear -> "ARBITRARY_WRITE_LINEAR"
+  | Arbitrary_read_physical -> "ARBITRARY_READ_PHYSICAL"
+  | Arbitrary_write_physical -> "ARBITRARY_WRITE_PHYSICAL"
+
+let is_write = function
+  | Arbitrary_write_linear | Arbitrary_write_physical -> true
+  | Arbitrary_read_linear | Arbitrary_read_physical -> false
+
+let is_physical = function
+  | Arbitrary_read_physical | Arbitrary_write_physical -> true
+  | Arbitrary_read_linear | Arbitrary_write_linear -> false
+
+(* Resolve the target to a machine address. Linear addresses must
+   already be mapped in the host (its direct map); physical addresses
+   are used as-is — in this machine model both go through the same
+   direct map, mirroring the map_domain_page path of the real
+   prototype. *)
+let resolve mem ~addr ~len ~physical =
+  let ma = if physical then Some addr else Layout.maddr_of_directmap addr in
+  match ma with
+  | None -> None
+  | Some ma ->
+      let last = Int64.add ma (Int64.of_int (max 0 (len - 1))) in
+      let mfn_ok a = Phys_mem.is_valid_mfn mem (Addr.mfn_of_maddr a) in
+      if len <= 0 || (not (mfn_ok ma)) || not (mfn_ok last) then None else Some ma

@@ -1,0 +1,31 @@
+(** The four-action arbitrary-access surface of the intrusion injector.
+
+    Every backend exposes the same injection port — a hypercall on Xen
+    PV, an ioctl on KVM — with these four actions, so test scripts and
+    trace recordings port across systems. This module owns the single
+    encode/decode used by both sides (the wire codes appear verbatim in
+    [Injector_access] trace records). *)
+
+type action =
+  | Arbitrary_read_linear
+  | Arbitrary_write_linear
+  | Arbitrary_read_physical
+  | Arbitrary_write_physical
+
+val all : action list
+(** In wire-code order. *)
+
+val code : action -> int64
+(** The on-wire action code (hypercall argument 3 / ioctl command). *)
+
+val of_code : int64 -> action option
+val to_string : action -> string
+val is_write : action -> bool
+val is_physical : action -> bool
+
+val resolve :
+  Phys_mem.t -> addr:int64 -> len:int -> physical:bool -> Addr.maddr option
+(** Resolve an access target to a machine address: linear addresses
+    through the host direct map, physical addresses as-is; [None] when
+    the address does not resolve or any byte of [addr..addr+len-1]
+    falls outside installed memory (callers map this to [EINVAL]). *)

@@ -169,11 +169,14 @@ type event =
   | Monitor_verdict of { violations : int; classes : int }
   | Panic of { reason : string }
   | Vmi_scan of { detector : string; findings : int; frames : int }
+  | Backend_op of { op : int; arg1 : int64; arg2 : int64; data : string }
+      (* a backend-specific boundary crossing (KVM ioctl, VM entry,
+         fault delivery); carries its payload so writes replay *)
 
 let is_boundary = function
   | Hypercall { payload; _ } -> payload <> ""
   | Guest_mem _ | Guest_invlpg _ | Kernel_tick _ | Sched_round | Net_listen _ | Net_cmd _
-  | Xenstore_write _ ->
+  | Xenstore_write _ | Backend_op _ ->
       true
   | Hypercall_ret _ | Fault _ | Tlb_flush_all | Tlb_invlpg _ | Page_type _ | Grant_op _
   | Evtchn_op _ | Injector_access _ | Console _ | Monitor_verdict _ | Panic _ | Vmi_scan _
@@ -201,6 +204,7 @@ let event_name = function
   | Monitor_verdict _ -> "monitor_verdict"
   | Panic _ -> "panic"
   | Vmi_scan _ -> "vmi_scan"
+  | Backend_op _ -> "backend_op"
 
 let code_of_event = function
   | Hypercall _ -> 1
@@ -223,6 +227,7 @@ let code_of_event = function
   | Monitor_verdict _ -> 25
   | Panic _ -> 26
   | Vmi_scan _ -> 27
+  | Backend_op _ -> 28
 
 (* --- binary encoding -------------------------------------------------- *)
 
@@ -299,6 +304,11 @@ let encode_payload b = function
       put_str b detector;
       put_u32 b findings;
       put_u32 b frames
+  | Backend_op { op; arg1; arg2; data } ->
+      put_u32 b op;
+      put_i64 b arg1;
+      put_i64 b arg2;
+      put_str b data
 
 (* A little cursor over a linearized trace image. *)
 type reader = { src : string; mutable pos : int }
@@ -415,6 +425,12 @@ let decode_payload code r =
       let findings = get_u32 r in
       let frames = get_u32 r in
       Vmi_scan { detector; findings; frames }
+  | 28 ->
+      let op = get_u32 r in
+      let arg1 = get_i64 r in
+      let arg2 = get_i64 r in
+      let data = get_str r in
+      Backend_op { op; arg1; arg2; data }
   | n -> failwith (Printf.sprintf "Trace: unknown record code %d" n)
 
 (* --- the ring --------------------------------------------------------- *)
@@ -702,6 +718,9 @@ let pp_event ppf = function
   | Panic { reason } -> Format.fprintf ppf "panic %S" reason
   | Vmi_scan { detector; findings; frames } ->
       Format.fprintf ppf "vmi_scan %s findings=%d frames=%d" detector findings frames
+  | Backend_op { op; arg1; arg2; data } ->
+      Format.fprintf ppf "backend_op op=%d arg1=%016Lx arg2=%016Lx data=%dB" op arg1 arg2
+        (String.length data)
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in

@@ -92,6 +92,12 @@ type event =
           and how many frames it read (the deterministic cost proxy).
           Internal — scans are side-effect-free, so replay never needs
           to re-run them. *)
+  | Backend_op of { op : int; arg1 : int64; arg2 : int64; data : string }
+      (** a backend-specific boundary crossing for substrates without
+          Xen's guest-kernel instrumentation (the KVM ioctl, a VM
+          entry, a fault delivery). [op] is interpreted by the backend
+          that recorded it; [data] carries write payloads so replay can
+          re-drive them. Boundary. *)
 
 val is_boundary : event -> bool
 (** True for the events replay applies: every boundary constructor,

@@ -118,7 +118,13 @@ end
 
 module Detector = struct
   type scan_result = { findings : string list; frames_read : int }
-  type t = { name : string; arm : Hv.t -> unit; scan : Hv.t -> scan_result }
+
+  (* Parametric in the machine state it observes: Xen detectors scan an
+     [Hv.t], other backends supply their own state type and adapt
+     reusable detectors with [contramap]. *)
+  type 'st t = { name : string; arm : 'st -> unit; scan : 'st -> scan_result }
+
+  let contramap f d = { name = d.name; arm = (fun st -> d.arm (f st)); scan = (fun st -> d.scan (f st)) }
 
   let critical_frames hv = hv.Hv.idt_mfn :: hv.Hv.text_mfn :: Array.to_list hv.Hv.m2p_mfns
 
@@ -268,8 +274,8 @@ end
 (* --- scan scheduler --------------------------------------------------- *)
 
 module Scheduler = struct
-  type t = {
-    detectors : Detector.t list;
+  type 'st t = {
+    detectors : 'st Detector.t list;
     period : int;
     registry : Metrics.registry option;
     mutable steps : int;
@@ -292,7 +298,7 @@ module Scheduler = struct
       found = [];
     }
 
-  let arm t hv = List.iter (fun d -> d.Detector.arm hv) t.detectors
+  let arm t st = List.iter (fun d -> d.Detector.arm st) t.detectors
 
   let publish t detector ~findings ~frames =
     match t.registry with
@@ -308,11 +314,10 @@ module Scheduler = struct
              "vmi_scan_frames")
           (float_of_int frames)
 
-  let scan_now t hv =
-    let tr = hv.Hv.trace in
+  let scan_now t tr st =
     List.iter
       (fun d ->
-        let r = d.Detector.scan hv in
+        let r = d.Detector.scan st in
         let n = List.length r.Detector.findings in
         (* capture the sequence number this scan's own record will get:
            it sits after every machine event the detector could have
@@ -339,8 +344,8 @@ module Scheduler = struct
         publish t d.Detector.name ~findings:n ~frames:r.Detector.frames_read)
       t.detectors
 
-  let step t hv =
-    if t.steps mod t.period = 0 then scan_now t hv;
+  let step t tr st =
+    if t.steps mod t.period = 0 then scan_now t tr st;
     t.steps <- t.steps + 1
 
   let scans_run t = t.scans_run

@@ -65,67 +65,75 @@ module Detector : sig
     frames_read : int;  (** deterministic cost proxy for this scan *)
   }
 
-  (** One monitoring strategy. [arm] captures whatever baseline the
-      strategy needs from a known-good system; [scan] re-derives the
-      view and reports anomalies. Both must be side-effect-free on the
-      machine (reads only). *)
-  type t = { name : string; arm : Hv.t -> unit; scan : Hv.t -> scan_result }
+  (** One monitoring strategy over a machine state ['st] (an {!Hv.t}
+      for the Xen detectors below; other substrates supply their own
+      state type). [arm] captures whatever baseline the strategy needs
+      from a known-good system; [scan] re-derives the view and reports
+      anomalies. Both must be side-effect-free on the machine (reads
+      only). *)
+  type 'st t = { name : string; arm : 'st -> unit; scan : 'st -> scan_result }
 
-  val integrity_hasher : unit -> t
+  val contramap : ('b -> 'a) -> 'a t -> 'b t
+  (** Adapt a detector to a larger state by projecting out the part it
+      scans (e.g. an [Hv.t] detector over a whole testbed). *)
+
+  val integrity_hasher : unit -> Hv.t t
   (** Baseline FNV-1a hashes over the hypervisor-critical frames (IDT,
       Xen text, the M2P table); fires when any hash changes. *)
 
-  val idt_gate_auditor : unit -> t
+  val idt_gate_auditor : unit -> Hv.t t
   (** Invariant-based (no baseline): fires on any present gate whose
       handler is not a registered Xen entry point. *)
 
-  val pt_exposure_scanner : unit -> t
+  val pt_exposure_scanner : unit -> Hv.t t
   (** Per-domain baseline of {!View.exposure_count}; fires when a
       domain's writable-exposure count rises above it. *)
 
-  val m2p_inverse_checker : unit -> t
+  val m2p_inverse_checker : unit -> Hv.t t
   (** Baseline count of {!View.m2p_mismatches}; fires on increase. *)
 
-  val liveness : unit -> t
+  val liveness : unit -> Hv.t t
   (** Heartbeat: fires on hypervisor crash, watchdog-visible scheduler
       stall growth, newly hung vcpus or newly crashed domains. *)
 
-  val all : unit -> t list
+  val all : unit -> Hv.t t list
   (** Fresh instances of every detector, in a fixed order. *)
 end
 
 (** {1 Scan scheduling and latency} *)
 
 module Scheduler : sig
-  type t
+  type 'st t
 
-  val create : ?period:int -> ?registry:Metrics.registry -> Detector.t list -> t
+  val create : ?period:int -> ?registry:Metrics.registry -> 'st Detector.t list -> 'st t
   (** [period] (default 1) is how many {!step} calls elapse between
       scans; the first step always scans. When [registry] is given,
       every scan publishes [vmi_scans_total]/[vmi_findings_total]
       (labelled by detector) and the [vmi_scan_frames] histogram. *)
 
-  val arm : t -> Hv.t -> unit
+  val arm : 'st t -> 'st -> unit
   (** Arm every detector against the current (known-good) state. *)
 
-  val step : t -> Hv.t -> unit
-  (** One interleaving point in a trial; scans when the period elapses. *)
+  val step : 'st t -> Trace.t -> 'st -> unit
+  (** One interleaving point in a trial; scans when the period elapses.
+      [Trace.t] is where scan records and counters land — the monitored
+      system's trace, passed explicitly since ['st] is opaque here. *)
 
-  val scan_now : t -> Hv.t -> unit
+  val scan_now : 'st t -> Trace.t -> 'st -> unit
   (** Run every detector once: emits a [Vmi_scan] trace record and bumps
       the VMI counters per detector, and records the first firing
       sequence number per detector. *)
 
-  val scans_run : t -> int
-  val frames_read : t -> int
+  val scans_run : 'st t -> int
+  val frames_read : 'st t -> int
 
-  val first_fire : t -> (string * int) list
+  val first_fire : 'st t -> (string * int) list
   (** [(detector, seq)] for each detector that has fired, in firing
       order. [seq] is the trace sequence number captured just before the
       scan's own record — comparable against [Injector_access] records
       in the same trace. Only meaningful while the ring is recording. *)
 
-  val findings : t -> (string * string list) list
+  val findings : 'st t -> (string * string list) list
   (** Cumulative distinct findings per detector (firing order). *)
 end
 

@@ -104,20 +104,20 @@ let test_injector_actions () =
   let data = Bytes.create 8 in
   Bytes.set_int64_le data 0 0x1122L;
   check_bool "phys write" true
-    (Kvm.arbitrary_access kvm ~addr:ma Kvm.Write_host_physical ~data = Ok None);
-  (match Kvm.arbitrary_access kvm ~addr:ma Kvm.Read_host_physical ~data:(Bytes.create 8) with
+    (Kvm.arbitrary_access kvm ~addr:ma Kvm.Arbitrary_write_physical ~data = Ok None);
+  (match Kvm.arbitrary_access kvm ~addr:ma Kvm.Arbitrary_read_physical ~data:(Bytes.create 8) with
   | Ok (Some b) -> check_i64 "read back" 0x1122L (Bytes.get_int64_le b 0)
   | _ -> Alcotest.fail "read");
   (* linear action resolves through the host direct map *)
   let lin = Layout.directmap_of_maddr ma in
-  (match Kvm.arbitrary_access kvm ~addr:lin Kvm.Read_host_linear ~data:(Bytes.create 8) with
+  (match Kvm.arbitrary_access kvm ~addr:lin Kvm.Arbitrary_read_linear ~data:(Bytes.create 8) with
   | Ok (Some b) -> check_i64 "linear read" 0x1122L (Bytes.get_int64_le b 0)
   | _ -> Alcotest.fail "linear read");
   check_bool "oob refused" true
-    (Kvm.arbitrary_access kvm ~addr:0x7FFF_0000_0000L Kvm.Write_host_physical ~data
+    (Kvm.arbitrary_access kvm ~addr:0x7FFF_0000_0000L Kvm.Arbitrary_write_physical ~data
     = Error Errno.EINVAL);
   check_bool "empty refused" true
-    (Kvm.arbitrary_access kvm ~addr:ma Kvm.Read_host_physical ~data:Bytes.empty
+    (Kvm.arbitrary_access kvm ~addr:ma Kvm.Arbitrary_read_physical ~data:Bytes.empty
     = Error Errno.EINVAL)
 
 (* --- cross-system study -------------------------------------------------------- *)

@@ -1,0 +1,253 @@
+(* Refactor-neutrality and substrate tests.
+
+   The substrate refactor must leave the Xen path byte-identical:
+   trace recordings and campaign result rows produced through the
+   substrate-generic drivers must equal the pre-refactor fixtures in
+   [Golden_xen] (captured before the refactor; never regenerated).
+   The KVM backend must be a complete substrate: campaign runs,
+   checkpoint/reset, Errno-mapped injection port, deterministic trace
+   record/replay, and working detectors. *)
+
+open Ii_trace
+open Ii_xen
+open Ii_core
+module All = Ii_exploits.All_exploits
+module BK = Ii_backends.Backend_kvm
+module KC = Ii_backends.Backends.Kvm_campaign
+module KT = Ii_backends.Backends.Kvm_trace
+module KV = Ii_backends.Backends.Kvm_vmi
+module KU = Ii_backends.Kvm_use_cases
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let uc name =
+  match All.find name with Some uc -> uc | None -> Alcotest.fail ("no use case " ^ name)
+
+let mode_of_string = function
+  | "exploit" -> Campaign.Real_exploit
+  | "injection" -> Campaign.Injection
+  | m -> Alcotest.fail ("bad mode in fixture: " ^ m)
+
+(* The exact fingerprint the fixture generator used, re-implemented
+   here: any drift in row content or formatting shows up as a diff. *)
+let fingerprint (r : Campaign.result_row) =
+  let t = r.Campaign.r_telemetry in
+  String.concat "\n"
+    ([ Printf.sprintf "use_case=%s" r.Campaign.r_use_case;
+       Printf.sprintf "version=%s" (Version.to_string r.Campaign.r_version);
+       Printf.sprintf "mode=%s" (Campaign.mode_to_string r.Campaign.r_mode);
+       Printf.sprintf "state=%b" r.Campaign.r_state;
+       Printf.sprintf "rc=%s"
+         (match r.Campaign.r_rc with Some rc -> string_of_int rc | None -> "-") ]
+    @ List.map (fun e -> "evidence=" ^ e) r.Campaign.r_state_evidence
+    @ List.map
+        (fun v -> "violation=" ^ Monitor.violation_to_string v)
+        r.Campaign.r_violations
+    @ List.map (fun l -> "transcript=" ^ l) r.Campaign.r_transcript
+    @ [ Printf.sprintf "telemetry=%s|f%d|F%d|d%d|fl%d|i%d|p%d|g%d|e%d|inj%d|vs%d|vf%d|vfr%d"
+          (String.concat ","
+             (List.map (fun (n, c) -> Printf.sprintf "%d:%d" n c) t.Trace.tm_hypercalls))
+          t.Trace.tm_hypercalls_failed t.Trace.tm_faults t.Trace.tm_double_faults
+          t.Trace.tm_flushes t.Trace.tm_invlpgs t.Trace.tm_page_type_changes
+          t.Trace.tm_grant_ops t.Trace.tm_evtchn_ops t.Trace.tm_injector_accesses
+          t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings t.Trace.tm_vmi_frames ])
+
+(* --- Xen neutrality ------------------------------------------------------ *)
+
+let test_golden_trace_bytes () =
+  List.iter
+    (fun (name, mode_s, trace_bytes, _) ->
+      let r = Trace_driver.record (uc name) (mode_of_string mode_s) Version.V4_6 in
+      check_string
+        (Printf.sprintf "%s/%s trace bytes" name mode_s)
+        trace_bytes r.Trace_driver.rec_bytes)
+    Golden_xen.cases
+
+let test_golden_row_fingerprints () =
+  List.iter
+    (fun (name, mode_s, _, row_fp) ->
+      let r = Trace_driver.record (uc name) (mode_of_string mode_s) Version.V4_6 in
+      check_string
+        (Printf.sprintf "%s/%s row fingerprint" name mode_s)
+        row_fp
+        (fingerprint r.Trace_driver.rec_row))
+    Golden_xen.cases
+
+let test_golden_recordings_replay () =
+  List.iter
+    (fun (name, mode_s, _, _) ->
+      let r = Trace_driver.record (uc name) (mode_of_string mode_s) Version.V4_6 in
+      let o = Trace_driver.replay r in
+      check_bool (Printf.sprintf "%s/%s applied" name mode_s) true (o.Trace_driver.rp_applied > 0);
+      check_bool (Printf.sprintf "%s/%s equal" name mode_s) true o.Trace_driver.rp_equal)
+    Golden_xen.cases
+
+let test_backend_field_tags_xen () =
+  let r = Campaign.run (uc "XSA-148-priv") Campaign.Injection Version.V4_6 in
+  check_string "r_backend" "xen" r.Campaign.r_backend
+
+(* --- the shared four-action codec ---------------------------------------- *)
+
+let all_actions =
+  [
+    Access.Arbitrary_read_linear;
+    Access.Arbitrary_write_linear;
+    Access.Arbitrary_read_physical;
+    Access.Arbitrary_write_physical;
+  ]
+
+let test_access_roundtrip () =
+  List.iter
+    (fun a ->
+      check_bool (Access.to_string a) true (Access.of_code (Access.code a) = Some a))
+    all_actions;
+  check_bool "bad code" true (Access.of_code 99L = None);
+  (* the injector and the KVM ioctl expose the same codec *)
+  List.iter
+    (fun a -> check_bool "injector codec" true (Access.code a = Injector.action_code a))
+    all_actions;
+  List.iter
+    (fun a ->
+      check_bool "write split" (Access.is_write a)
+        (a = Access.Arbitrary_write_linear || a = Access.Arbitrary_write_physical);
+      check_bool "physical split" (Access.is_physical a)
+        (a = Access.Arbitrary_read_physical || a = Access.Arbitrary_write_physical))
+    all_actions
+
+(* --- KVM backend --------------------------------------------------------- *)
+
+let test_kvm_errno () =
+  let t = BK.create BK.Stock in
+  let b = Bytes.make 8 '\xaa' in
+  (* gated port: ENOSYS before the injector is installed *)
+  check_bool "enosys" true
+    (BK.inject_write t ~addr:(Int64.add (Addr.maddr_of_mfn t.BK.victim.Ii_kvm.Kvm.vmcs_mfn) 8L)
+       Access.Arbitrary_write_physical b
+    = Error Errno.ENOSYS);
+  BK.install_injector t;
+  check_bool "installed" true (BK.injector_installed t);
+  (* unmapped target: EINVAL, same as the Xen injector *)
+  check_bool "einval" true
+    (BK.inject_write t ~addr:0x7fff_ffff_0000L Access.Arbitrary_write_physical b
+    = Error Errno.EINVAL);
+  (* failures surface as the same negative-errno return codes Xen uses *)
+  check_int "enosys rc" (-38) (Errno.to_return_code Errno.ENOSYS);
+  let kvm_rc = (KC.run KU.vmcs_uc Campaign.Injection BK.Stock).KC.r_rc in
+  check_bool "success rc" true (kvm_rc = Some 0)
+
+let test_kvm_checkpoint_reset () =
+  let t = BK.create BK.Stock in
+  let vmcs_mfn = t.BK.victim.Ii_kvm.Kvm.vmcs_mfn in
+  let clean_hash = BK.frame_hash t vmcs_mfn in
+  let r = KC.run ~tb:t KU.vmcs_uc Campaign.Injection BK.Stock in
+  check_bool "state injected" true r.KC.r_state;
+  check_bool "victim died" true (t.BK.victim.Ii_kvm.Kvm.state <> Ii_kvm.Kvm.Vm_running);
+  check_bool "hash moved" true (BK.frame_hash t vmcs_mfn <> clean_hash);
+  BK.reset t;
+  check_bool "hash restored" true (BK.frame_hash t vmcs_mfn = clean_hash);
+  check_bool "victim revived" true (t.BK.victim.Ii_kvm.Kvm.state = Ii_kvm.Kvm.Vm_running);
+  check_bool "injector disarmed" true (not (BK.injector_installed t));
+  (* a reset testbed audits clean and produces the same row again *)
+  let audit = BK.audit t (BK.Vmcs_entry_tampered t.BK.victim.Ii_kvm.Kvm.vm_id) in
+  check_bool "audit clean" false audit.Erroneous_state.holds;
+  let r2 = KC.run ~tb:t KU.vmcs_uc Campaign.Injection BK.Stock in
+  check_bool "rerun equal" true
+    (r2.KC.r_state = r.KC.r_state && r2.KC.r_violations = r.KC.r_violations
+   && r2.KC.r_rc = r.KC.r_rc)
+
+let test_kvm_rq1 () =
+  List.iter
+    (fun (name, same_state, same_violation) ->
+      check_bool (name ^ " state") true same_state;
+      check_bool (name ^ " violation") true same_violation)
+    (KC.validate_rq1 KU.use_cases)
+
+let test_kvm_trace_deterministic () =
+  List.iter
+    (fun u ->
+      let a = KT.record u Campaign.Injection BK.Stock in
+      let b = KT.record u Campaign.Injection BK.Stock in
+      check_string (u.KC.uc_name ^ " bytes") a.KT.rec_bytes b.KT.rec_bytes)
+    KU.use_cases
+
+let test_kvm_replay () =
+  List.iter
+    (fun u ->
+      List.iter
+        (fun mode ->
+          let r = KT.record u mode BK.Stock in
+          let o = KT.replay r in
+          check_bool (u.KC.uc_name ^ " applied") true (o.KT.rp_applied > 0);
+          check_bool (u.KC.uc_name ^ " equal") true o.KT.rp_equal)
+        [ Campaign.Real_exploit; Campaign.Injection ])
+    KU.use_cases
+
+let test_kvm_detectors_cover () =
+  let trials = KV.coverage KU.use_cases Campaign.Injection BK.Stock in
+  check_int "trials" (List.length KU.use_cases) (List.length trials);
+  List.iter
+    (fun t ->
+      check_bool (t.KV.t_recording.KT.rec_use_case ^ " covered") true (KV.covered t))
+    trials;
+  List.iter
+    (fun u ->
+      check_bool (u.KC.uc_name ^ " side-effect-free") true
+        (KV.side_effect_free u Campaign.Injection BK.Stock))
+    KU.use_cases
+
+let test_backend_registry () =
+  check_bool "xen known" true (Ii_backends.Backends.is_known "xen");
+  check_bool "kvm known" true (Ii_backends.Backends.is_known "kvm");
+  check_bool "vbox unknown" false (Ii_backends.Backends.is_known "vbox");
+  let r = KC.run KU.idt_uc Campaign.Injection BK.Stock in
+  check_string "r_backend kvm" "kvm" r.KC.r_backend
+
+(* --- cross-backend comparability ----------------------------------------- *)
+
+let test_cross_backend_rows () =
+  let rows = Ii_exploits.Cross_system.run () in
+  check_int "rows" 3 (List.length rows);
+  List.iter
+    (fun r ->
+      check_bool "injected" true r.Ii_exploits.Cross_system.cs_injected;
+      check_bool "rc comparable" true (r.Ii_exploits.Cross_system.cs_rc = Some 0);
+      check_bool "violations observed" true (r.Ii_exploits.Cross_system.cs_violations <> []))
+    rows;
+  match rows with
+  | [ xen; kvm_idt; kvm_vmcs ] ->
+      check_bool "xen host dies" false xen.Ii_exploits.Cross_system.host_survives;
+      check_bool "kvm hosts survive" true
+        (kvm_idt.Ii_exploits.Cross_system.host_survives
+        && kvm_vmcs.Ii_exploits.Cross_system.host_survives);
+      check_bool "kvm bystanders survive" true
+        (kvm_idt.Ii_exploits.Cross_system.bystander_survives
+        && kvm_vmcs.Ii_exploits.Cross_system.bystander_survives)
+  | _ -> Alcotest.fail "expected [xen; kvm-idt; kvm-vmcs]"
+
+let () =
+  Alcotest.run "substrate"
+    [
+      ( "neutrality",
+        [
+          Alcotest.test_case "golden trace bytes" `Quick test_golden_trace_bytes;
+          Alcotest.test_case "golden row fingerprints" `Quick test_golden_row_fingerprints;
+          Alcotest.test_case "golden recordings replay" `Quick test_golden_recordings_replay;
+          Alcotest.test_case "xen rows tagged" `Quick test_backend_field_tags_xen;
+        ] );
+      ( "codec",
+        [ Alcotest.test_case "four-action roundtrip" `Quick test_access_roundtrip ] );
+      ( "kvm",
+        [
+          Alcotest.test_case "errno mapping" `Quick test_kvm_errno;
+          Alcotest.test_case "checkpoint and reset" `Quick test_kvm_checkpoint_reset;
+          Alcotest.test_case "rq1 exploit = injection" `Quick test_kvm_rq1;
+          Alcotest.test_case "trace deterministic" `Quick test_kvm_trace_deterministic;
+          Alcotest.test_case "record/replay equal" `Quick test_kvm_replay;
+          Alcotest.test_case "detectors cover states" `Quick test_kvm_detectors_cover;
+          Alcotest.test_case "registry" `Quick test_backend_registry;
+        ] );
+      ( "cross",
+        [ Alcotest.test_case "comparable rows" `Quick test_cross_backend_rows ] );
+    ]

@@ -131,7 +131,7 @@ let test_scan_reads_only_and_counts () =
   let sched = Vmi.Scheduler.create (Vmi.Detector.all ()) in
   Vmi.Scheduler.arm sched hv;
   let dirty = Phys_mem.dirty_count hv.Hv.mem in
-  Vmi.Scheduler.scan_now sched hv;
+  Vmi.Scheduler.scan_now sched hv.Hv.trace hv;
   check_int "a full scan dirtied nothing" dirty (Phys_mem.dirty_count hv.Hv.mem);
   check_int "five detectors scanned" 5 (Vmi.Scheduler.scans_run sched);
   check_bool "scan cost counted" true (Vmi.Scheduler.frames_read sched > 0);
@@ -238,7 +238,7 @@ let test_scan_cache_vmi_interleave () =
   agree "initial";
   let sched = Vmi.Scheduler.create (Vmi.Detector.all ()) in
   Vmi.Scheduler.arm sched hv;
-  Vmi.Scheduler.scan_now sched hv;
+  Vmi.Scheduler.scan_now sched hv.Hv.trace hv;
   agree "after vmi scan";
   check_bool "scans kept the snapshot pristine" true
     (Monitor.snapshot ~cache tb = pristine);
@@ -250,7 +250,7 @@ let test_scan_cache_vmi_interleave () =
   Testbed.reset tb;
   agree "after reset";
   check_bool "reset returned to pristine" true (Monitor.snapshot ~cache tb = pristine);
-  Vmi.Scheduler.scan_now sched hv;
+  Vmi.Scheduler.scan_now sched hv.Hv.trace hv;
   agree "after post-reset scan"
 
 let () =
