@@ -515,8 +515,54 @@ let perf_report ~trials =
     in
     (Ii_backends.Backends.Kvm_trace.replay r).Ii_backends.Backends.Kvm_trace.rp_equal
   in
+  (* layer 8: the provenance shadow. Detached (the default) every hook
+     is one option match, so the off timing must stay within noise of
+     the plain trial above; attached is allowed to cost. The per-use-
+     case edge/taint counts are deterministic. *)
+  let tb_prov = Testbed.create Version.V4_6 in
+  let _, prov_off_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_prov uc148 Campaign.Injection Version.V4_6)
+  in
+  Substrate_xen.enable_provenance tb_prov;
+  let _, prov_on_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_prov uc148 Campaign.Injection Version.V4_6)
+  in
+  let prov_off_within_noise =
+    prov_off_trial_s <= (2. *. trace_off_trial_s) +. 1e-4
+  in
+  let xen_prov_keys =
+    List.concat_map
+      (fun u ->
+        let tb = Testbed.create Version.V4_6 in
+        Substrate_xen.enable_provenance tb;
+        ignore (Campaign.run ~tb u Campaign.Injection Version.V4_6);
+        let p = Option.get (Substrate_xen.provenance tb) in
+        [
+          ("prov_edges_" ^ u.Campaign.uc_name, I (Provenance.edge_count p));
+          ("prov_tainted_bytes_" ^ u.Campaign.uc_name, I (Provenance.tainted_bytes p));
+        ])
+      All.use_cases
+  in
+  let kvm_prov_keys =
+    List.concat_map
+      (fun u ->
+        let tb = Ii_backends.Backend_kvm.create Ii_backends.Backend_kvm.Stock in
+        Ii_backends.Backend_kvm.enable_provenance tb;
+        ignore
+          (Ii_backends.Backends.Kvm_campaign.run ~tb u Campaign.Injection
+             Ii_backends.Backend_kvm.Stock);
+        let p = Option.get (Ii_backends.Backend_kvm.provenance tb) in
+        let name = u.Ii_backends.Backends.Kvm_campaign.uc_name in
+        [
+          ("prov_edges_" ^ name, I (Provenance.edge_count p));
+          ("prov_tainted_bytes_" ^ name, I (Provenance.tainted_bytes p));
+        ])
+      Ii_backends.Kvm_use_cases.use_cases
+  in
   ( [
-    ("schema_version", I 4);
+    ("schema_version", I 5);
     ("trials", I trials);
     ("walk_uncached_ns", F walk_uncached_ns);
     ("walk_cached_ns", F walk_cached_ns);
@@ -559,6 +605,12 @@ let perf_report ~trials =
         ("backend_kvm_trial_s", F backend_kvm_trial_s);
         ("backend_kvm_state", B kvm_row.Ii_backends.Backends.Kvm_campaign.r_state);
         ("backend_kvm_replay_equal", B kvm_replay_equal);
+      ]
+    @ xen_prov_keys @ kvm_prov_keys
+    @ [
+        ("prov_overhead_off_trial_s", F prov_off_trial_s);
+        ("prov_overhead_on_trial_s", F prov_on_trial_s);
+        ("prov_overhead_off_within_noise", B prov_off_within_noise);
       ],
     Metrics.render_prometheus registry )
 

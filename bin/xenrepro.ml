@@ -535,6 +535,65 @@ let vmi_cmd =
   Cmd.v (Cmd.info "vmi" ~doc)
     Term.(ret (const run $ mode_arg $ period_arg $ version_arg $ json_arg $ backend_arg))
 
+let attribution_cmd =
+  let doc =
+    "Run every use case with byte-granular provenance attached and attribute each security \
+     violation and VMI finding back to its originating action. Exits non-zero when any \
+     violation or finding resolves to an empty origin set."
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the attribution reports (rows + causal graph) as JSON.")
+  in
+  let dot_arg =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the causal graphs as Graphviz DOT.")
+  in
+  let gate eprint_name complete reports =
+    let failed = ref false in
+    List.iter
+      (fun (name, ok) ->
+        if not ok then begin
+          Printf.eprintf "attribution: %s has a violation or finding with no origin\n" name;
+          failed := true
+        end)
+      (List.map (fun r -> (eprint_name r, complete r)) reports);
+    if !failed then exit 1
+  in
+  let run_kvm json dot =
+    let module KA = Ii_backends.Backends.Kvm_attribution in
+    let ucs = Ii_backends.Kvm_use_cases.use_cases in
+    let registry = Metrics.create () in
+    let reports =
+      KA.attribute_all ~registry ucs Campaign.Injection Ii_backends.Backend_kvm.Stock
+    in
+    if json then print_string (KA.to_json reports)
+    else if dot then print_string (KA.to_dot reports)
+    else begin
+      print_endline (KA.table reports);
+      print_string (Metrics.render_prometheus registry)
+    end;
+    gate (fun r -> r.KA.ar_use_case) KA.complete reports;
+    `Ok ()
+  in
+  let run version json dot backend =
+    if backend = "kvm" then run_kvm json dot
+    else if backend <> "xen" then bad_backend backend
+    else begin
+      let ucs = Ii_exploits.All_exploits.use_cases in
+      let registry = Metrics.create () in
+      let reports = Attribution.attribute_all ~registry ucs Campaign.Injection version in
+      if json then print_string (Attribution.to_json reports)
+      else if dot then print_string (Attribution.to_dot reports)
+      else begin
+        print_endline (Attribution.table reports);
+        print_string (Metrics.render_prometheus registry)
+      end;
+      gate (fun r -> r.Attribution.ar_use_case) Attribution.complete reports;
+      `Ok ()
+    end
+  in
+  Cmd.v (Cmd.info "attribution" ~doc)
+    Term.(ret (const run $ version_arg $ json_arg $ dot_arg $ backend_arg))
+
 let backends_cmd =
   let doc = "List the hypervisor backends the injection stack can drive." in
   let run () =
@@ -548,6 +607,6 @@ let main_cmd =
   let doc = "intrusion injection for virtualized systems (DSN'23 reproduction)" in
   Cmd.group
     (Cmd.info "xenrepro" ~version:"1.0.0" ~doc)
-    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd; vmi_cmd; backends_cmd ]
+    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd; vmi_cmd; attribution_cmd; backends_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

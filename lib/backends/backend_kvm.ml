@@ -17,6 +17,7 @@ let config_to_string Stock = "stock"
 let config_of_string = function "stock" -> Some Stock | _ -> None
 let config_label Stock = "KVM stock"
 let config_heading = "KVM"
+let port_heading = "Ioctls"
 
 type t = {
   kvm : Kvm.t;
@@ -48,6 +49,13 @@ let reset t =
 
 let trace t = t.tr
 let console t = Kvm.console t.kvm
+
+let enable_provenance t =
+  let mem = Kvm.mem t.kvm in
+  if Phys_mem.provenance mem = None then
+    Phys_mem.set_provenance mem (Some (Provenance.create ~tr:t.tr ()))
+
+let provenance t = Phys_mem.provenance (Kvm.mem t.kvm)
 let install_injector t = t.injector_on <- true
 let injector_installed t = t.injector_on
 
@@ -77,7 +85,13 @@ let ioctl t ~addr action data =
           Trace.emit t.tr
             (Trace.Injector_access
                { action = Int64.to_int (Access.code action); addr; len = Bytes.length data });
-        let r = Kvm.arbitrary_access t.kvm ~addr action ~data in
+        (* same origin scheme as the Xen hypercall port: the access
+           ordinal names the injecting action in attribution output *)
+        let n = Trace.Counters.injector_accesses (Trace.counters t.tr) in
+        let r =
+          Phys_mem.with_origin (Kvm.mem t.kvm) (Provenance.Injector_action n) (fun () ->
+              Kvm.arbitrary_access t.kvm ~addr action ~data)
+        in
         Trace.note_hypercall t.tr ~number:Injector.hypercall_number ~failed:(Result.is_error r);
         r)
 
@@ -97,7 +111,10 @@ let host_write t ~addr data =
   bracketed t
     (Trace.Backend_op { op = op_host_write; arg1 = addr; arg2 = 0L; data = Bytes.to_string data })
     (fun () ->
-      match Kvm.arbitrary_access t.kvm ~addr Access.Arbitrary_write_physical ~data with
+      match
+        Phys_mem.with_origin (Kvm.mem t.kvm) (Provenance.Backend_write 0) (fun () ->
+            Kvm.arbitrary_access t.kvm ~addr Access.Arbitrary_write_physical ~data)
+      with
       | Ok _ -> Ok ()
       | Error e -> Error e)
 

@@ -7,6 +7,7 @@
 module Kvm_campaign = Campaign.Make (Backend_kvm)
 module Kvm_trace = Trace_driver.Make (Backend_kvm)
 module Kvm_vmi = Vmi_driver.Make (Backend_kvm)
+module Kvm_attribution = Attribution.Make (Backend_kvm)
 
 let known = [ ("xen", Substrate_xen.description); ("kvm", Backend_kvm.description) ]
 

@@ -192,7 +192,7 @@ module Make (B : Substrate.S) = struct
   let telemetry_table rows =
     let header =
       [
-        "Use Case"; B.config_heading; "Mode"; "Hypercalls"; "Failed"; "Faults"; "Flushes";
+        "Use Case"; B.config_heading; "Mode"; B.port_heading; "Failed"; "Faults"; "Flushes";
         "Pg-type"; "Injector"; "VMI";
       ]
     in

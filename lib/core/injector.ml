@@ -39,7 +39,13 @@ let handler hv dom (args : int64 array) =
               match Uaccess.copy_from_guest hv dom buf len with
               | Error e -> Error e
               | Ok data ->
-                  Phys_mem.write_bytes hv.Hv.mem ma data;
+                  (* label the landed bytes with this access's ordinal so
+                     attribution can name the injecting action; the counter
+                     was just bumped by [note_injector] and is restored
+                     with machine checkpoints, so the id is replay-stable *)
+                  let n = Trace.Counters.injector_accesses (Trace.counters tr) in
+                  Phys_mem.with_origin hv.Hv.mem (Provenance.Injector_action n) (fun () ->
+                      Phys_mem.write_bytes hv.Hv.mem ma data);
                   Ok 0L)
             else (
               let data = Phys_mem.read_bytes hv.Hv.mem ma len in

@@ -78,7 +78,12 @@ let m2p_mismatch_fresh hv =
       List.fold_left
         (fun acc pfn ->
           match Domain.mfn_of_pfn dom pfn with
-          | Some mfn when Hv.m2p_lookup hv mfn <> Some pfn -> acc + 1
+          | Some mfn when Hv.m2p_lookup hv mfn <> Some pfn ->
+              (* the verdict depends on the inconsistent M2P entry *)
+              let m2p_mfn, off = Hv.m2p_frame_for hv mfn in
+              Phys_mem.observe hv.Hv.mem ~consumer:Provenance.M2p_check ~mfn:m2p_mfn ~off
+                ~len:8;
+              acc + 1
           | Some _ | None -> acc)
         acc (Domain.populated_pfns dom))
     0 hv.Hv.domains
@@ -134,14 +139,20 @@ let writable_pt_exposure ?memo ?cache hv dom =
       Frame.iter_present frame (fun index e ->
           let va = Int64.logor va_prefix (Int64.shift_left (Int64.of_int index) (shift level)) in
           let rw = rw && Pte.test Pte.Rw e in
+          let flag () =
+            (* a flagged mapping is evidence read out of this entry *)
+            Phys_mem.observe mem ~consumer:Provenance.Monitor_scan ~mfn:table_mfn
+              ~off:(8 * index) ~len:8;
+            incr count
+          in
           if level = 1 then begin
-            if rw && typed_pt (Pte.mfn e) && guest_writable va then incr count
+            if rw && typed_pt (Pte.mfn e) && guest_writable va then flag ()
           end
           else if level = 2 && Pte.test Pte.Pse e then begin
             if rw && guest_writable va then begin
               let base = Pte.mfn e land lnot 0x1ff in
               for m = base to base + 511 do
-                if typed_pt m then incr count
+                if typed_pt m then flag ()
               done
             end
           end

@@ -45,6 +45,12 @@ module type S = sig
   val config_heading : string
   (** Column title for the configuration in telemetry tables. *)
 
+  val port_heading : string
+  (** Column title for the injection-port call counters in telemetry
+      tables — what the backend's port actually is ("Hypercalls" on
+      Xen PV, "Ioctls" on KVM), so KVM rows are not rendered under a
+      Xen-shaped header. *)
+
   (** {1 The system under test} *)
 
   type t
@@ -59,6 +65,15 @@ module type S = sig
 
   val trace : t -> Trace.t
   (** The host's tracer — counters and (when enabled) the event ring. *)
+
+  val enable_provenance : t -> unit
+  (** Attach a byte-granular taint shadow ({!Provenance}) to the host's
+      physical memory, wired to {!trace} so interpretation edges land in
+      the event ring when it records. Idempotent; detached by default,
+      where every provenance hook is a single option match. *)
+
+  val provenance : t -> Provenance.t option
+  (** The attached shadow, if {!enable_provenance} has run. *)
 
   val console : t -> string list
   val tick_all : t -> unit

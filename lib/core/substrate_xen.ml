@@ -16,6 +16,7 @@ let config_to_string = Version.to_string
 let config_of_string = Version.of_string
 let config_label v = "Xen " ^ Version.to_string v
 let config_heading = "Xen"
+let port_heading = "Hypercalls"
 
 type t = Testbed.t
 
@@ -23,6 +24,13 @@ let create ?frames version = Testbed.create ?frames version
 let reset = Testbed.reset
 let trace tb = tb.Testbed.hv.Hv.trace
 let console tb = Hv.console_lines tb.Testbed.hv
+
+let enable_provenance tb =
+  let mem = tb.Testbed.hv.Hv.mem in
+  if Phys_mem.provenance mem = None then
+    Phys_mem.set_provenance mem (Some (Provenance.create ~tr:(trace tb) ()))
+
+let provenance tb = Phys_mem.provenance tb.Testbed.hv.Hv.mem
 let tick_all = Testbed.tick_all
 let install_injector tb = Injector.install tb.Testbed.hv
 let injector_installed tb = Injector.installed tb.Testbed.hv
@@ -139,5 +147,6 @@ let apply_event tb (ev : Trace.event) =
   | Trace.Backend_op _ (* no backend-private ops on the Xen substrate *)
   | Trace.Hypercall_ret _ | Trace.Fault _ | Trace.Tlb_flush_all | Trace.Tlb_invlpg _
   | Trace.Page_type _ | Trace.Grant_op _ | Trace.Evtchn_op _ | Trace.Injector_access _
-  | Trace.Console _ | Trace.Monitor_verdict _ | Trace.Panic _ | Trace.Vmi_scan _ ->
+  | Trace.Console _ | Trace.Monitor_verdict _ | Trace.Panic _ | Trace.Vmi_scan _
+  | Trace.Provenance_edge _ ->
       false

@@ -55,10 +55,18 @@ module Make (B : Substrate.S) = struct
     rec_bytes : string;
     rec_dropped : int;
     rec_final : B.snapshot;
+    rec_prov : string option;
+        (** canonical causal graph ({!Provenance.to_json}) when the
+            trial ran with provenance attached; replay must reproduce it
+            byte for byte *)
   }
 
-  let record ?frames ?capacity_bytes ?prepare ?observer uc mode version =
+  let prov_export tb =
+    match B.provenance tb with Some p -> Some (Provenance.to_json p) | None -> None
+
+  let record ?frames ?capacity_bytes ?(provenance = false) ?prepare ?observer uc mode version =
     let tb = B.create ?frames version in
+    if provenance then B.enable_provenance tb;
     (* [prepare] runs before the ring opens (and before Campaign.run's
        reset, which returns to this very state): the place to arm VMI
        detector baselines against the known-good testbed. *)
@@ -67,6 +75,7 @@ module Make (B : Substrate.S) = struct
     Trace.enable ?capacity_bytes tr;
     let row = C.run ~tb ?observer uc mode version in
     Trace.disable tr;
+    let rec_final = B.snapshot tb in
     {
       rec_use_case = uc.C.uc_name;
       rec_mode = mode;
@@ -75,7 +84,8 @@ module Make (B : Substrate.S) = struct
       rec_row = row;
       rec_bytes = Trace.to_bytes tr;
       rec_dropped = Trace.dropped tr;
-      rec_final = B.snapshot tb;
+      rec_final;
+      rec_prov = prov_export tb;
     }
 
   let events r = Trace.records_of_string r.rec_bytes
@@ -85,6 +95,12 @@ module Make (B : Substrate.S) = struct
     rp_skipped : int;
     rp_final : B.snapshot;
     rp_equal : bool;
+    rp_prov : string option;
+        (** the replay's own canonical graph (provenance-enabled
+            recordings only) *)
+    rp_prov_equal : bool;
+        (** canonical graphs match; vacuously true for plain
+            recordings *)
   }
 
   let replay r =
@@ -92,6 +108,7 @@ module Make (B : Substrate.S) = struct
       invalid_arg
         (Printf.sprintf "Trace_driver.replay: recording dropped %d records" r.rec_dropped);
     let tb = B.create ?frames:r.rec_frames r.rec_version in
+    if r.rec_prov <> None then B.enable_provenance tb;
     if r.rec_mode = Campaign.Injection then B.install_injector tb;
     let applied = ref 0 and skipped = ref 0 in
     List.iter
@@ -100,11 +117,14 @@ module Make (B : Substrate.S) = struct
         else incr skipped)
       (events r);
     let rp_final = B.snapshot tb in
+    let rp_prov = prov_export tb in
     {
       rp_applied = !applied;
       rp_skipped = !skipped;
       rp_final;
       rp_equal = rp_final = r.rec_final;
+      rp_prov;
+      rp_prov_equal = rp_prov = r.rec_prov;
     }
 
   (* --- reporting ------------------------------------------------------- *)

@@ -59,16 +59,22 @@ module Make (B : Substrate.S) = struct
     t_frames_read : int;
   }
 
-  let run_trial ?frames ?period ?registry ?(detectors = B.detectors ()) uc mode version =
+  let run_trial ?frames ?capacity_bytes ?period ?registry ?(detectors = B.detectors ()) uc mode
+      version =
     let sched = Vmi.Scheduler.create ?period ?registry detectors in
     let recording =
-      T.record ?frames
+      T.record ?frames ?capacity_bytes
         ~prepare:(fun tb -> Vmi.Scheduler.arm sched tb)
         ~observer:(fun tb -> Vmi.Scheduler.step sched (B.trace tb) tb)
         uc mode version
     in
     let records = T.events recording in
-    let t_inject_seq = inject_seq mode records in
+    (* A wrapped ring may have evicted the injection record; the
+       surviving records would then yield a bogus (too-late) origin and
+       a silently wrong latency. No origin -> no latency claims. *)
+    let t_inject_seq =
+      if recording.T.rec_dropped > 0 then None else inject_seq mode records
+    in
     let first_fire = Vmi.Scheduler.first_fire sched in
     let latency_of name =
       match (List.assoc_opt name first_fire, t_inject_seq) with

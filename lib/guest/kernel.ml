@@ -118,6 +118,13 @@ let access t ~ring f =
   | Ok v -> Ok v
   | Error fault -> guest_fault t fault
 
+(* guest stores carry the writing domain as origin; a hypercall issued
+   underneath installs its own (more specific) origin on top *)
+let write_access t ~ring f =
+  Phys_mem.with_origin t.hv.Hv.mem
+    (Provenance.Guest_write t.domain.Domain.id)
+    (fun () -> access t ~ring f)
+
 let trace_mem t op va ~len ~data =
   trace_boundary t (fun () ->
       Trace.Guest_mem { domid = t.domain.Domain.id; op; va; len; data })
@@ -131,7 +138,7 @@ let write_u64 t va v =
      let data = Bytes.create 8 in
      Bytes.set_int64_le data 0 v;
      trace_mem t Trace.Op_write_u64 va ~len:8 ~data:(Bytes.unsafe_to_string data));
-  access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.write_u64 t.hv.Hv.cpu ~ring ~cr3 va v)
+  write_access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.write_u64 t.hv.Hv.cpu ~ring ~cr3 va v)
 
 let read_bytes t va len =
   trace_mem t Trace.Op_read_bytes va ~len ~data:"";
@@ -140,7 +147,7 @@ let read_bytes t va len =
 let write_bytes t va b =
   if Trace.recording t.hv.Hv.trace then
     trace_mem t Trace.Op_write_bytes va ~len:(Bytes.length b) ~data:(Bytes.to_string b);
-  access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.write_bytes t.hv.Hv.cpu ~ring ~cr3 va b)
+  write_access t ~ring:Cpu.Kernel (fun ~ring ~cr3 -> Cpu.write_bytes t.hv.Hv.cpu ~ring ~cr3 va b)
 
 (* MMUEXT_INVLPG_LOCAL: a PV kernel (or an exploit running in it) drops
    the cached translation of a page it just remapped by hand. *)
@@ -153,7 +160,7 @@ let user_write_u64 t va v =
      let data = Bytes.create 8 in
      Bytes.set_int64_le data 0 v;
      trace_mem t Trace.Op_user_write_u64 va ~len:8 ~data:(Bytes.unsafe_to_string data));
-  access t ~ring:Cpu.User (fun ~ring ~cr3 -> Cpu.write_u64 t.hv.Hv.cpu ~ring ~cr3 va v)
+  write_access t ~ring:Cpu.User (fun ~ring ~cr3 -> Cpu.write_u64 t.hv.Hv.cpu ~ring ~cr3 va v)
 
 let user_read_u64 t va =
   trace_mem t Trace.Op_user_read_u64 va ~len:8 ~data:"";

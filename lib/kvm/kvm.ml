@@ -105,6 +105,8 @@ let vm_entry t vm =
   match vm.state with
   | Vm_crashed _ -> Error Errno.EINVAL
   | Vm_running ->
+      Phys_mem.observe t.kvm_mem ~consumer:Provenance.Vmcs_check ~mfn:vm.vmcs_mfn ~off:0
+        ~len:16;
       let vmcs = Phys_mem.frame t.kvm_mem vm.vmcs_mfn in
       if Frame.get_u64 vmcs 0 <> vmcs_magic || Frame.get_u64 vmcs 8 <> vmcs_entry_handler then begin
         let why = "KVM: VM-entry failed (invalid guest state)" in
@@ -123,6 +125,8 @@ let deliver_guest_fault t vm ~vector =
           vm.state <- Vm_crashed "guest IDT unmapped";
           Error Errno.EFAULT
       | Ok idt_ma ->
+          Phys_mem.observe t.kvm_mem ~consumer:Provenance.Idt_gate
+            ~mfn:(Addr.mfn_of_maddr idt_ma) ~off:(Idt.handler_offset vector) ~len:8;
           let frame = Phys_mem.frame t.kvm_mem (Addr.mfn_of_maddr idt_ma) in
           let handler = Frame.get_u64 frame (Idt.handler_offset vector) in
           if handler = guest_handler vector then Ok ()
@@ -203,7 +207,10 @@ let arbitrary_access t ~addr action ~data =
 
 (* --- VMI views (out-of-band, read-only) -------------------------------- *)
 
-let vmcs_hash t vm = Phys_mem.frame_hash t.kvm_mem vm.vmcs_mfn
+let vmcs_hash t vm =
+  Phys_mem.observe t.kvm_mem ~consumer:Provenance.Vmcs_check ~mfn:vm.vmcs_mfn ~off:0
+    ~len:Addr.page_size;
+  Phys_mem.frame_hash t.kvm_mem vm.vmcs_mfn
 
 (* The EPT graph rebuilt from raw table bytes, exactly as hardware
    would walk it — the KVM analogue of [Vmi.View.pt_graph]. *)
@@ -221,6 +228,7 @@ let ept_graph t vm =
   let rec walk level mfn gpa =
     tables := mfn :: !tables;
     incr read;
+    Phys_mem.observe t.kvm_mem ~consumer:Provenance.Ept_walk ~mfn ~off:0 ~len:Addr.page_size;
     Frame.iter_present (Phys_mem.frame_ro t.kvm_mem mfn) (fun i e ->
         let gpa' = Int64.logor gpa (Int64.shift_left (Int64.of_int i) (level_shift level)) in
         let target = Pte.mfn e in
@@ -247,5 +255,7 @@ let guest_idt_gate t vm ~vector =
   match gpa_to_maddr t vm vm.idt_gpa with
   | Error _ -> None
   | Ok ma ->
+      Phys_mem.observe t.kvm_mem ~consumer:Provenance.Idt_gate ~mfn:(Addr.mfn_of_maddr ma)
+        ~off:(Idt.handler_offset vector) ~len:8;
       let frame = Phys_mem.frame_ro t.kvm_mem (Addr.mfn_of_maddr ma) in
       Some (Frame.get_u64 frame (Idt.handler_offset vector))

@@ -23,10 +23,13 @@ let write_gate mem mfn v { handler; selector; gate_present } =
   let word =
     Int64.logor (Int64.of_int (selector land 0xffff)) (if gate_present then present_bit else 0L)
   in
-  Frame.set_u64 frame (handler_offset v + 8) word
+  Frame.set_u64 frame (handler_offset v + 8) word;
+  (* the writes above bypass the byte paths, so taint explicitly *)
+  Phys_mem.taint mem ~mfn ~off:(handler_offset v) ~len:gate_size
 
 let read_gate mem mfn v =
   check_vector v;
+  Phys_mem.observe mem ~consumer:Provenance.Idt_gate ~mfn ~off:(handler_offset v) ~len:gate_size;
   let frame = Phys_mem.frame_ro mem mfn in
   let handler = Frame.get_u64 frame (handler_offset v) in
   let word = Frame.get_u64 frame (handler_offset v + 8) in

@@ -29,8 +29,10 @@ let index_at level va =
   | _ -> invalid_arg "Paging.index_at"
 
 let read_entry mem table_mfn index =
-  if Phys_mem.is_valid_mfn mem table_mfn then
+  if Phys_mem.is_valid_mfn mem table_mfn then begin
+    Phys_mem.observe mem ~consumer:Provenance.Pt_walk ~mfn:table_mfn ~off:(8 * index) ~len:8;
     Frame.get_entry (Phys_mem.frame_ro mem table_mfn) index
+  end
   else Pte.none
 
 (* Superpage base frame: hardware ignores/requires-zero the low 9 MFN bits

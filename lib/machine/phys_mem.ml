@@ -31,6 +31,9 @@ type t = {
   mutable gen : int;  (* bumped when cached translations may go stale (free/reset) *)
   mutable baseline : baseline option;
   mutable baseline_epoch : int;  (* identifies which baseline is current *)
+  mutable prov : Provenance.t option;
+      (* byte-granular taint shadow; detached (None) by default so the
+         provenance-off cost is one option match per write path *)
 }
 
 exception Bad_maddr of Addr.maddr
@@ -56,11 +59,29 @@ let create ~frames =
     gen = 0;
     baseline = None;
     baseline_epoch = 0;
+    prov = None;
   }
 
 let total_frames t = Array.length t.frames
 let is_valid_mfn t mfn = mfn >= 0 && mfn < total_frames t
 let generation t = t.gen
+
+(* --- provenance -------------------------------------------------------- *)
+
+let set_provenance t p = t.prov <- p
+let provenance t = t.prov
+
+let taint t ~mfn ~off ~len =
+  match t.prov with None -> () | Some p -> Provenance.taint p ~mfn ~off ~len
+
+let observe t ~consumer ~mfn ~off ~len =
+  match t.prov with None -> () | Some p -> Provenance.observe p ~consumer ~mfn ~off ~len
+
+let with_origin t origin f =
+  match t.prov with None -> f () | Some p -> Provenance.with_origin p origin f
+
+let prov_clear_frame t mfn =
+  match t.prov with None -> () | Some p -> Provenance.clear_frame p mfn
 
 (* --- dirty tracking --------------------------------------------------- *)
 
@@ -91,7 +112,8 @@ let capture_baseline t =
   List.iter (fun mfn -> Bytes.set t.dirty mfn '\000') t.dirty_frames;
   t.dirty_frames <- [];
   t.baseline <- Some { b_pre = Hashtbl.create 64; b_free_count = t.free_count };
-  t.baseline_epoch <- t.baseline_epoch + 1
+  t.baseline_epoch <- t.baseline_epoch + 1;
+  match t.prov with None -> () | Some p -> Provenance.capture_baseline p
 
 let baseline_epoch t = t.baseline_epoch
 
@@ -144,6 +166,7 @@ let reset_to_baseline t =
       (* frames may have become free below the hint again *)
       t.next_hint <- 0;
       t.gen <- t.gen + 1;
+      (match t.prov with None -> () | Some p -> Provenance.reset_to_baseline p);
       !restored
 
 (* --- ownership / allocation ------------------------------------------- *)
@@ -197,7 +220,8 @@ let alloc t o =
     (* a scrubbed frame is already the zeroed page [alloc] promises *)
     if Bytes.unsafe_get t.scrubbed mfn = '\000' then begin
       Frame.fill t.frames.(mfn) '\000';
-      Bytes.unsafe_set t.scrubbed mfn '\001'
+      Bytes.unsafe_set t.scrubbed mfn '\001';
+      prov_clear_frame t mfn
     end;
     mfn
   end
@@ -215,7 +239,8 @@ let free t mfn =
   (* scrub on free, unless the frame is already known-zero *)
   if Bytes.unsafe_get t.scrubbed mfn = '\000' then begin
     Frame.fill t.frames.(mfn) '\000';
-    Bytes.unsafe_set t.scrubbed mfn '\001'
+    Bytes.unsafe_set t.scrubbed mfn '\001';
+    prov_clear_frame t mfn
   end;
   (* a reused frame must never hit a stale cached translation *)
   t.gen <- t.gen + 1
@@ -242,7 +267,8 @@ let read_u8 t ma =
 let write_u8 t ma v =
   let mfn, off = split t ma 1 in
   mark_written t mfn;
-  Frame.set_u8 t.frames.(mfn) off v
+  Frame.set_u8 t.frames.(mfn) off v;
+  match t.prov with None -> () | Some p -> Provenance.taint p ~mfn ~off ~len:1
 
 (* 64-bit accesses are required to be contained in one frame, as natural
    alignment guarantees on real hardware. *)
@@ -253,7 +279,8 @@ let read_u64 t ma =
 let write_u64 t ma v =
   let mfn, off = split t ma 8 in
   mark_written t mfn;
-  Frame.set_u64 t.frames.(mfn) off v
+  Frame.set_u64 t.frames.(mfn) off v;
+  match t.prov with None -> () | Some p -> Provenance.taint p ~mfn ~off ~len:8
 
 (* --- bulk transfers ---------------------------------------------------
    Blit frame-sized chunks instead of going byte by byte; a range that
@@ -282,6 +309,9 @@ let write_from t ma buf pos len =
       let chunk = min len (Addr.page_size - off) in
       mark_written t mfn;
       Frame.blit_from_bytes buf pos t.frames.(mfn) off chunk;
+      (match t.prov with
+      | None -> ()
+      | Some p -> Provenance.taint p ~mfn ~off ~len:chunk);
       go (Int64.add ma (Int64.of_int chunk)) (pos + chunk) (len - chunk)
     end
   in

@@ -107,3 +107,29 @@ val read_into : t -> Addr.maddr -> bytes -> int -> int -> unit
 
 val write_from : t -> Addr.maddr -> bytes -> int -> int -> unit
 (** [write_from t ma buf pos len]: the bulk store counterpart. *)
+
+(** {1 Provenance}
+
+    An optional byte-granular taint shadow (see {!Provenance}). When
+    attached, every byte-path write ({!write_u8}, {!write_u64},
+    {!write_from} and friends) taints the written range with the origin
+    installed by {!with_origin}; the shadow checkpoints and restores
+    with {!capture_baseline}/{!reset_to_baseline} and is cleared
+    per-frame whenever a frame is scrubbed. Writes that go through a
+    mutable {!frame} view bypass the byte paths and must call {!taint}
+    explicitly. Detached (the default), every hook below is a single
+    option match. *)
+
+val set_provenance : t -> Provenance.t option -> unit
+val provenance : t -> Provenance.t option
+
+val with_origin : t -> Provenance.origin -> (unit -> 'a) -> 'a
+(** Label writes in [f]'s dynamic extent; identity when detached. *)
+
+val taint : t -> mfn:Addr.mfn -> off:int -> len:int -> unit
+(** Explicit taint for writes that bypass the byte paths
+    ([Frame.set_entry] through a mutable {!frame} view). *)
+
+val observe : t -> consumer:Provenance.consumer -> mfn:Addr.mfn -> off:int -> len:int -> unit
+(** Record that [consumer] interpreted the byte range (no-op when
+    detached or untainted). *)

@@ -72,7 +72,9 @@ let histogram reg ?(help = "") ?(labels = []) ~buckets name =
     | _ -> true
   in
   if buckets = [] || not (increasing buckets) then
-    invalid_arg "Metrics.histogram: buckets must be non-empty and strictly increasing";
+    invalid_arg
+      (Printf.sprintf
+         "Metrics.histogram: %s: buckets must be non-empty and strictly increasing" name);
   let make () =
     let bounds = Array.of_list buckets in
     Histogram
@@ -95,6 +97,34 @@ let observe h x =
 
 let histogram_count h = h.h_total
 let histogram_sum h = h.h_sum
+
+(* Prometheus-style quantile estimation: find the bucket the rank falls
+   into, interpolate linearly inside it (uniform-within-bucket
+   assumption), clamp the +Inf bucket to the highest finite bound. *)
+let histogram_quantile h q =
+  if q < 0. || q > 1. then
+    invalid_arg "Metrics.histogram_quantile: quantile must be within [0, 1]";
+  if h.h_total = 0 then Float.nan
+  else begin
+    let rank = q *. float_of_int h.h_total in
+    let n = Array.length h.bounds in
+    let rec go i cum =
+      if i >= n then h.bounds.(n - 1)
+      else
+        let cum' = cum + h.counts.(i) in
+        if float_of_int cum' >= rank then begin
+          let lower = if i = 0 then 0. else h.bounds.(i - 1) in
+          let upper = h.bounds.(i) in
+          if h.counts.(i) = 0 then upper
+          else
+            lower
+            +. (upper -. lower)
+               *. ((rank -. float_of_int cum) /. float_of_int h.counts.(i))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
 
 let bucket_counts h =
   let acc = ref 0 in

@@ -63,6 +63,14 @@ val histogram_count : histogram -> int
 
 val histogram_sum : histogram -> float
 
+val histogram_quantile : histogram -> float -> float
+(** [histogram_quantile h q] estimates the [q]-quantile ([0 <= q <= 1])
+    Prometheus-style: locate the bucket the rank falls into and
+    interpolate linearly within it. Observations landing in the
+    implicit [+inf] bucket clamp the estimate to the highest finite
+    bound; an empty histogram yields [nan]. Raises [Invalid_argument]
+    when [q] is outside [0, 1]. *)
+
 val bucket_counts : histogram -> (float * int) list
 (** Cumulative counts per upper bound, the [+inf] bucket last (rendered
     as [infinity]). [histogram_count h] equals the last count. *)

@@ -172,6 +172,9 @@ type event =
   | Backend_op of { op : int; arg1 : int64; arg2 : int64; data : string }
       (* a backend-specific boundary crossing (KVM ioctl, VM entry,
          fault delivery); carries its payload so writes replay *)
+  | Provenance_edge of { consumer : int; mfn : int; off : int; len : int; labels : int list }
+      (* a consumer interpreted tainted bytes: links this record's seq
+         to the origin labels of the bytes read (see Provenance) *)
 
 let is_boundary = function
   | Hypercall { payload; _ } -> payload <> ""
@@ -180,7 +183,7 @@ let is_boundary = function
       true
   | Hypercall_ret _ | Fault _ | Tlb_flush_all | Tlb_invlpg _ | Page_type _ | Grant_op _
   | Evtchn_op _ | Injector_access _ | Console _ | Monitor_verdict _ | Panic _ | Vmi_scan _
-    ->
+  | Provenance_edge _ ->
       false
 
 let event_name = function
@@ -205,6 +208,7 @@ let event_name = function
   | Panic _ -> "panic"
   | Vmi_scan _ -> "vmi_scan"
   | Backend_op _ -> "backend_op"
+  | Provenance_edge _ -> "provenance_edge"
 
 let code_of_event = function
   | Hypercall _ -> 1
@@ -228,6 +232,7 @@ let code_of_event = function
   | Panic _ -> 26
   | Vmi_scan _ -> 27
   | Backend_op _ -> 28
+  | Provenance_edge _ -> 29
 
 (* --- binary encoding -------------------------------------------------- *)
 
@@ -309,6 +314,13 @@ let encode_payload b = function
       put_i64 b arg1;
       put_i64 b arg2;
       put_str b data
+  | Provenance_edge { consumer; mfn; off; len; labels } ->
+      put_u8 b consumer;
+      put_u32 b mfn;
+      put_u32 b off;
+      put_u32 b len;
+      put_u8 b (List.length labels);
+      List.iter (put_u8 b) labels
 
 (* A little cursor over a linearized trace image. *)
 type reader = { src : string; mutable pos : int }
@@ -431,6 +443,14 @@ let decode_payload code r =
       let arg2 = get_i64 r in
       let data = get_str r in
       Backend_op { op; arg1; arg2; data }
+  | 29 ->
+      let consumer = get_u8 r in
+      let mfn = get_u32 r in
+      let off = get_u32 r in
+      let len = get_u32 r in
+      let n = get_u8 r in
+      let labels = List.init n (fun _ -> get_u8 r) in
+      Provenance_edge { consumer; mfn; off; len; labels }
   | n -> failwith (Printf.sprintf "Trace: unknown record code %d" n)
 
 (* --- the ring --------------------------------------------------------- *)
@@ -721,6 +741,10 @@ let pp_event ppf = function
   | Backend_op { op; arg1; arg2; data } ->
       Format.fprintf ppf "backend_op op=%d arg1=%016Lx arg2=%016Lx data=%dB" op arg1 arg2
         (String.length data)
+  | Provenance_edge { consumer; mfn; off; len; labels } ->
+      Format.fprintf ppf "provenance_edge consumer=%d mfn=%d off=%d len=%d labels=[%s]"
+        consumer mfn off len
+        (String.concat "," (List.map string_of_int labels))
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in

@@ -98,6 +98,13 @@ type event =
           entry, a fault delivery). [op] is interpreted by the backend
           that recorded it; [data] carries write payloads so replay can
           re-drive them. Boundary. *)
+  | Provenance_edge of { consumer : int; mfn : int; off : int; len : int; labels : int list }
+      (** a taint-aware consumer (page walker, PTE validator, IDT gate
+          reader, VMCS check, monitor scan — see {!Provenance.consumer})
+          interpreted bytes carrying the given origin labels. Links this
+          record's seq to the producers it causally depends on.
+          Internal — replay regenerates edges by re-driving the
+          boundary stream. *)
 
 val is_boundary : event -> bool
 (** True for the events replay applies: every boundary constructor,

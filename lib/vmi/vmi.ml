@@ -7,7 +7,9 @@ let scan_buckets = [ 4.; 16.; 64.; 256.; 1024. ]
 (* --- views ------------------------------------------------------------ *)
 
 module View = struct
-  let frame_hash hv mfn = Phys_mem.frame_hash hv.Hv.mem mfn
+  let frame_hash hv mfn =
+    Phys_mem.observe hv.Hv.mem ~consumer:Provenance.Vmi_view ~mfn ~off:0 ~len:Addr.page_size;
+    Phys_mem.frame_hash hv.Hv.mem mfn
 
   let idt_gates hv =
     let rec go v acc =
@@ -40,6 +42,7 @@ module View = struct
        only if every level permits it). *)
     let rec walk mfn level va rw =
       incr frames_read;
+      Phys_mem.observe mem ~consumer:Provenance.Vmi_view ~mfn ~off:0 ~len:Addr.page_size;
       if not (Hashtbl.mem nodes mfn) then Hashtbl.replace nodes mfn level;
       Frame.iter_present (Phys_mem.frame_ro mem mfn) (fun i e ->
           let target = Pte.mfn e in
@@ -98,6 +101,7 @@ module View = struct
 
   let m2p_raw hv mfn =
     let frame, off = Hv.m2p_frame_for hv mfn in
+    Phys_mem.observe hv.Hv.mem ~consumer:Provenance.Vmi_view ~mfn:frame ~off ~len:8;
     Frame.get_u64 (Phys_mem.frame_ro hv.Hv.mem frame) off
 
   let m2p_mismatches hv =

@@ -120,6 +120,7 @@ let m2p_set t mfn pfn =
   let frame_mfn, off = m2p_frame_for t mfn in
   let value = match pfn with Some p -> Int64.of_int p | None -> m2p_invalid_entry in
   Frame.set_u64 (Phys_mem.frame t.mem frame_mfn) off value;
+  Phys_mem.taint t.mem ~mfn:frame_mfn ~off ~len:8;
   (* an authorized hypervisor-internal update: integrity monitors track
      it through the same stream as validated page-table writes *)
   notify_pt_write t frame_mfn

@@ -404,7 +404,13 @@ let dispatch hv dom call =
          { domid = dom.Domain.id; number; digest = Trace.digest payload; payload })
   end;
   Trace.enter tr;
-  let result = dispatch_uncounted hv dom call in
+  (* everything the hypervisor writes on behalf of this call carries the
+     call number as origin; more specific origins (the injector port)
+     nest inside and win *)
+  let result =
+    Phys_mem.with_origin hv.Hv.mem (Provenance.Hypercall_arg number) (fun () ->
+        dispatch_uncounted hv dom call)
+  in
   Trace.leave tr;
   Hv.count_hypercall hv ~number ~failed:(Result.is_error result);
   if Trace.recording tr then begin

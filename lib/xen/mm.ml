@@ -190,6 +190,10 @@ and promote hv dom ~level mfn =
       if index >= Addr.entries_per_table then Ok ()
       else if level = 4 && Layout.is_xen_l4_slot index then entries (index + 1)
       else
+        let () =
+          Phys_mem.observe hv.Hv.mem ~consumer:Provenance.Page_type_check ~mfn
+            ~off:(8 * index) ~len:8
+        in
         let e = Frame.get_entry frame index in
         if not (Pte.is_present e) then entries (index + 1)
         else if
@@ -231,9 +235,12 @@ and put_table_type hv dom mfn =
            its entries stop pinning their targets. *)
         let frame = Phys_mem.frame hv.Hv.mem mfn in
         for index = 0 to Addr.entries_per_table - 1 do
-          if not (level = 4 && Layout.is_xen_l4_slot index) then
+          if not (level = 4 && Layout.is_xen_l4_slot index) then begin
+            Phys_mem.observe hv.Hv.mem ~consumer:Provenance.Page_type_check ~mfn
+              ~off:(8 * index) ~len:8;
             let e = Frame.get_entry frame index in
             if Pte.is_present e then unaccount_existing hv dom ~level e
+          end
         done
 
 (* --- TLB flushing ----------------------------------------------------- *)
@@ -274,6 +281,8 @@ let apply_one ?(flush = Flush_all) hv dom ~ptr ~value =
         Error Errno.EPERM
       else
         let frame = Phys_mem.frame hv.Hv.mem table_mfn in
+        Phys_mem.observe hv.Hv.mem ~consumer:Provenance.Page_type_check ~mfn:table_mfn
+          ~off:(8 * index) ~len:8;
         let old_e = Frame.get_entry frame index in
         let fast_path =
           Pte.is_present old_e && Pte.is_present value
@@ -284,6 +293,7 @@ let apply_one ?(flush = Flush_all) hv dom ~ptr ~value =
           (* The XSA-182 bug lives here: on 4.6 this path accepts an RW
              upgrade of an L4 entry without revalidation. *)
           Frame.set_entry frame index value;
+          Phys_mem.taint hv.Hv.mem ~mfn:table_mfn ~off:(8 * index) ~len:8;
           Hv.notify_pt_write hv table_mfn;
           do_flush hv flush;
           Ok ()
@@ -299,6 +309,7 @@ let apply_one ?(flush = Flush_all) hv dom ~ptr ~value =
               | Ok () ->
                   if Pte.is_present old_e then unaccount_existing hv dom ~level old_e;
                   Frame.set_entry frame index value;
+                  Phys_mem.taint hv.Hv.mem ~mfn:table_mfn ~off:(8 * index) ~len:8;
                   Hv.notify_pt_write hv table_mfn;
                   do_flush hv flush;
                   Ok ()))

@@ -67,6 +67,56 @@ let test_histogram_buckets () =
        false
      with Invalid_argument _ -> true)
 
+let msg_contains msg needle =
+  let n = String.length needle and m = String.length msg in
+  let rec go i = i + n <= m && (String.sub msg i n = needle || go (i + 1)) in
+  go 0
+
+(* Every re-registration error must name the offending metric — a bare
+   "already registered" with no name is useless in a trial log. *)
+let test_reregistration_errors_name_metric () =
+  let reg = Metrics.create () in
+  ignore (Metrics.counter reg "clashing_series");
+  (match Metrics.gauge reg "clashing_series" with
+  | exception Invalid_argument msg ->
+      check_bool "kind clash names the metric" true (msg_contains msg "clashing_series")
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  ignore (Metrics.histogram reg ~buckets:[ 1.; 2. ] "histo_series");
+  (match Metrics.histogram reg ~buckets:[ 1.; 3. ] "histo_series" with
+  | exception Invalid_argument msg ->
+      check_bool "bucket clash names the metric" true (msg_contains msg "histo_series")
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  match Metrics.histogram reg ~buckets:[] "empty_buckets" with
+  | exception Invalid_argument msg ->
+      check_bool "bad buckets names the metric" true (msg_contains msg "empty_buckets")
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+let test_histogram_quantile () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[ 1.; 2.; 4. ] "quantile_series" in
+  check_bool "empty histogram is nan" true (Float.is_nan (Metrics.histogram_quantile h 0.5));
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 1.5; 3. ];
+  check_bool "median interpolates within its bucket" true
+    (Float.abs (Metrics.histogram_quantile h 0.5 -. 1.5) < 1e-9);
+  check_bool "q=1 reaches the top populated bound" true
+    (Metrics.histogram_quantile h 1.0 = 4.);
+  (* observations in the +inf bucket clamp to the highest finite bound *)
+  Metrics.observe h 5000.;
+  check_bool "overflow clamps" true (Metrics.histogram_quantile h 1.0 = 4.);
+  check_bool "q outside [0,1] rejected" true
+    (try
+       ignore (Metrics.histogram_quantile h 1.5);
+       false
+     with Invalid_argument _ -> true)
+
+let test_render_inf_bucket_explicit () =
+  let reg = Metrics.create () in
+  let h = Metrics.histogram reg ~buckets:[ 1. ] "lat" in
+  Metrics.observe h 5.;
+  let s = Metrics.render_prometheus reg in
+  check_bool "+Inf bucket line rendered" true
+    (msg_contains s "lat_bucket{le=\"+Inf\"} 1")
+
 let test_render_order_independent () =
   (* registration order must not leak into the rendering *)
   let build order =
@@ -214,6 +264,22 @@ let contains s needle =
   let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
   go 0
 
+(* Satellite: a ring small enough to wrap during the trial evicts the
+   injection record; the surviving records must not be mistaken for an
+   origin, or every latency silently reports from whatever scan record
+   happened to survive. *)
+let test_wraparound_during_scan_drops_latency () =
+  let u = uc "XSA-148-priv" in
+  let t = Vmi_driver.run_trial ~capacity_bytes:256 u Campaign.Injection Version.V4_6 in
+  check_bool "ring wrapped" true (t.Vmi_driver.t_recording.Trace_driver.rec_dropped > 0);
+  check_bool "no injection origin claimed" true (t.Vmi_driver.t_inject_seq = None);
+  List.iter
+    (fun (d, l) -> check_bool (d ^ ": no latency from survivors") true (l = None))
+    t.Vmi_driver.t_latency;
+  check_bool "trial not counted as covered" true (not (Vmi_driver.covered t));
+  (* detectors still fired — only the latency claim is withdrawn *)
+  check_bool "firings preserved" true (t.Vmi_driver.t_first_fire <> [])
+
 let test_matrix_render () =
   let s = Vmi_driver.matrix_table (Lazy.force vmi_trials) in
   List.iter
@@ -264,6 +330,10 @@ let () =
           Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
           Alcotest.test_case "render order-independent" `Quick
             test_render_order_independent;
+          Alcotest.test_case "re-registration errors name the metric" `Quick
+            test_reregistration_errors_name_metric;
+          Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "+Inf bucket rendered" `Quick test_render_inf_bucket_explicit;
         ] );
       ( "views",
         [
@@ -285,6 +355,8 @@ let () =
           Alcotest.test_case "side-effect-free" `Quick test_side_effect_free;
           Alcotest.test_case "recordings replay" `Quick test_detector_recording_replays;
           Alcotest.test_case "trial deterministic" `Quick test_trial_deterministic;
+          Alcotest.test_case "wraparound during scan drops latency" `Quick
+            test_wraparound_during_scan_drops_latency;
           Alcotest.test_case "matrix render" `Quick test_matrix_render;
         ] );
       ( "scan_cache",
