@@ -315,6 +315,13 @@ let bench_tests =
 
 let run_benchmarks () =
   hr "Bechamel timings (one benchmark per table/figure + substrate ablations)";
+  (* Bechamel disables automatic heap compaction (max_overhead = 1e6)
+     for measurement stability and never restores it; a million-trial
+     stream afterwards then fragments the major heap without bound
+     (~10 GB, 2x slower). Save the caller's Gc params and restore them
+     when the bechamel phase is done. *)
+  let gc_params = Gc.get () in
+  Fun.protect ~finally:(fun () -> Gc.set gc_params; Gc.compact ()) @@ fun () ->
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg =
@@ -369,7 +376,7 @@ let seconds_best ~reps f =
   done;
   (r, !best)
 
-let perf_report ~trials =
+let perf_report ?(full = false) ~trials () =
   let tb = Testbed.create Version.V4_8 in
   let hv = tb.Testbed.hv in
   let cr3 = (Kernel.dom tb.Testbed.attacker).Domain.l4_mfn in
@@ -409,24 +416,77 @@ let perf_report ~trials =
     ns_per_call ~n:50_000 (fun () -> Phys_mem.write_bytes hv.Hv.mem 0x5000L buf)
   in
   Testbed.reset tb;
-  (* layer 4 + end to end: the 200-trial campaign, sequential and sharded *)
+  (* layer 4 + end to end: the campaign pair. The sequential reference
+     keeps the historical shape (one fresh boot, then reset per trial);
+     the sharded run goes through the batching scheduler, whose workers
+     fork COW testbeds from the warm template pool. [auto_workers]
+     never oversubscribes the machine, so the pool's create-vs-fork
+     margin is a lower bound on the win. *)
+  ignore (Testbed.create_pooled Version.V4_8) (* warm the template *);
+  let fork_ns = ns_per_call ~n:200 (fun () -> ignore (Testbed.create_pooled Version.V4_8)) in
+  let campaign_workers = Shard.auto_workers () in
   ignore (Random_campaign.run ~seed:7L ~trials Version.V4_8);
   let seq, campaign_seq_s =
     seconds_best ~reps:3 (fun () -> Random_campaign.run ~seed:7L ~trials Version.V4_8)
   in
   let sharded, campaign_sharded_s =
     seconds_best ~reps:3 (fun () ->
-        Random_campaign.run ~seed:7L ~trials ~workers:4 Version.V4_8)
+        Campaign_scheduler.run ~seed:7L ~trials ~workers:campaign_workers [ Version.V4_8 ])
   in
-  let campaign_identical = seq = sharded in
+  let campaign_identical = sharded = [ seq ] in
+  let campaign_speedup = campaign_seq_s /. campaign_sharded_s in
+  (* smallest trial count at which the scheduler already beats the
+     sequential reference — the pool amortizes the boot from trial one,
+     so this should sit at the bottom of the sweep *)
+  let campaign_crossover_trials =
+    let crosses t =
+      let _, s = seconds_best ~reps:2 (fun () -> Random_campaign.run ~seed:7L ~trials:t Version.V4_8) in
+      let _, p =
+        seconds_best ~reps:2 (fun () ->
+            Campaign_scheduler.run ~seed:7L ~trials:t ~workers:campaign_workers [ Version.V4_8 ])
+      in
+      p < s
+    in
+    match List.find_opt crosses [ 1; 2; 5; 10; 25; 50; 100; trials ] with
+    | Some t -> t
+    | None -> max_int
+  in
+  (* the million-trial shape (full bench only): streamed through
+     [fold_init], so no per-trial row is ever materialized and peak heap
+     stays flat in the trial count *)
+  let campaign_1m_keys =
+    if not full then []
+    else begin
+      Gc.compact ();
+      let heap_before = (Gc.quick_stat ()).Gc.top_heap_words in
+      let n_1m = 1_000_000 in
+      let stats, s_1m =
+        seconds (fun () ->
+            Campaign_scheduler.run_streamed ~seed:7L ~trials:n_1m ~workers:campaign_workers
+              [ Version.V4_8 ])
+      in
+      let heap_after = (Gc.quick_stat ()).Gc.top_heap_words in
+      let tallied =
+        List.fold_left (fun a (_, n) -> a + n) 0 (List.hd stats).Campaign_scheduler.st_tally
+      in
+      [
+        ("campaign_1m_trials", I tallied);
+        ("campaign_1m_trials_s", F s_1m);
+        ("campaign_1m_trials_per_s", F (float_of_int tallied /. s_1m));
+        ("campaign_1m_peak_heap_words", I heap_after);
+        ("campaign_1m_heap_growth_words", I (heap_after - heap_before));
+      ]
+    end
+  in
+  List.iter (fun v -> ignore (Testbed.create_pooled v)) Version.all;
   let seq_m, matrix_seq_s =
     seconds (fun () ->
         Campaign.run_matrix All.use_cases ~versions:Version.all ~modes:[ Campaign.Injection ])
   in
   let par_m, matrix_sharded_s =
     seconds (fun () ->
-        Campaign.run_matrix ~workers:3 All.use_cases ~versions:Version.all
-          ~modes:[ Campaign.Injection ])
+        Campaign.run_matrix ~workers:campaign_workers ~pooled:true All.use_cases
+          ~versions:Version.all ~modes:[ Campaign.Injection ])
   in
   let matrix_identical = seq_m = par_m in
   (* layer 5: the trace subsystem. Telemetry columns come from the
@@ -562,19 +622,23 @@ let perf_report ~trials =
       Ii_backends.Kvm_use_cases.use_cases
   in
   ( [
-    ("schema_version", I 5);
+    ("schema_version", I 6);
     ("trials", I trials);
     ("walk_uncached_ns", F walk_uncached_ns);
     ("walk_cached_ns", F walk_cached_ns);
     ("tlb_hits", I tlb_stats.Paging.Tlb.hits);
     ("tlb_misses", I tlb_stats.Paging.Tlb.misses);
     ("testbed_create_ns", F create_ns);
+    ("testbed_fork_ns", F fork_ns);
     ("testbed_reset_ns", F reset_ns);
     ("reset_dirty_frames", I dirty_before_reset);
     ("bulk_read_4k_ns", F bulk_read_ns);
     ("bulk_write_4k_ns", F bulk_write_ns);
+    ("campaign_workers", I campaign_workers);
     ("campaign_sequential_s", F campaign_seq_s);
     ("campaign_sharded_s", F campaign_sharded_s);
+    ("campaign_speedup", F campaign_speedup);
+    ("campaign_crossover_trials", I campaign_crossover_trials);
     ("campaign_seq_shard_identical", B campaign_identical);
     ("run_matrix_sequential_s", F matrix_seq_s);
     ("run_matrix_sharded_s", F matrix_sharded_s);
@@ -611,7 +675,8 @@ let perf_report ~trials =
         ("prov_overhead_off_trial_s", F prov_off_trial_s);
         ("prov_overhead_on_trial_s", F prov_on_trial_s);
         ("prov_overhead_off_within_noise", B prov_off_within_noise);
-      ],
+      ]
+    @ campaign_1m_keys,
     Metrics.render_prometheus registry )
 
 let print_report report =
@@ -654,37 +719,45 @@ let artefacts =
     ("extensions", extensions);
   ]
 
+(* Parse [--json PATH] before any computation: a usage error after a
+   minutes-long report run helps no one. *)
+let json_path ~usage rest =
+  match rest with
+  | [ "--json"; path ] -> Some path
+  | [] -> None
+  | _ ->
+      prerr_endline usage;
+      exit 2
+
 let () =
   match Array.to_list Sys.argv with
   | _ :: "bench" :: rest ->
+      let json = json_path ~usage:"usage: main.exe bench [--json PATH]" rest in
+      (* wall-clock report first: bechamel leaves the major heap ballooned
+         (OCaml 5.1 cannot compact it back), which would double the
+         million-trial stream's wall time and make its peak-heap key
+         meaningless *)
+      let report, prometheus = perf_report ~full:true ~trials:200 () in
       run_benchmarks ();
-      let report, prometheus = perf_report ~trials:200 in
       print_report report;
       hr "Metrics registry (Prometheus exposition)";
       print_string prometheus;
-      (match rest with
-      | [ "--json"; path ] -> write_json path report
-      | [] -> ()
-      | _ ->
-          prerr_endline "usage: main.exe bench [--json PATH]";
-          exit 2)
+      Option.iter (fun path -> write_json path report) json
   | _ :: "smoke" :: rest ->
-      (* the CI-sized variant: same layers, 5-trial campaign *)
-      let report, prometheus = perf_report ~trials:5 in
+      let json = json_path ~usage:"usage: main.exe smoke [--json PATH]" rest in
+      (* the CI-sized variant: same layers and the full 200-trial
+         campaign pair (the pool gate needs it), but no 1M stream *)
+      let report, prometheus = perf_report ~trials:200 () in
       print_report report;
       hr "Metrics registry (Prometheus exposition)";
       print_string prometheus;
-      (match rest with
-      | [ "--json"; path ] -> write_json path report
-      | [] -> ()
-      | _ ->
-          prerr_endline "usage: main.exe smoke [--json PATH]";
-          exit 2)
+      Option.iter (fun path -> write_json path report) json
   | _ :: [ name ] when List.mem_assoc name artefacts -> (List.assoc name artefacts) ()
   | [ _ ] | _ :: [ "all" ] ->
       List.iter (fun (_, f) -> f ()) artefacts;
+      let report = fst (perf_report ~trials:200 ()) in
       run_benchmarks ();
-      print_report (fst (perf_report ~trials:200))
+      print_report report
   | _ ->
       prerr_endline
         "usage: main.exe [all|bench|smoke|table1|table2|table3|fig1|fig2|fig3|fig4|extensions] \

@@ -84,11 +84,30 @@ let inject_cmd =
     (Cmd.info "inject" ~doc)
     Term.(ret (const (run_one Campaign.Injection) $ use_case_arg $ version_arg $ verbose_arg))
 
+let workers_arg =
+  let doc =
+    "Worker domains for sharded runs: a positive integer, or $(b,auto) to size to the \
+     machine (never oversubscribes)."
+  in
+  Arg.(value & opt string "1" & info [ "w"; "workers" ] ~docv:"N|auto" ~doc)
+
+let with_workers spec k =
+  match Shard.workers_of_string spec with
+  | Error e -> `Error (false, e)
+  | Ok workers -> k workers
+
 let campaign_cmd =
   let doc = "Run the full evaluation campaign and print Table III." in
-  let run_xen verbose =
+  let trials_arg =
+    let doc =
+      "Also run N randomized trials per version through the batching scheduler \
+       (versions x trials flattened into one work queue) and print the outcome tally."
+    in
+    Arg.(value & opt int 0 & info [ "n"; "trials" ] ~docv:"N" ~doc)
+  in
+  let run_xen verbose workers trials =
     let rows =
-      Campaign.run_matrix Ii_exploits.All_exploits.use_cases ~versions:Version.all
+      Campaign.run_matrix ~workers Ii_exploits.All_exploits.use_cases ~versions:Version.all
         ~modes:[ Campaign.Real_exploit; Campaign.Injection ]
     in
     print_endline (Campaign.table3 rows);
@@ -110,6 +129,11 @@ let campaign_cmd =
           List.iter print_endline r.Campaign.r_transcript;
           print_newline ())
         rows
+    end;
+    if trials > 0 then begin
+      print_newline ();
+      print_endline
+        (Random_campaign.render (Campaign_scheduler.run ~workers ~trials Version.all))
     end
   in
   let run_kvm verbose =
@@ -140,17 +164,19 @@ let campaign_cmd =
         rows
     end
   in
-  let run verbose backend =
+  let run verbose backend workers_spec trials =
     match backend with
     | "xen" ->
-        run_xen verbose;
-        `Ok ()
+        with_workers workers_spec (fun workers ->
+            run_xen verbose workers trials;
+            `Ok ())
     | "kvm" ->
         run_kvm verbose;
         `Ok ()
     | b -> bad_backend b
   in
-  Cmd.v (Cmd.info "campaign" ~doc) Term.(ret (const run $ verbose_arg $ backend_arg))
+  Cmd.v (Cmd.info "campaign" ~doc)
+    Term.(ret (const run $ verbose_arg $ backend_arg $ workers_arg $ trials_arg))
 
 let tables_cmd =
   let doc = "Regenerate the paper's tables (I, II, III)." in
@@ -225,11 +251,16 @@ let fuzz_cmd =
   let flips_arg =
     Arg.(value & flag & info [ "soft-errors" ] ~doc:"Include accidental single-bit flips.")
   in
-  let run seed trials flips verbose =
+  let run seed trials flips verbose workers_spec =
+   match Shard.workers_of_string workers_spec with
+   | Error e ->
+       prerr_endline e;
+       exit 2
+   | Ok workers ->
     let targets =
       if flips then Random_campaign.all_targets else Random_campaign.intrusion_targets
     in
-    let summaries = Random_campaign.compare_versions ~seed ~trials ~targets Version.all in
+    let summaries = Campaign_scheduler.run ~seed ~trials ~targets ~workers Version.all in
     print_endline (Random_campaign.render summaries);
     if verbose then
       List.iter
@@ -252,7 +283,61 @@ let fuzz_cmd =
             s.Random_campaign.trials)
         summaries
   in
-  Cmd.v (Cmd.info "fuzz" ~doc) Term.(const run $ seed_arg $ trials_arg $ flips_arg $ verbose_arg)
+  Cmd.v (Cmd.info "fuzz" ~doc)
+    Term.(const run $ seed_arg $ trials_arg $ flips_arg $ verbose_arg $ workers_arg)
+
+let bench_cmd =
+  let doc =
+    "Campaign scaling bench: time the batching scheduler (warm pools, COW forks, one \
+     flattened work queue) against the sequential reference at each worker count."
+  in
+  let trials_arg =
+    Arg.(value & opt int 2000 & info [ "n"; "trials" ] ~docv:"N" ~doc:"Trials per run.")
+  in
+  let sweep_arg =
+    let doc = "Comma-separated worker counts to sweep (each a positive integer or $(b,auto))." in
+    Arg.(value & opt string "1,auto" & info [ "w"; "workers" ] ~docv:"LIST" ~doc)
+  in
+  let streamed_arg =
+    Arg.(value & flag & info [ "streamed" ]
+           ~doc:"Use the streaming scheduler (flat memory; tallies only, no trial rows).")
+  in
+  let seconds f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let run trials sweep_spec streamed =
+    let specs = String.split_on_char ',' sweep_spec in
+    let parsed = List.map Shard.workers_of_string specs in
+    match List.find_opt Result.is_error parsed with
+    | Some (Error e) -> `Error (false, e)
+    | _ ->
+        let sweep =
+          List.sort_uniq compare (List.filter_map Result.to_option parsed)
+        in
+        ignore (Testbed.create_pooled Version.V4_8) (* warm the pool *);
+        let _, seq_s =
+          seconds (fun () -> ignore (Random_campaign.run ~trials Version.V4_8))
+        in
+        Printf.printf "%d trials on 4.8; sequential reference (fresh boot): %.3f s\n\n" trials
+          seq_s;
+        Printf.printf "%8s %10s %12s %8s\n" "workers" "wall s" "trials/s" "speedup";
+        List.iter
+          (fun workers ->
+            let _, s =
+              seconds (fun () ->
+                  if streamed then
+                    ignore
+                      (Campaign_scheduler.run_streamed ~trials ~workers [ Version.V4_8 ])
+                  else ignore (Campaign_scheduler.run ~trials ~workers [ Version.V4_8 ]))
+            in
+            Printf.printf "%8d %10.3f %12.0f %7.2fx\n" workers s (float_of_int trials /. s)
+              (seq_s /. s))
+          sweep;
+        `Ok ()
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(ret (const run $ trials_arg $ sweep_arg $ streamed_arg))
 
 let cross_cmd =
   let doc = "Cross-system injection: the same IM into Xen and a KVM-style hypervisor (the cross-system scenario)." in
@@ -607,6 +692,6 @@ let main_cmd =
   let doc = "intrusion injection for virtualized systems (DSN'23 reproduction)" in
   Cmd.group
     (Cmd.info "xenrepro" ~version:"1.0.0" ~doc)
-    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd; vmi_cmd; attribution_cmd; backends_cmd ]
+    [ exploit_cmd; inject_cmd; campaign_cmd; tables_cmd; advisory_cmd; console_cmd; venom_cmd; blk_cmd; fuzz_cmd; bench_cmd; ims_cmd; defense_cmd; field_study_cmd; stats_cmd; cross_cmd; trace_cmd; vmi_cmd; attribution_cmd; backends_cmd ]
 
 let () = exit (Cmd.eval main_cmd)

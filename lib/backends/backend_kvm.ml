@@ -40,6 +40,39 @@ let create ?(frames = 2048) Stock =
   let ck_counters = Trace.Counters.snapshot (Trace.counters tr) in
   { kvm; tr; victim; bystander; injector_on = false; ck; ck_counters }
 
+(* The warm pool, mirroring {!Testbed.create_pooled}: one frozen
+   template per frame count, forked copy-on-write per worker. *)
+let pool_lock = Mutex.create ()
+let pool : (int, t) Hashtbl.t = Hashtbl.create 4
+
+let template frames =
+  Mutex.lock pool_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool_lock) @@ fun () ->
+  match Hashtbl.find_opt pool frames with
+  | Some tmpl -> tmpl
+  | None ->
+      let tmpl = create ~frames Stock in
+      Phys_mem.freeze (Kvm.mem tmpl.kvm);
+      Hashtbl.replace pool frames tmpl;
+      tmpl
+
+let create_pooled ?(frames = 2048) Stock =
+  let tmpl = template frames in
+  let kvm, ck = Kvm.fork tmpl.kvm tmpl.ck in
+  let tr = Trace.create () in
+  let vm_of old =
+    List.find (fun vm -> vm.Kvm.vm_id = old.Kvm.vm_id) (Kvm.vms kvm)
+  in
+  {
+    kvm;
+    tr;
+    victim = vm_of tmpl.victim;
+    bystander = vm_of tmpl.bystander;
+    injector_on = false;
+    ck;
+    ck_counters = Trace.Counters.snapshot (Trace.counters tr);
+  }
+
 let reset t =
   ignore (Kvm.restore t.kvm t.ck);
   t.injector_on <- false;

@@ -112,10 +112,19 @@ module Make (B : Substrate.S) = struct
       r_backend = B.name;
     }
 
-  let run_matrix ?workers ?frames ucs ~versions ~modes =
+  let run_matrix ?workers ?pooled ?frames ucs ~versions ~modes =
     (* One cell per (uc, version, mode), in that nesting order; cells are
-       independent, so they shard. Each worker keeps one testbed per
-       version and resets it between cells instead of re-booting. *)
+       independent, so they shard: the flattened queue is dealt in chunks
+       over one worker pool. Each worker keeps one testbed per version
+       and resets it between cells instead of re-booting; sharded
+       workers fork those testbeds copy-on-write from the warm template
+       pool, so a new (version x worker) cell costs O(metadata), while
+       the sequential reference run keeps the historical fresh boots.
+       [?pooled] overrides that policy either way (the bench uses it to
+       time the pooled path at [auto] workers without oversubscribing). *)
+    let pooled =
+      match pooled with Some p -> p | None -> Shard.worker_count workers > 1
+    in
     let cells =
       List.concat_map
         (fun uc ->
@@ -129,7 +138,9 @@ module Make (B : Substrate.S) = struct
           match Hashtbl.find_opt testbeds version with
           | Some tb -> tb
           | None ->
-              let tb = B.create ?frames version in
+              let tb =
+                if pooled then B.create_pooled ?frames version else B.create ?frames version
+              in
               Hashtbl.replace testbeds version tb;
               tb
         in

@@ -1,0 +1,111 @@
+(* The batching campaign scheduler: versions x trials flattened into one
+   work queue over a single worker pool.
+
+   Sharding each version's campaign separately (the pre-scheduler shape)
+   pays one pool spin-up per version and leaves workers idle at every
+   version boundary. Flattening instead gives one queue of
+   |versions| * trials independent jobs, dealt in chunks; each worker
+   lazily forks one testbed per version it actually meets (COW, from the
+   warm template pool) and reuses it across every trial of that version
+   it is dealt.
+
+   Determinism: job j is (version j/trials, trial j mod trials), and a
+   trial depends only on (seed, trial index, targets) plus a pristine
+   testbed — so the materialized output regroups into per-version
+   summaries byte-identical to running each version sequentially. *)
+
+module RC = Random_campaign
+
+(* Per-worker testbed table, one slot per version, filled on first use. *)
+let worker_pool versions =
+  let tbs = Array.make (Array.length versions) None in
+  fun vi ->
+    match tbs.(vi) with
+    | Some w -> w
+    | None ->
+        let w = RC.make_worker ~pooled:true versions.(vi) in
+        tbs.(vi) <- Some w;
+        w
+
+let check_args ~trials ~targets versions =
+  if versions = [] then invalid_arg "Campaign_scheduler: no versions";
+  if trials <= 0 then invalid_arg "Campaign_scheduler: trials must be positive";
+  if targets = [] then invalid_arg "Campaign_scheduler: no targets"
+
+let run ?(seed = 42L) ?(targets = RC.intrusion_targets) ?workers ~trials versions =
+  check_args ~trials ~targets versions;
+  let varr = Array.of_list versions in
+  let n = Array.length varr * trials in
+  let rows =
+    Shard.map_init ?workers
+      ~init:(fun () -> worker_pool varr)
+      (fun pool j () -> RC.run_one (pool (j / trials)) ~seed ~targets (j mod trials))
+      (List.init n (fun _ -> ()))
+  in
+  (* jobs were dealt flattened but land positionally: version vi owns
+     the contiguous slice [vi*trials, (vi+1)*trials) *)
+  List.mapi
+    (fun vi version ->
+      let ts = List.filteri (fun j _ -> j / trials = vi) rows in
+      { RC.s_version = version; s_seed = seed; s_trials = trials; tally = RC.tally_of ts;
+        trials = ts })
+    versions
+
+type stream_stats = {
+  st_version : Version.t;
+  st_trials : int;
+  st_tally : (RC.outcome_class * int) list;
+}
+
+let outcome_slot = function
+  | RC.Crashed -> 0
+  | RC.Violated -> 1
+  | RC.State_only -> 2
+  | RC.No_effect -> 3
+  | RC.Refused -> 4
+
+let n_outcomes = List.length RC.all_outcomes
+
+let run_streamed ?(seed = 42L) ?(targets = RC.intrusion_targets) ?workers ~trials versions =
+  check_args ~trials ~targets versions;
+  let varr = Array.of_list versions in
+  let n = Array.length varr * trials in
+  (* streaming fold: each trial reduces to (version, outcome) and is
+     dropped; peak memory is the worker testbeds plus one counter table,
+     flat in [trials] — the shape a million-trial run needs *)
+  let counts =
+    Shard.fold_init ?workers ~n
+      ~init:(fun () -> worker_pool varr)
+      ~f:(fun pool j ->
+        let vi = j / trials in
+        let t = RC.run_one (pool vi) ~seed ~targets (j mod trials) in
+        (vi, t.RC.outcome))
+      ~merge:(fun counts (vi, outcome) ->
+        counts.((vi * n_outcomes) + outcome_slot outcome) <- counts.((vi * n_outcomes) + outcome_slot outcome) + 1;
+        counts)
+      (Array.make (Array.length varr * n_outcomes) 0)
+  in
+  List.mapi
+    (fun vi version ->
+      {
+        st_version = version;
+        st_trials = trials;
+        st_tally =
+          List.map (fun o -> (o, counts.((vi * n_outcomes) + outcome_slot o))) RC.all_outcomes;
+      })
+    versions
+
+let render_stream stats =
+  let header = "Version" :: List.map RC.outcome_to_string RC.all_outcomes in
+  let rows =
+    List.map
+      (fun s ->
+        Version.to_string s.st_version
+        :: List.map (fun o -> string_of_int (List.assoc o s.st_tally)) RC.all_outcomes)
+      stats
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf "Campaign scheduler (%d trials per version, streamed): outcome tally"
+         (match stats with s :: _ -> s.st_trials | [] -> 0))
+    ~header rows

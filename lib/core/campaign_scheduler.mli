@@ -1,0 +1,48 @@
+(** The batching campaign scheduler: one work queue over one worker pool.
+
+    Running each version's campaign as its own sharded job (the shape
+    {!Random_campaign.compare_versions} has) pays a pool spin-up per
+    version and drains workers at every version boundary. This module
+    instead flattens versions x trials into a single queue of
+    independent jobs dealt in chunks ({!Shard}); each worker lazily
+    forks one testbed per version it encounters — copy-on-write from
+    the warm template pool — and reuses it for every trial of that
+    version it is dealt.
+
+    Job [j] is (version [j / trials], trial [j mod trials]). Trials are
+    deterministic in [(seed, index, targets)] alone, so scheduling is
+    invisible in the output. *)
+
+val run :
+  ?seed:int64 ->
+  ?targets:Random_campaign.target_class list ->
+  ?workers:int ->
+  trials:int ->
+  Version.t list ->
+  Random_campaign.summary list
+(** Materializing scheduler: byte-identical summaries to
+    [List.map (Random_campaign.run ~seed ~trials ~targets) versions],
+    whatever the worker count. Defaults: seed 42, intrusion targets,
+    1 worker. *)
+
+type stream_stats = {
+  st_version : Version.t;
+  st_trials : int;
+  st_tally : (Random_campaign.outcome_class * int) list;
+      (** all five classes, in {!Random_campaign.all_outcomes} order *)
+}
+
+val run_streamed :
+  ?seed:int64 ->
+  ?targets:Random_campaign.target_class list ->
+  ?workers:int ->
+  trials:int ->
+  Version.t list ->
+  stream_stats list
+(** Streaming scheduler for runs too large to materialize: each trial
+    is reduced to its outcome tally on the spot and dropped, so peak
+    memory is flat in [trials] (worker testbeds plus one counter
+    table). [st_tally] equals the [tally] field {!run} would produce
+    for the same arguments. *)
+
+val render_stream : stream_stats list -> string

@@ -207,27 +207,37 @@ let pristine w =
       w.w_before <- Some before;
       before
 
+let make_worker ?(pooled = false) version =
+  {
+    w_tb = (if pooled then Testbed.create_pooled version else Testbed.create version);
+    w_cache = Monitor.create_scan_cache ();
+    w_before = None;
+  }
+
+let run_one w ~seed ~targets index =
+  let before = pristine w in
+  let rng = Prng.create ~seed:(trial_seed seed index) in
+  let target = Prng.choose rng targets in
+  run_trial rng index w.w_tb ~cache:w.w_cache ~before target
+
+let tally_of trials_list =
+  List.map
+    (fun o -> (o, List.length (List.filter (fun t -> t.outcome = o) trials_list)))
+    all_outcomes
+
 let run ?(seed = 42L) ?(trials = 60) ?(targets = intrusion_targets) ?workers version =
   if targets = [] then invalid_arg "Random_campaign.run: no targets";
+  (* Sharded workers fork from the warm template pool; the sequential
+     reference run keeps the historical fresh boot (it pays it once). *)
+  let pooled = Shard.worker_count workers > 1 in
   let trials_list =
     Shard.map_init ?workers
-      ~init:(fun () ->
-        { w_tb = Testbed.create version;
-          w_cache = Monitor.create_scan_cache ();
-          w_before = None })
-      (fun w index () ->
-        let before = pristine w in
-        let rng = Prng.create ~seed:(trial_seed seed index) in
-        let target = Prng.choose rng targets in
-        run_trial rng index w.w_tb ~cache:w.w_cache ~before target)
+      ~init:(fun () -> make_worker ~pooled version)
+      (fun w index () -> run_one w ~seed ~targets index)
       (List.init trials (fun _ -> ()))
   in
-  let tally =
-    List.map
-      (fun o -> (o, List.length (List.filter (fun t -> t.outcome = o) trials_list)))
-      all_outcomes
-  in
-  { s_version = version; s_seed = seed; s_trials = trials; tally; trials = trials_list }
+  { s_version = version; s_seed = seed; s_trials = trials; tally = tally_of trials_list;
+    trials = trials_list }
 
 let compare_versions ?seed ?trials ?targets ?workers versions =
   List.map (fun v -> run ?seed ?trials ?targets ?workers v) versions

@@ -40,6 +40,7 @@ type outcome_class =
   | Refused  (** the injector rejected the target *)
 
 val outcome_to_string : outcome_class -> string
+val all_outcomes : outcome_class list
 
 type trial = {
   index : int;
@@ -57,6 +58,30 @@ type summary = {
   tally : (outcome_class * int) list;  (** all five classes, in order *)
   trials : trial list;
 }
+
+(** {1 Worker state}
+
+    The building blocks {!run} itself is made of, exported so the
+    campaign scheduler ({!Campaign_scheduler}) can drive trials from a
+    flattened multi-version work queue: one long-lived testbed per
+    worker (reset between trials), the monitor scan cache, and the
+    memoized pristine before-snapshot. *)
+
+type worker
+
+val make_worker : ?pooled:bool -> Version.t -> worker
+(** Per-worker campaign state around one testbed. [pooled] (default
+    false) forks the testbed from the warm template pool
+    ({!Testbed.create_pooled}) instead of booting fresh — observably
+    equivalent, O(metadata) instead of a full build. *)
+
+val run_one : worker -> seed:int64 -> targets:target_class list -> int -> trial
+(** Run trial [index] on a pristine testbed (reset + injector install +
+    memoized before-snapshot). Deterministic in [(seed, index, targets)]
+    alone — the positional-determinism contract sharded runs rely on. *)
+
+val tally_of : trial list -> (outcome_class * int) list
+(** Outcome counts in [all_outcomes] order. *)
 
 val run :
   ?seed:int64 -> ?trials:int -> ?targets:target_class list -> ?workers:int ->

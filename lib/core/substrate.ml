@@ -59,6 +59,13 @@ module type S = sig
   (** Boot a fresh testbed: host plus its standard population of
       guests, with a reset checkpoint captured at the end. *)
 
+  val create_pooled : ?frames:int -> config -> t
+  (** Like [create], but forked copy-on-write from a process-wide frozen
+      template for this configuration (built once, on first use) — the
+      warm-pool path campaign workers use so every shard and matrix cell
+      costs O(metadata) instead of a full boot. Thread-safe; observably
+      equivalent to [create]. *)
+
   val reset : t -> unit
   (** Roll back to the post-boot checkpoint in O(frames dirtied);
       observably equivalent to a fresh [create]. *)

@@ -21,6 +21,7 @@ let port_heading = "Hypercalls"
 type t = Testbed.t
 
 let create ?frames version = Testbed.create ?frames version
+let create_pooled ?frames version = Testbed.create_pooled ?frames version
 let reset = Testbed.reset
 let trace tb = tb.Testbed.hv.Hv.trace
 let console tb = Hv.console_lines tb.Testbed.hv

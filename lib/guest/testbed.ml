@@ -25,6 +25,51 @@ let create ?(frames = 2048) ?(dom0_pages = 128) ?(guest_pages = 96) version =
     checkpoint = Hv.checkpoint hv;
   }
 
+(* Fork a new testbed from [template] without re-running the builder:
+   the hypervisor is an {!Hv.fork} (memory shared copy-on-write), and the
+   kernels are rebuilt around the forked domains exactly as [reset] does.
+   The fork shares the template's checkpoint record — restores only read
+   it — so [reset] on a forked testbed works unchanged. *)
+let fork template =
+  let hv = Hv.fork template.hv template.checkpoint in
+  let net = Netsim.create () in
+  Netsim.set_tracer net hv.Hv.trace;
+  let rebuild stale =
+    match Hv.find_domain hv (Kernel.domid stale) with
+    | Some dom -> Kernel.create hv dom net
+    | None -> invalid_arg "Testbed.fork: template lost a domain"
+  in
+  {
+    hv;
+    net;
+    dom0 = rebuild template.dom0;
+    victim = rebuild template.victim;
+    attacker = rebuild template.attacker;
+    remote_host = template.remote_host;
+    checkpoint = template.checkpoint;
+  }
+
+(* The warm pool: one frozen template per configuration, built on first
+   use and shared by every subsequent [create_pooled] — including forks
+   requested concurrently from worker domains, hence the mutex. *)
+let pool_lock = Mutex.create ()
+let pool : (Version.t * int * int * int, t) Hashtbl.t = Hashtbl.create 8
+
+let template ~frames ~dom0_pages ~guest_pages version =
+  let key = (version, frames, dom0_pages, guest_pages) in
+  Mutex.lock pool_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock pool_lock) @@ fun () ->
+  match Hashtbl.find_opt pool key with
+  | Some tmpl -> tmpl
+  | None ->
+      let tmpl = create ~frames ~dom0_pages ~guest_pages version in
+      Phys_mem.freeze tmpl.hv.Hv.mem;
+      Hashtbl.replace pool key tmpl;
+      tmpl
+
+let create_pooled ?(frames = 2048) ?(dom0_pages = 128) ?(guest_pages = 96) version =
+  fork (template ~frames ~dom0_pages ~guest_pages version)
+
 let reset t =
   Hv.restore t.hv t.checkpoint;
   (* the restore replaced the Domain.t records inside the hypervisor, so

@@ -23,6 +23,21 @@ type t = {
 val create : ?frames:int -> ?dom0_pages:int -> ?guest_pages:int -> Version.t -> t
 (** Defaults: 2048 frames, 128 dom0 pages, 96 pages per guest. *)
 
+val fork : t -> t
+(** A new testbed forked from [t] in O(metadata): the hypervisor memory
+    is shared copy-on-write with the template ({!Hv.fork}), kernels are
+    rebuilt around the forked domains. Requires the template's memory to
+    be {!Phys_mem.freeze}d. Observably equivalent to [create] with the
+    template's parameters. *)
+
+val create_pooled : ?frames:int -> ?dom0_pages:int -> ?guest_pages:int -> Version.t -> t
+(** Like {!create}, but forked from a process-wide frozen template for
+    the given configuration (built once, on first use). Amortizes the
+    builder cost across every shard and matrix cell of a campaign;
+    thread-safe, so worker domains may call it concurrently. The result
+    is observably equivalent to a fresh {!create} — the property the
+    pooled-identity tests pin down. *)
+
 val reset : t -> unit
 (** Roll the testbed back to the state captured at [create]: hypervisor
     restored from the checkpoint (only dirty frames rewritten), fresh

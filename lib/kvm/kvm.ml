@@ -186,6 +186,28 @@ let restore t ck =
   Buffer.add_string t.kvm_console ck.ck_console;
   restored
 
+(* A new host forked from a frozen template: memory is a
+   {!Phys_mem.fork}, and the [vm] records are fresh copies (restore
+   mutates [vm.state] in place, so sharing them across forks would let
+   one fork's reset clobber another's guests). Returns the fork together
+   with its own checkpoint, which references the fork's records — the
+   template's checkpoint must keep pointing at the template's. *)
+let fork template tck =
+  let kvm_mem = Phys_mem.fork (mem template) in
+  let vms = List.map (fun (vm, st) -> { vm with state = st }) tck.ck_states in
+  let kvm_console = Buffer.create 256 in
+  Buffer.add_string kvm_console tck.ck_console;
+  let t = { kvm_mem; vm_list = vms; kvm_console; next_id = tck.ck_next_id } in
+  let ck =
+    {
+      ck_vms = vms;
+      ck_states = List.map (fun vm -> (vm, vm.state)) vms;
+      ck_next_id = tck.ck_next_id;
+      ck_console = tck.ck_console;
+    }
+  in
+  (t, ck)
+
 (* --- the ioctl-style injector ------------------------------------------ *)
 
 type action = Access.action =

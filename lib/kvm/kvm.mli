@@ -83,6 +83,14 @@ val restore : t -> checkpoint -> int
 (** Roll back to the checkpoint in O(frames dirtied); returns the
     number of frames restored. *)
 
+val fork : t -> checkpoint -> t * checkpoint
+(** [fork template ck] is a new host in state [ck], its memory shared
+    copy-on-write with the template's (which must be
+    {!Phys_mem.freeze}d), plus the fork's own reset checkpoint (the VM
+    records are fresh copies — resets on one fork never touch another).
+    The template checkpoint is only read; it can seed any number of
+    forks concurrently. *)
+
 (** {1 The KVM injector (ioctl-style)} *)
 
 type action = Access.action =

@@ -7,6 +7,7 @@ type fault_reason =
   | Nx_violation
   | Non_canonical
   | Layout_denied of Layout.region
+  | Bad_physical of Addr.mfn
 
 type fault = { fault_vaddr : Addr.vaddr; fault_kind : access_kind; reason : fault_reason }
 type step = { level : int; table_mfn : Addr.mfn; index : int; entry : Pte.t }
@@ -52,6 +53,11 @@ let walk_general mem ~cr3 va =
       let us = us && Pte.test Pte.User entry in
       let nx = nx || Pte.test Pte.Nx entry in
       if level = 1 then
+        (* a forged leaf can point anywhere; outside installed RAM the
+           bus access aborts, so surface a fault, not an exception *)
+        if not (Phys_mem.is_valid_mfn mem (Pte.mfn entry)) then
+          (List.rev acc, Error (Bad_physical (Pte.mfn entry)))
+        else
         let maddr =
           Int64.add (Addr.maddr_of_mfn (Pte.mfn entry)) (Int64.of_int (Addr.page_offset va))
         in
@@ -68,10 +74,14 @@ let walk_general mem ~cr3 va =
       else if level = 2 && Pte.test Pte.Pse entry then
         let base = Addr.maddr_of_mfn (superpage_base_mfn entry) in
         let offset = Int64.logand va (Int64.of_int (Addr.superpage_size - 1)) in
+        let maddr = Int64.add base offset in
+        if not (Phys_mem.is_valid_mfn mem (Addr.mfn_of_maddr maddr)) then
+          (List.rev acc, Error (Bad_physical (Addr.mfn_of_maddr maddr)))
+        else
         ( List.rev acc,
           Ok
             {
-              t_maddr = Int64.add base offset;
+              t_maddr = maddr;
               writable = rw;
               user = us;
               executable = not nx;
@@ -226,6 +236,7 @@ let pp_fault_reason ppf = function
   | Non_canonical -> Format.fprintf ppf "non-canonical address"
   | Layout_denied region ->
       Format.fprintf ppf "access denied by address-space layout (%s)" (Layout.region_name region)
+  | Bad_physical mfn -> Format.fprintf ppf "leaf frame %#x outside installed RAM" mfn
 
 let pp_fault ppf { fault_vaddr; fault_kind; reason } =
   let kind = match fault_kind with Read -> "read" | Write -> "write" | Exec -> "exec" in

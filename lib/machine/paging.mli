@@ -16,6 +16,10 @@ type fault_reason =
   | Layout_denied of Layout.region
       (** guest-privilege access into a region the hypervisor keeps
           unreachable (models the hardened address space) *)
+  | Bad_physical of Addr.mfn
+      (** the walk reached a present leaf whose frame lies outside
+          installed RAM — a forged PTE; real hardware aborts the bus
+          access, so the walk faults instead of the simulator *)
 
 type fault = { fault_vaddr : Addr.vaddr; fault_kind : access_kind; reason : fault_reason }
 

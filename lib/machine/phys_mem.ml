@@ -34,6 +34,14 @@ type t = {
   mutable prov : Provenance.t option;
       (* byte-granular taint shadow; detached (None) by default so the
          provenance-off cost is one option match per write path *)
+  mutable frozen : bool;
+      (* an immutable fork template: any mutation raises. Frozen
+         memories are safe to share between domains (all reads). *)
+  cow : Bytes.t;
+  (* '\001' = the frame's [Frame.t] is still physically shared with the
+     frozen template this memory was forked from; the first content
+     write replaces it with a private copy (see [unshare]) *)
+  mutable cow_count : int;
 }
 
 exception Bad_maddr of Addr.maddr
@@ -60,6 +68,9 @@ let create ~frames =
     baseline = None;
     baseline_epoch = 0;
     prov = None;
+    frozen = false;
+    cow = Bytes.make frames '\000';
+    cow_count = 0;
   }
 
 let total_frames t = Array.length t.frames
@@ -68,7 +79,9 @@ let generation t = t.gen
 
 (* --- provenance -------------------------------------------------------- *)
 
-let set_provenance t p = t.prov <- p
+let set_provenance t p =
+  if t.frozen then invalid_arg "Phys_mem.set_provenance: template is frozen";
+  t.prov <- p
 let provenance t = t.prov
 
 let taint t ~mfn ~off ~len =
@@ -88,6 +101,7 @@ let prov_clear_frame t mfn =
 (* Conservative: anything that can mutate a frame marks it dirty first,
    so the pre-image under [baseline] is taken before the write lands. *)
 let mark_dirty t mfn =
+  if t.frozen then invalid_arg "Phys_mem: frozen fork template is immutable";
   if Bytes.unsafe_get t.dirty mfn = '\000' then begin
     Bytes.unsafe_set t.dirty mfn '\001';
     t.dirty_frames <- mfn :: t.dirty_frames;
@@ -101,14 +115,29 @@ let mark_dirty t mfn =
     | None -> ()
   end
 
+(* Detach a COW-shared frame from its template before the first content
+   write: the fork gets a private copy (or a fresh zero frame when the
+   shared one is known-zero) and the template's bytes stay untouched —
+   which is what lets many forks share one template concurrently. *)
+let unshare t mfn =
+  if Bytes.unsafe_get t.cow mfn = '\001' then begin
+    Bytes.unsafe_set t.cow mfn '\000';
+    t.cow_count <- t.cow_count - 1;
+    t.frames.(mfn) <-
+      (if Bytes.unsafe_get t.scrubbed mfn = '\001' then Frame.create ()
+       else Frame.copy t.frames.(mfn))
+  end
+
 (* Call before any write that can make the frame's contents non-zero. *)
 let mark_written t mfn =
   mark_dirty t mfn;
+  unshare t mfn;
   Bytes.unsafe_set t.scrubbed mfn '\000'
 
 let dirty_count t = List.length t.dirty_frames
 
 let capture_baseline t =
+  if t.frozen then invalid_arg "Phys_mem.capture_baseline: template is frozen";
   List.iter (fun mfn -> Bytes.set t.dirty mfn '\000') t.dirty_frames;
   t.dirty_frames <- [];
   t.baseline <- Some { b_pre = Hashtbl.create 64; b_free_count = t.free_count };
@@ -131,6 +160,7 @@ let clear_free_bit t mfn =
   t.free_bits.(w) <- t.free_bits.(w) land lnot (1 lsl b)
 
 let reset_to_baseline t =
+  if t.frozen then invalid_arg "Phys_mem.reset_to_baseline: template is frozen";
   match t.baseline with
   | None -> invalid_arg "Phys_mem.reset_to_baseline: no baseline captured"
   | Some b ->
@@ -141,8 +171,14 @@ let reset_to_baseline t =
           | Some (img, o) ->
               (match img with
               | Some img ->
-                  Frame.restore_image t.frames.(mfn) img;
-                  Bytes.unsafe_set t.scrubbed mfn '\000'
+                  (* a frame still COW-shared with the template was never
+                     content-written (writes unshare first), so its bytes
+                     already equal the pre-image: skip the 4 KiB restore —
+                     and never write into the shared template frame *)
+                  if Bytes.unsafe_get t.cow mfn = '\000' then begin
+                    Frame.restore_image t.frames.(mfn) img;
+                    Bytes.unsafe_set t.scrubbed mfn '\000'
+                  end
               | None ->
                   (* the frame held zeroes at capture; rescrub only if it
                      was written since *)
@@ -168,6 +204,50 @@ let reset_to_baseline t =
       t.gen <- t.gen + 1;
       (match t.prov with None -> () | Some p -> Provenance.reset_to_baseline p);
       !restored
+
+(* --- copy-on-write forking --------------------------------------------
+   A frozen memory is an immutable template: [fork] builds a new memory
+   in O(metadata) whose frames all physically alias the template's, with
+   an already-armed baseline equal to the template state. The first
+   content write to any frame detaches it ([unshare]); frames the fork
+   never writes are never copied, so a freshly forked testbed costs the
+   metadata arrays rather than [frames] x 4 KiB — and [reset_to_baseline]
+   skips still-shared frames entirely. *)
+
+let freeze t =
+  (match t.baseline with
+  | None -> invalid_arg "Phys_mem.freeze: capture a baseline first"
+  | Some _ -> ());
+  if t.dirty_frames <> [] then
+    invalid_arg "Phys_mem.freeze: template diverged from its baseline";
+  t.frozen <- true
+
+let is_frozen t = t.frozen
+
+let fork template =
+  if not template.frozen then invalid_arg "Phys_mem.fork: template must be frozen";
+  let n = Array.length template.frames in
+  {
+    frames = Array.copy template.frames;  (* shares the Frame.t bytes *)
+    owners = Array.copy template.owners;
+    free_bits = Array.copy template.free_bits;
+    free_count = template.free_count;
+    next_hint = template.next_hint;
+    dirty = Bytes.make n '\000';
+    scrubbed = Bytes.copy template.scrubbed;
+    dirty_frames = [];
+    gen = template.gen;
+    (* the fork is born exactly at the template's baseline, so its own
+       baseline starts armed and empty: resets work from trial one *)
+    baseline = Some { b_pre = Hashtbl.create 64; b_free_count = template.free_count };
+    baseline_epoch = template.baseline_epoch;
+    prov = None;
+    frozen = false;
+    cow = Bytes.make n '\001';
+    cow_count = n;
+  }
+
+let shared_frames t = t.cow_count
 
 (* --- ownership / allocation ------------------------------------------- *)
 
@@ -219,7 +299,14 @@ let alloc t o =
     t.free_count <- t.free_count - 1;
     (* a scrubbed frame is already the zeroed page [alloc] promises *)
     if Bytes.unsafe_get t.scrubbed mfn = '\000' then begin
-      Frame.fill t.frames.(mfn) '\000';
+      (if Bytes.unsafe_get t.cow mfn = '\001' then begin
+         (* shared with the template: swap in a fresh zero frame rather
+            than scrubbing (and thus corrupting) the shared bytes *)
+         Bytes.unsafe_set t.cow mfn '\000';
+         t.cow_count <- t.cow_count - 1;
+         t.frames.(mfn) <- Frame.create ()
+       end
+       else Frame.fill t.frames.(mfn) '\000');
       Bytes.unsafe_set t.scrubbed mfn '\001';
       prov_clear_frame t mfn
     end;
@@ -238,7 +325,12 @@ let free t mfn =
   t.owners.(mfn) <- Free;
   (* scrub on free, unless the frame is already known-zero *)
   if Bytes.unsafe_get t.scrubbed mfn = '\000' then begin
-    Frame.fill t.frames.(mfn) '\000';
+    (if Bytes.unsafe_get t.cow mfn = '\001' then begin
+       Bytes.unsafe_set t.cow mfn '\000';
+       t.cow_count <- t.cow_count - 1;
+       t.frames.(mfn) <- Frame.create ()
+     end
+     else Frame.fill t.frames.(mfn) '\000');
     Bytes.unsafe_set t.scrubbed mfn '\001';
     prov_clear_frame t mfn
   end;

@@ -89,6 +89,34 @@ val reset_to_baseline : t -> int
     {!capture_baseline}, in O(dirty). Returns the number of frames
     restored. Raises [Invalid_argument] if no baseline was captured. *)
 
+(** {1 Copy-on-write forking}
+
+    The warm-pool primitive: building a testbed once, freezing its
+    memory and forking it hands every new shard (or matrix cell) a
+    testbed in O(metadata) instead of a full rebuild. Frozen templates
+    are immutable — every mutation path raises — so one template can be
+    shared, read-only, by forks running on concurrent domains. *)
+
+val freeze : t -> unit
+(** Declare the memory an immutable fork template. Requires a captured
+    baseline with no divergence ([dirty_count t = 0]); after freezing,
+    any mutation raises [Invalid_argument]. Irreversible. *)
+
+val is_frozen : t -> bool
+
+val fork : t -> t
+(** [fork template] is a new memory whose frames physically alias the
+    frozen template's. The first content write to a frame detaches it
+    with a private copy; frames never written are never copied, and
+    {!reset_to_baseline} skips still-shared frames. The fork is born
+    with an armed baseline equal to the template state (same
+    {!baseline_epoch}), so it resets like a freshly checkpointed
+    testbed. Raises [Invalid_argument] unless [template] is frozen. *)
+
+val shared_frames : t -> int
+(** Frames still physically shared with the fork's template (equals
+    [total_frames] right after {!fork}, 0 for non-forked memories). *)
+
 (** {1 Byte access by machine address}
 
     These primitives cross frame boundaries transparently. *)

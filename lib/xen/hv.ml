@@ -251,6 +251,53 @@ let restore t ck =
      restored machine starts from a cold TLB like a rebooted host *)
   Cpu.tlb_flush_all t.cpu
 
+(* --- COW forking ------------------------------------------------------ *)
+
+(* A new hypervisor forked from a frozen template: physical memory is a
+   {!Phys_mem.fork} (frames shared copy-on-write), everything else is
+   rebuilt from the template's checkpoint — the same state [restore]
+   would produce, minus the boot. The checkpoint is only read, so one
+   frozen template serves concurrent forks on separate domains; the
+   fork's own [restore ck] works unchanged because its memory is born
+   with an armed baseline equal to the checkpointed state. *)
+let fork (template : t) ck =
+  let mem = Phys_mem.fork template.mem in
+  let trace = Trace.create () in
+  let cpu =
+    Cpu.create ~tracer:trace mem ~hardened:(Version.hardened_address_space template.version)
+  in
+  let console = Buffer.create 1024 in
+  Buffer.add_substring console (Buffer.contents template.console) 0 ck.ck_console_len;
+  let xenstore = Xenstore.create () in
+  Xenstore.set_tracer xenstore trace;
+  Xenstore.restore_dump xenstore ck.ck_xenstore;
+  let sched = Sched.create () in
+  Sched.restore sched ck.ck_sched;
+  let t =
+    {
+      version = template.version;
+      mem;
+      cpu;
+      pages = Page_info.of_checkpoint ck.ck_pages;
+      domains = List.map Domain.deep_copy ck.ck_domains;
+      idt_mfn = template.idt_mfn;
+      text_mfn = template.text_mfn;
+      m2p_mfns = Array.copy template.m2p_mfns;
+      console;
+      xenstore;
+      sched;
+      crashed = ck.ck_crashed;
+      next_domid = ck.ck_next_domid;
+      extra_hypercalls = ck.ck_extra;
+      pt_write_hook = ck.ck_hook;
+      trace;
+    }
+  in
+  Trace.Counters.restore (Trace.counters trace) ck.ck_counters;
+  Cpu.set_idt cpu t.idt_mfn;
+  Cpu.handlers_restore cpu ck.ck_handlers;
+  t
+
 (* --- hypercall extension table --------------------------------------- *)
 
 let register_hypercall t ~number ~name handler =

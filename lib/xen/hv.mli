@@ -135,6 +135,16 @@ type checkpoint
 val checkpoint : t -> checkpoint
 val restore : t -> checkpoint -> unit
 
+val fork : t -> checkpoint -> t
+(** [fork template ck] is a new hypervisor in the state [ck] captured on
+    [template], built without re-running boot: physical memory is a
+    {!Phys_mem.fork} (frames shared copy-on-write with the template,
+    which must have been {!Phys_mem.freeze}d), and CPU, page bookkeeping,
+    domains, console, XenStore, scheduler and counters are reconstructed
+    from the checkpoint. The checkpoint is only read — it can seed any
+    number of forks, concurrently — and remains valid as the fork's own
+    [restore] target. *)
+
 (** {1 Hypercall extension table (used by the intrusion injector)} *)
 
 val register_hypercall : t -> number:int -> name:string -> hypercall_handler -> unit

@@ -160,6 +160,22 @@ let restore t ck =
      returns too: equal generations mean equal type state *)
   t.gen <- ck.ck_gen
 
+(* A full instance built from a checkpoint — the forked-testbed path,
+   where [restore] does not apply (a fresh [create] has an empty touched
+   set, so replaying it would copy nothing). *)
+let of_checkpoint ck =
+  {
+    infos =
+      Array.map
+        (fun i ->
+          { owner = i.owner; ptype = i.ptype; type_count = i.type_count;
+            ref_count = i.ref_count; validated = i.validated; pinned = i.pinned })
+        ck.ck_infos;
+    gen = ck.ck_gen;
+    touched = Bytes.make (Array.length ck.ck_infos) '\000';
+    touched_list = [];
+  }
+
 let counts_consistent t =
   Array.for_all
     (fun i -> i.type_count >= 0 && i.ref_count >= 0 && ((not i.pinned) || i.type_count > 0))

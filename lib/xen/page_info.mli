@@ -85,3 +85,10 @@ val checkpoint : t -> checkpoint
 val restore : t -> checkpoint -> unit
 (** Restore by field assignment, so [info] records stay aliased from
     wherever they are held. *)
+
+val of_checkpoint : checkpoint -> t
+(** A complete fresh instance holding the checkpointed state — the
+    forked-testbed construction path. ({!restore} cannot initialize a
+    fresh instance: it only replays the target's own touched set, which
+    is empty after {!create}.) The checkpoint is read, never aliased, so
+    one checkpoint can seed many forks. *)

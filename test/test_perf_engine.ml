@@ -143,11 +143,169 @@ let prop_scan_cache_transparent =
       let cache = Monitor.create_scan_cache () in
       List.for_all
         (fun (off, v) ->
+          (* align to the u64 containment contract; a straddling write
+             raises Bad_maddr, which is Phys_mem's business, not the
+             cache's *)
+          let off = off land lnot 7 in
           Phys_mem.write_u64 tb.Testbed.hv.Hv.mem (Int64.of_int off) (Int64.of_int v);
           let agree = Monitor.snapshot ~cache tb = Monitor.snapshot tb in
           if v mod 3 = 0 then Testbed.reset tb;
           agree && Monitor.snapshot ~cache tb = Monitor.snapshot tb)
         writes)
+
+(* --- Warm pools and COW forks --------------------------------------------- *)
+
+(* The contract on Testbed.create_pooled: a COW fork of the frozen
+   template is observably equivalent to a fresh boot. Every use case,
+   both modes, must return the exact row a full build returns. *)
+let test_pooled_equals_fresh_campaign () =
+  let tb = Testbed.create_pooled Version.V4_6 in
+  List.iter
+    (fun uc ->
+      List.iter
+        (fun mode ->
+          let fresh = Campaign.run uc mode Version.V4_6 in
+          let pooled = Campaign.run ~tb uc mode Version.V4_6 in
+          check_bool (uc.Campaign.uc_name ^ "/" ^ Campaign.mode_to_string mode ^ " pooled") true
+            (fresh = pooled))
+        [ Campaign.Real_exploit; Campaign.Injection ])
+    All.use_cases
+
+let test_pooled_equals_fresh_kvm () =
+  let module BK = Ii_backends.Backend_kvm in
+  let module KC = Ii_backends.Backends.Kvm_campaign in
+  let tb = BK.create_pooled BK.Stock in
+  List.iter
+    (fun uc ->
+      List.iter
+        (fun mode ->
+          let fresh = KC.run uc mode BK.Stock in
+          let pooled = KC.run ~tb uc mode BK.Stock in
+          check_bool (uc.KC.uc_name ^ "/" ^ Campaign.mode_to_string mode ^ " kvm pooled") true
+            (fresh = pooled))
+        [ Campaign.Real_exploit; Campaign.Injection ])
+    Ii_backends.Kvm_use_cases.use_cases
+
+(* Out-of-band observers on a forked testbed: interleaved monitor scans
+   (through the scan cache, whose anchoring rides the baseline epoch the
+   fork inherits) must not change the row, and the row must still equal
+   the fresh-boot one. *)
+let test_pooled_interleaved_scans () =
+  let uc = Option.get (All.find "XSA-148-priv") in
+  let row_with tb =
+    let cache = Monitor.create_scan_cache () in
+    Campaign.run ~tb
+      ~observer:(fun tb -> ignore (Monitor.snapshot ~cache tb))
+      uc Campaign.Injection Version.V4_6
+  in
+  let fresh = row_with (Testbed.create Version.V4_6) in
+  let pooled = row_with (Testbed.create_pooled Version.V4_6) in
+  check_bool "interleaved scans: pooled = fresh" true (fresh = pooled)
+
+(* The provenance shadow attaches to a fork exactly as to a fresh boot:
+   same causal graph, same taint. *)
+let test_pooled_provenance () =
+  let uc = Option.get (All.find "XSA-182-test") in
+  let stats tb =
+    Substrate_xen.enable_provenance tb;
+    ignore (Campaign.run ~tb uc Campaign.Injection Version.V4_6);
+    let p = Option.get (Substrate_xen.provenance tb) in
+    (Ii_trace.Provenance.edge_count p, Ii_trace.Provenance.tainted_bytes p)
+  in
+  let fresh = stats (Testbed.create Version.V4_6) in
+  let pooled = stats (Testbed.create_pooled Version.V4_6) in
+  check_bool "provenance on fork = on fresh boot" true (fresh = pooled)
+
+(* Scan-cache anchoring survives the fork: the cache keys on
+   (baseline epoch, page-info generation), both of which the fork
+   copies, so passing a cache never changes a snapshot — across
+   corruption and resets. *)
+let test_fork_scan_cache_anchoring () =
+  let tb = Testbed.create_pooled Version.V4_8 in
+  let cache = Monitor.create_scan_cache () in
+  let agree () = Monitor.snapshot ~cache tb = Monitor.snapshot tb in
+  check_bool "initial agreement" true (agree ());
+  Phys_mem.write_u64 tb.Testbed.hv.Hv.mem 0x9000L 0xBEEFL;
+  check_bool "after corruption" true (agree ());
+  Testbed.reset tb;
+  check_bool "after reset" true (agree ())
+
+let test_fork_template_isolation () =
+  let t = Phys_mem.create ~frames:8 in
+  Phys_mem.capture_baseline t;
+  Phys_mem.freeze t;
+  let f = Phys_mem.fork t in
+  check_int "all frames shared at birth" 8 (Phys_mem.shared_frames f);
+  Phys_mem.write_u64 f 0x1008L 0xDEADL;
+  check_int "first write unshares its frame" 7 (Phys_mem.shared_frames f);
+  check_bool "fork sees its write" true (Phys_mem.read_u64 f 0x1008L = 0xDEADL);
+  check_bool "template untouched" true (Phys_mem.read_u64 t 0x1008L = 0L);
+  ignore (Phys_mem.reset_to_baseline f : int);
+  check_bool "fork resets to template state" true (Phys_mem.read_u64 f 0x1008L = 0L);
+  (* a sibling fork never sees the other's divergence *)
+  let g = Phys_mem.fork t in
+  check_bool "sibling fork pristine" true (Phys_mem.read_u64 g 0x1008L = 0L)
+
+let test_frozen_template_immutable () =
+  let t = Phys_mem.create ~frames:4 in
+  Phys_mem.capture_baseline t;
+  Phys_mem.freeze t;
+  check_bool "frozen template rejects writes" true
+    (match Phys_mem.write_u64 t 0L 1L with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  check_bool "fork requires a frozen template" true
+    (match Phys_mem.fork (Phys_mem.create ~frames:4) with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* --- Batching scheduler ---------------------------------------------------- *)
+
+(* The flattened versions x trials queue must regroup into summaries
+   byte-identical to running each version's campaign on its own,
+   whatever the worker count; the streaming variant must agree on the
+   tallies it keeps. *)
+let test_scheduler_matches_per_version () =
+  let versions = [ Version.V4_6; Version.V4_8 ] in
+  let seq = List.map (Random_campaign.run ~seed:7L ~trials:10) versions in
+  check_bool "scheduler w1 = per-version runs" true
+    (Campaign_scheduler.run ~seed:7L ~trials:10 ~workers:1 versions = seq);
+  check_bool "scheduler w3 = per-version runs" true
+    (Campaign_scheduler.run ~seed:7L ~trials:10 ~workers:3 versions = seq);
+  let streamed = Campaign_scheduler.run_streamed ~seed:7L ~trials:10 ~workers:3 versions in
+  check_bool "streamed tallies = materialized tallies" true
+    (List.for_all2
+       (fun (s : Random_campaign.summary) t ->
+         s.Random_campaign.tally = t.Campaign_scheduler.st_tally)
+       seq streamed)
+
+(* --- Shard engine ---------------------------------------------------------- *)
+
+exception Boom of int
+
+let test_shard_exception_propagation () =
+  match
+    Shard.map_init ~workers:2
+      ~init:(fun () -> ())
+      (fun () i () -> if i = 5 then raise (Boom i) else i)
+      (List.init 32 (fun _ -> ()))
+  with
+  | _ -> Alcotest.fail "worker exception was swallowed"
+  | exception Boom 5 -> ()
+
+let test_shard_fold_sum () =
+  let sum w =
+    Shard.fold_init ~workers:w ~n:1000 ~init:(fun () -> ()) ~f:(fun () i -> i) ~merge:( + ) 0
+  in
+  check_int "sequential fold" (999 * 1000 / 2) (sum 1);
+  check_int "3-worker fold agrees" (sum 1) (sum 3)
+
+let test_workers_of_string () =
+  check_bool "auto resolves within [1,8]" true
+    (match Shard.workers_of_string "auto" with Ok n -> n >= 1 && n <= 8 | Error _ -> false);
+  check_bool "literal count" true (Shard.workers_of_string "3" = Ok 3);
+  check_bool "zero rejected" true (Result.is_error (Shard.workers_of_string "0"));
+  check_bool "junk rejected" true (Result.is_error (Shard.workers_of_string "lots"))
 
 (* --- Sharding determinism ------------------------------------------------- *)
 
@@ -240,6 +398,33 @@ let () =
           Alcotest.test_case "snapshots: reset = create" `Quick test_reset_equals_create_snapshot;
         ] );
       ("scan_cache", qsuite [ prop_scan_cache_transparent ]);
+      ( "pool",
+        [
+          Alcotest.test_case "campaign rows: pooled = fresh (xen)" `Quick
+            test_pooled_equals_fresh_campaign;
+          Alcotest.test_case "campaign rows: pooled = fresh (kvm)" `Quick
+            test_pooled_equals_fresh_kvm;
+          Alcotest.test_case "interleaved scans on a fork" `Quick test_pooled_interleaved_scans;
+          Alcotest.test_case "provenance on a fork" `Quick test_pooled_provenance;
+          Alcotest.test_case "scan-cache anchoring on a fork" `Quick
+            test_fork_scan_cache_anchoring;
+        ] );
+      ( "cow_fork",
+        [
+          Alcotest.test_case "template isolation" `Quick test_fork_template_isolation;
+          Alcotest.test_case "frozen template immutable" `Quick test_frozen_template_immutable;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "flattened queue = per-version runs" `Quick
+            test_scheduler_matches_per_version;
+        ] );
+      ( "shard",
+        [
+          Alcotest.test_case "exception propagation" `Quick test_shard_exception_propagation;
+          Alcotest.test_case "streaming fold" `Quick test_shard_fold_sum;
+          Alcotest.test_case "workers_of_string" `Quick test_workers_of_string;
+        ] );
       ( "sharding",
         [
           Alcotest.test_case "random campaign" `Quick test_random_campaign_shard_identical;
