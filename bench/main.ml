@@ -738,6 +738,10 @@ let () =
          million-trial stream's wall time and make its peak-heap key
          meaningless *)
       let report, prometheus = perf_report ~full:true ~trials:200 () in
+      (* the report's million-trial stream leaves a large dead major
+         heap; compact before bechamel samples so its baseline is the
+         live set, not the report's garbage *)
+      Gc.compact ();
       run_benchmarks ();
       print_report report;
       hr "Metrics registry (Prometheus exposition)";
@@ -756,6 +760,7 @@ let () =
   | [ _ ] | _ :: [ "all" ] ->
       List.iter (fun (_, f) -> f ()) artefacts;
       let report = fst (perf_report ~trials:200 ()) in
+      Gc.compact ();
       run_benchmarks ();
       print_report report
   | _ ->

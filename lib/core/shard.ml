@@ -24,10 +24,16 @@ let workers_of_string s =
   match s with
   | "auto" -> Ok (auto_workers ())
   | s -> (
+      (* name the flag in the error: this string surfaces verbatim as a
+         CLI diagnostic for --workers on every command that shards *)
       match int_of_string_opt s with
       | Some n when n >= 1 -> Ok n
-      | Some _ | None ->
-          Error (Printf.sprintf "workers must be a positive integer or \"auto\", got %S" s))
+      | Some n ->
+          Error
+            (Printf.sprintf "--workers must be a positive integer or \"auto\", got %d" n)
+      | None ->
+          Error
+            (Printf.sprintf "--workers must be a positive integer or \"auto\", got %S" s))
 
 (* Chunks amortize counter contention at high trial counts; small enough
    chunks keep the tail balanced. ~8 chunks per worker, capped so a

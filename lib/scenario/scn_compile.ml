@@ -1,0 +1,188 @@
+(* AST → bytecode. Interning is deterministic (header fields first, then
+   instruction order), which gives the roundtrip contract its teeth:
+   [compile (parse (disasm p)) = p] for any program the compiler
+   emitted. Structural properties that do not need backend capability
+   tables — label resolution, format arities, call-argument counts —
+   are enforced here with source positions; everything that depends on
+   the backend (names, gating) lives in {!Scn_check}. *)
+
+open Scn_bytecode
+
+type interner = { tbl : (string, int) Hashtbl.t; mutable rev : string list; mutable next : int }
+
+let new_interner () = { tbl = Hashtbl.create 64; rev = []; next = 0 }
+
+let intern it s =
+  match Hashtbl.find_opt it.tbl s with
+  | Some id -> id
+  | None ->
+      let id = it.next in
+      Hashtbl.add it.tbl s id;
+      it.rev <- s :: it.rev;
+      it.next <- id + 1;
+      id
+
+let strings it = Array.of_list (List.rev it.rev)
+
+let fail at fmt = Printf.ksprintf (fun msg -> Error { Scn_ast.msg; at }) fmt
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+(* Labels take no slot, everything else exactly one. *)
+let label_pcs (body : Scn_ast.body) =
+  let tbl = Hashtbl.create 8 in
+  let rec go pc = function
+    | [] -> Ok tbl
+    | { Scn_ast.v = Scn_ast.Label l; at } :: tl ->
+        if Hashtbl.mem tbl l then fail at "duplicate label %S" l
+        else (
+          Hashtbl.add tbl l pc;
+          go pc tl)
+    | _ :: tl -> go (pc + 1) tl
+  in
+  go 0 body
+
+let compile_body it (body : Scn_ast.body) =
+  let* labels = label_pcs body in
+  let target at l =
+    match Hashtbl.find_opt labels l with
+    | Some pc -> Ok (Int64.of_int pc)
+    | None -> fail at "unknown label %S" l
+  in
+  let call_args at what limit args =
+    if List.length args > limit then
+      fail at "%s takes at most %d register arguments, got %d" what limit (List.length args)
+    else
+      let get i = match List.nth_opt args i with Some r -> r | None -> 0 in
+      Ok (get 0, get 1, get 2, List.length args)
+  in
+  let rec go acc = function
+    | [] -> Ok (Array.of_list (List.rev acc))
+    | { Scn_ast.v; at } :: tl ->
+        let* ins =
+          match v with
+          | Scn_ast.Label _ -> Ok None
+          | Scn_ast.Set (r, e) -> (
+              match e with
+              | Scn_ast.Lit v -> Ok (Some { nop with op = op_loadi; a = r; imm = v })
+              | Scn_ast.Add (m, v) -> Ok (Some { nop with op = op_add; a = r; b = m; imm = v })
+              | Scn_ast.Pte_of (m, flags) ->
+                  Ok (Some { nop with op = op_pte; a = r; b = m; imm = pte_mask flags })
+              | Scn_ast.Entry_maddr (m, i) ->
+                  Ok (Some { nop with op = op_emaddr; a = r; b = m; c = i })
+              | Scn_ast.Entry_linear (m, i) ->
+                  Ok (Some { nop with op = op_elin; a = r; b = m; c = i })
+              | Scn_ast.Env (name, arg) ->
+                  Ok (Some { nop with op = op_env; a = r; sid = intern it name; imm = arg })
+              | Scn_ast.Hypercall (name, args) ->
+                  let* b, c, _, n = call_args at "a hypercall" 2 args in
+                  Ok (Some { nop with op = op_hc; a = r; b; c; n; sid = intern it name })
+              | Scn_ast.Inject_read (act, ra) ->
+                  Ok (Some { nop with op = op_injectr; a = r; b = ra; imm = Access.code act }))
+          | Scn_ast.Log msg -> Ok (Some { nop with op = op_log; sid = intern it msg })
+          | Scn_ast.Logf (fmt, args) -> (
+              match fmt_arity fmt with
+              | Error msg -> fail at "%s" msg
+              | Ok arity ->
+                  if arity <> List.length args then
+                    fail at "format %S takes %d arguments, logf was given %d" fmt arity
+                      (List.length args)
+                  else
+                    let sid = intern it fmt in
+                    (match args with
+                    | [ x ] -> Ok (Some { nop with op = op_logf1; a = x; sid })
+                    | [ x; y ] -> Ok (Some { nop with op = op_logf2; a = x; b = y; sid })
+                    | _ -> fail at "logf takes one or two register arguments"))
+          | Scn_ast.Log_errno fmt -> (
+              match errno_fmt_ok fmt with
+              | Error msg -> fail at "%s" msg
+              | Ok () -> Ok (Some { nop with op = op_logerr; sid = intern it fmt }))
+          | Scn_ast.Inject { addr; value; action } ->
+              Ok (Some { nop with op = op_inject; a = addr; b = value; imm = Access.code action })
+          | Scn_ast.Host_write { addr; value } ->
+              Ok (Some { nop with op = op_hostw; a = addr; b = value })
+          | Scn_ast.Guest (name, args) ->
+              let* a, b, c, n = call_args at "a guest op" 3 args in
+              Ok (Some { nop with op = op_guest; a; b; c; n; sid = intern it name })
+          | Scn_ast.Payload (name, args) ->
+              let* a, b, c, n = call_args at "a payload" 3 args in
+              Ok (Some { nop with op = op_payload; a; b; c; n; sid = intern it name })
+          | Scn_ast.State (name, args) ->
+              let* a, b, c, n = call_args at "an erroneous state" 3 args in
+              Ok (Some { nop with op = op_state; a; b; c; n; sid = intern it name })
+          | Scn_ast.Tick_all -> Ok (Some { nop with op = op_tick })
+          | Scn_ast.Rc_errno -> Ok (Some { nop with op = op_rcerr })
+          | Scn_ast.Rc_result -> Ok (Some { nop with op = op_rcres })
+          | Scn_ast.Rc_reg r -> Ok (Some { nop with op = op_rcreg; a = r })
+          | Scn_ast.Rc_none -> Ok (Some { nop with op = op_rcnone })
+          | Scn_ast.Goto l ->
+              let* pc = target at l in
+              Ok (Some { nop with op = op_jmp; imm = pc })
+          | Scn_ast.If_err l ->
+              let* pc = target at l in
+              Ok (Some { nop with op = op_jerr; imm = pc })
+          | Scn_ast.If_neg (r, l) ->
+              let* pc = target at l in
+              Ok (Some { nop with op = op_jneg; a = r; imm = pc })
+          | Scn_ast.Halt -> Ok (Some { nop with op = op_halt })
+        in
+        go (match ins with Some i -> i :: acc | None -> acc) tl
+  in
+  go [] body
+
+let index_of x l =
+  let rec go i = function
+    | [] -> 0
+    | hd :: tl -> if hd = x then i else go (i + 1) tl
+  in
+  go 0 l
+
+let compile (sc : Scn_ast.t) : (program, Scn_ast.error) result =
+  let it = new_interner () in
+  let m = sc.s_model in
+  let h_name = intern it sc.s_name in
+  let h_xsa = intern it sc.s_xsa in
+  let h_description = intern it sc.s_description in
+  let h_model_name = intern it m.m_name in
+  let iface_kind, iface_str =
+    match m.m_interface with
+    | Intrusion_model.Hypercall_interface h -> (0, h)
+    | Intrusion_model.Device_emulation d -> (1, d)
+    | Intrusion_model.Instruction_interception -> (2, "")
+  in
+  let h_iface_str = intern it iface_str in
+  let h_represents = List.map (intern it) m.m_represents in
+  let h_summary = intern it m.m_summary in
+  let* exploit = compile_body it sc.s_exploit in
+  let* inject = compile_body it sc.s_inject in
+  Ok
+    {
+      strings = strings it;
+      header =
+        {
+          h_name;
+          h_xsa;
+          h_description;
+          h_backend =
+            (match backend_tag_of_string sc.s_backend with Some t -> t | None -> Any);
+          h_model_name;
+          h_source = index_of (Scn_ast.rev_assoc m.m_source Scn_ast.sources |> Option.get |> fun k -> k) (List.map fst Scn_ast.sources);
+          h_iface_kind = iface_kind;
+          h_iface_str;
+          h_target =
+            index_of
+              (Scn_ast.rev_assoc m.m_target Scn_ast.targets |> Option.get |> fun k -> k)
+              (List.map fst Scn_ast.targets);
+          h_functionality = index_of m.m_functionality Abusive_functionality.all;
+          h_represents;
+          h_summary;
+          h_expect = List.map (fun c -> index_of c Scn_ast.violation_classes) sc.s_expect;
+        };
+      exploit;
+      inject;
+    }
+
+(* Convenience: surface text straight to bytecode. *)
+let compile_string src =
+  match Scn_parser.parse src with
+  | Error e -> Error e
+  | Ok sc -> compile sc

@@ -1,0 +1,194 @@
+(* Hand-rolled lexer for the scenario surface syntax. Total: every
+   input, including arbitrary bytes, tokenizes to [Ok] or a positioned
+   [Error] — the QCheck never-raise property leans on this. *)
+
+type token =
+  | STRING of string
+  | INT of int64
+  | IDENT of string
+  | LBRACE
+  | RBRACE
+  | EQ
+  | EOF
+
+type ttok = { tok : token; tat : Scn_ast.pos }
+
+let token_to_string = function
+  | STRING s -> Printf.sprintf "%S" s
+  | INT n -> Int64.to_string n
+  | IDENT s -> s
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | EQ -> "="
+  | EOF -> "end of input"
+
+type cursor = { src : string; mutable off : int; mutable line : int; mutable col : int }
+
+let peek c = if c.off < String.length c.src then Some c.src.[c.off] else None
+
+let advance c =
+  (match peek c with
+  | Some '\n' ->
+      c.line <- c.line + 1;
+      c.col <- 1
+  | Some _ -> c.col <- c.col + 1
+  | None -> ());
+  c.off <- c.off + 1
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> true
+  | _ -> false
+
+let is_digit = function '0' .. '9' -> true | _ -> false
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance c;
+      skip_ws c
+  | Some '#' ->
+      let rec to_eol () =
+        match peek c with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance c;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws c
+  | _ -> ()
+
+let lex_string c at =
+  let b = Buffer.create 32 in
+  advance c (* opening quote *);
+  let rec go () =
+    match peek c with
+    | None -> Error { Scn_ast.msg = "unterminated string literal"; at }
+    | Some '"' ->
+        advance c;
+        Ok { tok = STRING (Buffer.contents b); tat = at }
+    | Some '\n' -> Error { Scn_ast.msg = "newline inside string literal"; at }
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' ->
+            advance c;
+            Buffer.add_char b '\n';
+            go ()
+        | Some 't' ->
+            advance c;
+            Buffer.add_char b '\t';
+            go ()
+        | Some '\\' ->
+            advance c;
+            Buffer.add_char b '\\';
+            go ()
+        | Some '"' ->
+            advance c;
+            Buffer.add_char b '"';
+            go ()
+        | Some ch ->
+            Error
+              {
+                Scn_ast.msg = Printf.sprintf "unknown escape '\\%c' in string literal" ch;
+                at;
+              }
+        | None -> Error { Scn_ast.msg = "unterminated string literal"; at })
+    | Some ch ->
+        advance c;
+        Buffer.add_char b ch;
+        go ()
+  in
+  go ()
+
+let lex_int c at =
+  let start = c.off in
+  let neg = peek c = Some '-' in
+  if neg then advance c;
+  let hex =
+    c.off + 1 < String.length c.src
+    && c.src.[c.off] = '0'
+    && (c.src.[c.off + 1] = 'x' || c.src.[c.off + 1] = 'X')
+  in
+  if hex then (
+    advance c;
+    advance c);
+  let rec digits () =
+    match peek c with
+    | Some ch
+      when is_digit ch || ch = '_'
+           || (hex && (match ch with 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)) ->
+        advance c;
+        digits ()
+    | _ -> ()
+  in
+  digits ();
+  let text = String.sub c.src start (c.off - start) in
+  let cleaned = String.concat "" (String.split_on_char '_' text) in
+  match Int64.of_string_opt cleaned with
+  | Some n -> Ok { tok = INT n; tat = at }
+  | None -> Error { Scn_ast.msg = Printf.sprintf "malformed integer literal %S" text; at }
+
+let lex_ident c at =
+  let start = c.off in
+  let rec go () =
+    match peek c with
+    | Some ch when is_ident_char ch ->
+        advance c;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  Ok { tok = IDENT (String.sub c.src start (c.off - start)); tat = at }
+
+(* Tokenize the whole input eagerly; the parser then works over an
+   array with unbounded lookahead (it needs one token of it). *)
+let tokenize src : (ttok array, Scn_ast.error) result =
+  let c = { src; off = 0; line = 1; col = 1 } in
+  let toks = ref [] in
+  let rec go () =
+    skip_ws c;
+    let at = { Scn_ast.line = c.line; col = c.col } in
+    match peek c with
+    | None ->
+        toks := { tok = EOF; tat = at } :: !toks;
+        Ok (Array.of_list (List.rev !toks))
+    | Some '{' ->
+        advance c;
+        toks := { tok = LBRACE; tat = at } :: !toks;
+        go ()
+    | Some '}' ->
+        advance c;
+        toks := { tok = RBRACE; tat = at } :: !toks;
+        go ()
+    | Some '=' ->
+        advance c;
+        toks := { tok = EQ; tat = at } :: !toks;
+        go ()
+    | Some '"' -> (
+        match lex_string c at with
+        | Ok t ->
+            toks := t :: !toks;
+            go ()
+        | Error e -> Error e)
+    | Some ch when is_digit ch -> (
+        match lex_int c at with
+        | Ok t ->
+            toks := t :: !toks;
+            go ()
+        | Error e -> Error e)
+    | Some '-' when c.off + 1 < String.length src && is_digit src.[c.off + 1] -> (
+        match lex_int c at with
+        | Ok t ->
+            toks := t :: !toks;
+            go ()
+        | Error e -> Error e)
+    | Some ch when is_ident_char ch -> (
+        match lex_ident c at with
+        | Ok t ->
+            toks := t :: !toks;
+            go ()
+        | Error e -> Error e)
+    | Some ch -> Error { Scn_ast.msg = Printf.sprintf "unexpected character %C" ch; at }
+  in
+  go ()

@@ -1,0 +1,473 @@
+(* Recursive-descent parser over the eager token array. Total like the
+   lexer: malformed input becomes a positioned [Error], never an
+   exception.
+
+   One genuine ambiguity in the surface syntax: calls take a variadic
+   register list ([payload xsa148-continue r1 r2 r3]) and the next
+   statement may itself start with a register ([r4 = ...]). A register
+   token is treated as an argument only when the token after it is not
+   [=] — one token of lookahead resolves every program the grammar can
+   express. *)
+
+open Scn_lexer
+
+type st = { toks : ttok array; mutable idx : int }
+
+let cur s = s.toks.(min s.idx (Array.length s.toks - 1))
+let peek2 s = s.toks.(min (s.idx + 1) (Array.length s.toks - 1))
+let bump s = s.idx <- s.idx + 1
+
+let fail_at at fmt = Printf.ksprintf (fun msg -> Error { Scn_ast.msg; at }) fmt
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let expect s tok what =
+  let t = cur s in
+  if t.tok = tok then (
+    bump s;
+    Ok t.tat)
+  else fail_at t.tat "expected %s, found %s" what (token_to_string t.tok)
+
+let ident s what =
+  let t = cur s in
+  match t.tok with
+  | IDENT name ->
+      bump s;
+      Ok (name, t.tat)
+  | other -> fail_at t.tat "expected %s, found %s" what (token_to_string other)
+
+let string_lit s what =
+  let t = cur s in
+  match t.tok with
+  | STRING v ->
+      bump s;
+      Ok (v, t.tat)
+  | other -> fail_at t.tat "expected %s (a quoted string), found %s" what (token_to_string other)
+
+let int_lit s what =
+  let t = cur s in
+  match t.tok with
+  | INT v ->
+      bump s;
+      Ok (v, t.tat)
+  | other -> fail_at t.tat "expected %s (an integer), found %s" what (token_to_string other)
+
+let reg_of_ident name =
+  if name = "rc" then Some 15
+  else if String.length name >= 2 && name.[0] = 'r' then
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some n when n >= 0 && n < Scn_ast.num_regs -> Some n
+    | _ -> None
+  else None
+
+let reg s what =
+  let t = cur s in
+  match t.tok with
+  | IDENT name -> (
+      match reg_of_ident name with
+      | Some r ->
+          bump s;
+          Ok r
+      | None -> fail_at t.tat "expected %s (a register r0..r15 or rc), found %s" what name)
+  | other -> fail_at t.tat "expected %s (a register), found %s" what (token_to_string other)
+
+(* Variadic trailing register list; stops before an [rN =] statement. *)
+let rec reg_args s acc =
+  match (cur s).tok with
+  | IDENT name when reg_of_ident name <> None && (peek2 s).tok <> EQ -> (
+      match reg_of_ident name with
+      | Some r ->
+          bump s;
+          reg_args s (r :: acc)
+      | None -> Ok (List.rev acc))
+  | _ -> Ok (List.rev acc)
+
+let action s =
+  let* name, at = ident s "an access action" in
+  match List.assoc_opt name Scn_ast.actions with
+  | Some a -> Ok a
+  | None ->
+      fail_at at "unknown access action %S (one of %s)" name
+        (String.concat ", " (List.map fst Scn_ast.actions))
+
+let pte_flag_names = List.map fst Scn_ast.pte_flags
+
+let rec pte_flags s acc =
+  match (cur s).tok with
+  | IDENT name when List.mem name pte_flag_names ->
+      bump s;
+      pte_flags s (List.assoc name Scn_ast.pte_flags :: acc)
+  | _ -> List.rev acc
+
+(* --- expressions (right of [rN =]) ------------------------------------- *)
+
+let expr s : (Scn_ast.expr, Scn_ast.error) result =
+  let t = cur s in
+  match t.tok with
+  | INT v ->
+      bump s;
+      Ok (Scn_ast.Lit v)
+  | IDENT "add" ->
+      bump s;
+      let* r = reg s "the augend" in
+      let* v, _ = int_lit s "the addend" in
+      Ok (Scn_ast.Add (r, v))
+  | IDENT "pte" ->
+      bump s;
+      let* r = reg s "the frame register" in
+      let flags = pte_flags s [] in
+      if flags = [] then fail_at t.tat "pte needs at least one flag (present, rw, user, ...)"
+      else Ok (Scn_ast.Pte_of (r, flags))
+  | IDENT "entry-maddr" ->
+      bump s;
+      let* rm = reg s "the table frame register" in
+      let* ri = reg s "the index register" in
+      Ok (Scn_ast.Entry_maddr (rm, ri))
+  | IDENT "entry-linear" ->
+      bump s;
+      let* rm = reg s "the table frame register" in
+      let* ri = reg s "the index register" in
+      Ok (Scn_ast.Entry_linear (rm, ri))
+  | IDENT "hypercall" ->
+      bump s;
+      let* name, _ = ident s "the hypercall name" in
+      let* args = reg_args s [] in
+      Ok (Scn_ast.Hypercall (name, args))
+  | IDENT "inject-read" ->
+      bump s;
+      let* a = action s in
+      let* r = reg s "the address register" in
+      Ok (Scn_ast.Inject_read (a, r))
+  | IDENT name when reg_of_ident name = None ->
+      bump s;
+      let arg = match (cur s).tok with
+        | INT v ->
+            bump s;
+            v
+        | _ -> 0L
+      in
+      Ok (Scn_ast.Env (name, arg))
+  | other ->
+      fail_at t.tat "expected an expression (literal, add, pte, entry-maddr, entry-linear, \
+                     hypercall, inject-read, or an environment symbol), found %s"
+        (token_to_string other)
+
+(* --- statements --------------------------------------------------------- *)
+
+let stmt s : (Scn_ast.stmt Scn_ast.loc, Scn_ast.error) result =
+  let t = cur s in
+  let ok v = Ok { Scn_ast.v; at = t.tat } in
+  match t.tok with
+  | IDENT name when reg_of_ident name <> None && (peek2 s).tok = EQ ->
+      let r = Option.get (reg_of_ident name) in
+      bump s;
+      bump s (* = *);
+      let* e = expr s in
+      ok (Scn_ast.Set (r, e))
+  | IDENT "log" ->
+      bump s;
+      let* msg, _ = string_lit s "the log message" in
+      ok (Scn_ast.Log msg)
+  | IDENT "logf" ->
+      bump s;
+      let* fmt, _ = string_lit s "the format string" in
+      let* args = reg_args s [] in
+      if args = [] then fail_at t.tat "logf needs at least one register argument"
+      else ok (Scn_ast.Logf (fmt, args))
+  | IDENT "log-errno" ->
+      bump s;
+      let* fmt, _ = string_lit s "the format string" in
+      ok (Scn_ast.Log_errno fmt)
+  | IDENT "inject" ->
+      bump s;
+      let* a = action s in
+      let* addr = reg s "the address register" in
+      let* value = reg s "the value register" in
+      ok (Scn_ast.Inject { addr; value; action = a })
+  | IDENT "host-w64" ->
+      bump s;
+      let* addr = reg s "the address register" in
+      let* value = reg s "the value register" in
+      ok (Scn_ast.Host_write { addr; value })
+  | IDENT "guest" ->
+      bump s;
+      let* name, _ = ident s "the guest op name" in
+      let* args = reg_args s [] in
+      ok (Scn_ast.Guest (name, args))
+  | IDENT "payload" ->
+      bump s;
+      let* name, _ = ident s "the payload name" in
+      let* args = reg_args s [] in
+      ok (Scn_ast.Payload (name, args))
+  | IDENT "state" ->
+      bump s;
+      let* name, _ = ident s "the erroneous-state name" in
+      let* args = reg_args s [] in
+      ok (Scn_ast.State (name, args))
+  | IDENT "tick-all" ->
+      bump s;
+      ok Scn_ast.Tick_all
+  | IDENT "rc-errno" ->
+      bump s;
+      ok Scn_ast.Rc_errno
+  | IDENT "rc-result" ->
+      bump s;
+      ok Scn_ast.Rc_result
+  | IDENT "rc-none" ->
+      bump s;
+      ok Scn_ast.Rc_none
+  | IDENT "rc-reg" ->
+      bump s;
+      let* r = reg s "the return-code register" in
+      ok (Scn_ast.Rc_reg r)
+  | IDENT "goto" ->
+      bump s;
+      let* l, _ = ident s "the jump label" in
+      ok (Scn_ast.Goto l)
+  | IDENT "if-err" ->
+      bump s;
+      let* l, _ = ident s "the jump label" in
+      ok (Scn_ast.If_err l)
+  | IDENT "if-neg" ->
+      bump s;
+      let* r = reg s "the tested register" in
+      let* l, _ = ident s "the jump label" in
+      ok (Scn_ast.If_neg (r, l))
+  | IDENT "label" ->
+      bump s;
+      let* l, _ = ident s "the label name" in
+      ok (Scn_ast.Label l)
+  | IDENT "halt" ->
+      bump s;
+      ok Scn_ast.Halt
+  | other -> fail_at t.tat "expected a statement, found %s" (token_to_string other)
+
+let body s : (Scn_ast.body, Scn_ast.error) result =
+  let* _ = expect s LBRACE "'{'" in
+  let rec go acc =
+    match (cur s).tok with
+    | RBRACE ->
+        bump s;
+        Ok (List.rev acc)
+    | EOF -> fail_at (cur s).tat "unterminated block: expected '}'"
+    | _ ->
+        let* st = stmt s in
+        go (st :: acc)
+  in
+  go []
+
+(* --- the intrusion-model header ----------------------------------------- *)
+
+let rec string_list s acc =
+  match (cur s).tok with
+  | STRING v ->
+      bump s;
+      string_list s (v :: acc)
+  | _ -> List.rev acc
+
+let model s : (Scn_ast.model, Scn_ast.error) result =
+  let* _ = expect s LBRACE "'{' to open the model block" in
+  let name = ref None and source = ref None and interface = ref None in
+  let target = ref None and functionality = ref None in
+  let represents = ref [] and summary = ref None in
+  let rec go () =
+    match (cur s).tok with
+    | RBRACE ->
+        bump s;
+        Ok ()
+    | IDENT "name" ->
+        bump s;
+        let* v, _ = string_lit s "the model name" in
+        name := Some v;
+        go ()
+    | IDENT "source" ->
+        bump s;
+        let* v, at = ident s "the trigger source" in
+        (match List.assoc_opt v Scn_ast.sources with
+        | Some src ->
+            source := Some src;
+            go ()
+        | None ->
+            fail_at at "unknown trigger source %S (one of %s)" v
+              (String.concat ", " (List.map fst Scn_ast.sources)))
+    | IDENT "interface" -> (
+        bump s;
+        let* v, at = ident s "the interaction interface" in
+        match v with
+        | "hypercall" ->
+            let* h, _ = string_lit s "the hypercall name" in
+            interface := Some (Intrusion_model.Hypercall_interface h);
+            go ()
+        | "device-emulation" ->
+            let* d, _ = string_lit s "the emulated device" in
+            interface := Some (Intrusion_model.Device_emulation d);
+            go ()
+        | "instruction-interception" ->
+            interface := Some Intrusion_model.Instruction_interception;
+            go ()
+        | other ->
+            fail_at at
+              "unknown interface %S (hypercall, device-emulation, instruction-interception)"
+              other)
+    | IDENT "target" ->
+        bump s;
+        let* v, at = ident s "the target component" in
+        (match List.assoc_opt v Scn_ast.targets with
+        | Some t ->
+            target := Some t;
+            go ()
+        | None ->
+            fail_at at "unknown target component %S (one of %s)" v
+              (String.concat ", " (List.map fst Scn_ast.targets)))
+    | IDENT "functionality" ->
+        bump s;
+        let* v, at = string_lit s "the abusive functionality" in
+        (match Abusive_functionality.of_string v with
+        | Some f ->
+            functionality := Some f;
+            go ()
+        | None -> fail_at at "unknown abusive functionality %S (use the paper's label)" v)
+    | IDENT "represents" ->
+        bump s;
+        represents := !represents @ string_list s [];
+        go ()
+    | IDENT "summary" ->
+        bump s;
+        let* v, _ = string_lit s "the model summary" in
+        summary := Some v;
+        go ()
+    | other -> fail_at (cur s).tat "unexpected token %s in model block" (token_to_string other)
+  in
+  let* () = go () in
+  let req what = function
+    | Some v -> Ok v
+    | None -> fail_at (cur s).tat "model block is missing its %s field" what
+  in
+  let* m_name = req "name" !name in
+  let* m_source = req "source" !source in
+  let* m_interface = req "interface" !interface in
+  let* m_target = req "target" !target in
+  let* m_functionality = req "functionality" !functionality in
+  let* m_summary = req "summary" !summary in
+  Ok
+    {
+      Scn_ast.m_name;
+      m_source;
+      m_interface;
+      m_target;
+      m_functionality;
+      m_represents = !represents;
+      m_summary;
+    }
+
+(* --- top level ----------------------------------------------------------- *)
+
+let scenario s : (Scn_ast.t, Scn_ast.error) result =
+  let* _, _ =
+    match (cur s).tok with
+    | IDENT "scenario" ->
+        bump s;
+        Ok ((), ())
+    | other -> fail_at (cur s).tat "expected 'scenario', found %s" (token_to_string other)
+  in
+  let* s_name, _ = string_lit s "the scenario name" in
+  let* _ = expect s LBRACE "'{'" in
+  let xsa = ref None and backend = ref "any" and description = ref None in
+  let model_v = ref None and expect_v = ref [] in
+  let exploit = ref None and inject = ref None in
+  let rec go () =
+    match (cur s).tok with
+    | RBRACE ->
+        bump s;
+        Ok ()
+    | IDENT "xsa" ->
+        bump s;
+        let* v, _ = string_lit s "the advisory id" in
+        xsa := Some v;
+        go ()
+    | IDENT "backend" ->
+        bump s;
+        let* v, at = ident s "the backend constraint" in
+        if List.mem v [ "xen"; "kvm"; "any" ] then (
+          backend := v;
+          go ())
+        else fail_at at "unknown backend %S (xen, kvm, any)" v
+    | IDENT "description" ->
+        bump s;
+        let* v, _ = string_lit s "the description" in
+        description := Some v;
+        go ()
+    | IDENT "model" ->
+        bump s;
+        let* m = model s in
+        model_v := Some m;
+        go ()
+    | IDENT "expect" ->
+        bump s;
+        let* _, _ = match (cur s).tok with
+          | IDENT "violation" ->
+              bump s;
+              Ok ((), ())
+          | other ->
+              fail_at (cur s).tat "expected 'violation' after 'expect', found %s"
+                (token_to_string other)
+        in
+        let rec classes acc =
+          match (cur s).tok with
+          | IDENT c when List.mem c Scn_ast.violation_classes ->
+              bump s;
+              classes (c :: acc)
+          | _ -> List.rev acc
+        in
+        let cs = classes [] in
+        if cs = [] then
+          fail_at (cur s).tat "expect violation needs at least one class (one of %s)"
+            (String.concat ", " Scn_ast.violation_classes)
+        else (
+          expect_v := !expect_v @ cs;
+          go ())
+    | IDENT "exploit" ->
+        bump s;
+        let* b = body s in
+        exploit := Some b;
+        go ()
+    | IDENT "inject" ->
+        bump s;
+        let* b = body s in
+        inject := Some b;
+        go ()
+    | EOF -> fail_at (cur s).tat "unterminated scenario: expected '}'"
+    | other ->
+        fail_at (cur s).tat "unexpected token %s in scenario block" (token_to_string other)
+  in
+  let* () = go () in
+  let req what = function
+    | Some v -> Ok v
+    | None -> fail_at (cur s).tat "scenario is missing its %s" what
+  in
+  let* s_xsa = req "xsa field" !xsa in
+  let* s_description = req "description" !description in
+  let* s_model = req "model block" !model_v in
+  let* s_exploit = req "exploit block" !exploit in
+  let* s_inject = req "inject block" !inject in
+  Ok
+    {
+      Scn_ast.s_name;
+      s_xsa;
+      s_description;
+      s_backend = !backend;
+      s_model;
+      s_expect = !expect_v;
+      s_exploit;
+      s_inject;
+    }
+
+let parse src : (Scn_ast.t, Scn_ast.error) result =
+  match Scn_lexer.tokenize src with
+  | Error e -> Error e
+  | Ok toks ->
+      let s = { toks; idx = 0 } in
+      let* sc = scenario s in
+      let t = cur s in
+      if t.tok = EOF then Ok sc
+      else fail_at t.tat "trailing input after scenario: %s" (token_to_string t.tok)

@@ -305,7 +305,22 @@ let test_workers_of_string () =
     (match Shard.workers_of_string "auto" with Ok n -> n >= 1 && n <= 8 | Error _ -> false);
   check_bool "literal count" true (Shard.workers_of_string "3" = Ok 3);
   check_bool "zero rejected" true (Result.is_error (Shard.workers_of_string "0"));
-  check_bool "junk rejected" true (Result.is_error (Shard.workers_of_string "lots"))
+  check_bool "negative rejected" true (Result.is_error (Shard.workers_of_string "-4"));
+  check_bool "junk rejected" true (Result.is_error (Shard.workers_of_string "lots"));
+  check_bool "empty rejected" true (Result.is_error (Shard.workers_of_string ""));
+  check_bool "float rejected" true (Result.is_error (Shard.workers_of_string "2.5"));
+  check_bool "whitespace rejected" true (Result.is_error (Shard.workers_of_string " 3"));
+  (* every rejection names the flag the string came from *)
+  List.iter
+    (fun s ->
+      match Shard.workers_of_string s with
+      | Ok _ -> Alcotest.failf "%S unexpectedly accepted" s
+      | Error msg ->
+          check_bool
+            (Printf.sprintf "error for %S names --workers" s)
+            true
+            (String.length msg >= 9 && String.sub msg 0 9 = "--workers"))
+    [ "0"; "-1"; "junk"; "" ]
 
 (* --- Sharding determinism ------------------------------------------------- *)
 

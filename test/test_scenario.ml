@@ -1,0 +1,379 @@
+(* The scenario subsystem (lib/scenario): the DSL front end, the flat
+   bytecode, the load-time checker and the register VM.
+
+   - corpus roundtrips: parse -> compile -> encode -> decode and
+     parse -> compile -> disasm -> reparse -> recompile are identities
+     over every file in corpus/
+   - totality: the parser, decoder and checker never raise on arbitrary
+     or mutated input — they return [Error] with a position
+   - golden equality: each compiled scenario reproduces its legacy
+     hand-written module's result rows and monitor snapshots exactly,
+     on both backends and in both modes *)
+
+open Ii_xen
+open Ii_guest
+open Ii_core
+open Ii_scenario
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+module SX = Ii_exploits.Scenario_xen
+module SK = Ii_backends.Scenario_kvm
+module XV = Scn_vm.Make (SX)
+module KV = Scn_vm.Make (SK)
+module KC = Ii_backends.Backends.Kvm_campaign
+module BK = Ii_backends.Backend_kvm
+
+(* [dune runtest] runs from _build/default/test (corpus is a sibling,
+   materialized by the dune deps); [dune exec] runs from the root. *)
+let corpus_dir = if Sys.file_exists "corpus" then "corpus" else "../corpus"
+
+let corpus_files =
+  lazy
+    (Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".scn")
+    |> List.sort compare
+    |> List.map (Filename.concat corpus_dir))
+
+let read_file f = In_channel.with_open_bin f In_channel.input_all
+let corpus_texts = lazy (List.map (fun f -> (f, read_file f)) (Lazy.force corpus_files))
+
+let compile_exn (f, text) =
+  match Scn_compile.compile_string text with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "%s: %s" f (Scn_ast.error_to_string e)
+
+let corpus_programs = lazy (List.map (fun ft -> (fst ft, compile_exn ft)) (Lazy.force corpus_texts))
+
+(* --- corpus shape --------------------------------------------------------- *)
+
+let test_corpus_complete () =
+  let progs = Lazy.force corpus_programs in
+  check_int "six scenarios in the corpus" 6 (List.length progs);
+  let names = List.map (fun (_, p) -> Scn_bytecode.name p) progs in
+  check_bool "names are unique" true (List.sort_uniq compare names = List.sort compare names);
+  List.iter
+    (fun n -> check_bool (n ^ " ported") true (List.mem n names))
+    [ "XSA-148-priv"; "XSA-182-test"; "XSA-212-crash"; "XSA-212-priv"; "KVM-VMCS"; "KVM-IDT" ]
+
+let check_for p =
+  match Scn_bytecode.backend p with
+  | Scn_bytecode.Kvm_only -> KV.check p
+  | Scn_bytecode.Xen_only | Scn_bytecode.Any -> XV.check p
+
+let test_corpus_checks () =
+  List.iter
+    (fun (f, p) ->
+      match check_for p with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s failed the load-time check: %s" f e)
+    (Lazy.force corpus_programs)
+
+(* --- roundtrips ------------------------------------------------------------ *)
+
+let test_encode_decode_roundtrip () =
+  List.iter
+    (fun (f, p) ->
+      match Scn_bytecode.decode (Scn_bytecode.encode p) with
+      | Ok p' -> check_bool (f ^ ": decode . encode = id") true (p' = p)
+      | Error e -> Alcotest.failf "%s: decode failed: %s" f e)
+    (Lazy.force corpus_programs)
+
+let test_disasm_reparse_roundtrip () =
+  List.iter
+    (fun (f, p) ->
+      let text = Scn_disasm.disasm p in
+      match Scn_compile.compile_string text with
+      | Ok p' -> check_bool (f ^ ": compile . disasm = id") true (p' = p)
+      | Error e -> Alcotest.failf "%s: disassembly does not reparse: %s\n%s" f
+                     (Scn_ast.error_to_string e) text)
+    (Lazy.force corpus_programs)
+
+let test_loader_accepts_both_forms () =
+  List.iter
+    (fun (f, p) ->
+      match Scn_loader.load_string (Scn_bytecode.encode p) with
+      | Ok p' -> check_bool (f ^ ": loader takes bytecode") true (p' = p)
+      | Error e -> Alcotest.failf "%s: loader rejected bytecode: %s" f e)
+    (Lazy.force corpus_programs);
+  List.iter
+    (fun (f, text) ->
+      match Scn_loader.load_string text with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "%s: loader rejected source: %s" f e)
+    (Lazy.force corpus_texts)
+
+(* --- totality properties --------------------------------------------------- *)
+
+let ok_error_with_position s =
+  match Scn_parser.parse s with
+  | Ok _ -> true
+  | Error e -> e.Scn_ast.at.Scn_ast.line >= 1 && e.Scn_ast.at.Scn_ast.col >= 1
+  | exception _ -> false
+
+let prop_parser_total_random =
+  QCheck.Test.make ~name:"parser is total on arbitrary strings" ~count:500
+    QCheck.(string)
+    ok_error_with_position
+
+(* Mutations of real corpus text probe deep into the grammar: a random
+   splice lands mid-statement far more often than a random string. *)
+let mutated_corpus_gen =
+  QCheck.Gen.(
+    let* which = int_bound 5 in
+    let* pos = int_bound 4096 in
+    let* what = int_bound 2 in
+    let* c = char in
+    return (which, pos, what, c))
+
+let mutate (which, pos, what, c) =
+  let texts = Lazy.force corpus_texts in
+  let _, text = List.nth texts (which mod List.length texts) in
+  let n = String.length text in
+  let pos = pos mod n in
+  match what with
+  | 0 -> String.sub text 0 pos (* truncate *)
+  | 1 -> String.mapi (fun i ch -> if i = pos then c else ch) text (* flip *)
+  | _ -> String.sub text 0 pos ^ String.make 1 c ^ String.sub text pos (n - pos) (* insert *)
+
+let prop_parser_total_mutated =
+  QCheck.Test.make ~name:"parser is total on mutated corpus text" ~count:500
+    (QCheck.make mutated_corpus_gen)
+    (fun m -> ok_error_with_position (mutate m))
+
+let decode_total s =
+  match Scn_bytecode.decode s with Ok _ | Error _ -> true | exception _ -> false
+
+let prop_decoder_total_random =
+  QCheck.Test.make ~name:"decoder is total on arbitrary bytes" ~count:500
+    QCheck.(string)
+    decode_total
+
+let prop_decoder_total_magic =
+  QCheck.Test.make ~name:"decoder is total behind a valid magic" ~count:500
+    QCheck.(string)
+    (fun s -> decode_total (Scn_bytecode.magic ^ s))
+
+(* Corrupt real bytecode: whatever still decodes must also pass through
+   the checker without raising. *)
+let prop_checker_total_corrupted =
+  QCheck.Test.make ~name:"checker is total on corrupted bytecode" ~count:500
+    QCheck.(triple (int_bound 5) (int_bound 65535) (int_bound 255))
+    (fun (which, pos, byte) ->
+      let progs = Lazy.force corpus_programs in
+      let _, p = List.nth progs (which mod List.length progs) in
+      let data = Bytes.of_string (Scn_bytecode.encode p) in
+      let pos = pos mod Bytes.length data in
+      Bytes.set data pos (Char.chr byte);
+      match Scn_bytecode.decode (Bytes.to_string data) with
+      | Error _ -> true
+      | Ok p' -> (
+          match (XV.check p', KV.check p') with
+          | (Ok () | Error _), (Ok () | Error _) -> true)
+      | exception _ -> false)
+
+(* --- golden equality vs the legacy modules -------------------------------- *)
+
+let modes = [ Campaign.Real_exploit; Campaign.Injection ]
+
+let xen_program name =
+  let _, p =
+    List.find (fun (_, p) -> Scn_bytecode.name p = name) (Lazy.force corpus_programs)
+  in
+  check_bool (name ^ " checks") true (XV.check p = Ok ());
+  XV.use_case p
+
+let legacy_xen name =
+  List.find (fun uc -> uc.Campaign.uc_name = name) Ii_exploits.All_exploits.use_cases
+
+let test_golden_xen () =
+  List.iter
+    (fun name ->
+      let scn = xen_program name and legacy = legacy_xen name in
+      List.iter
+        (fun version ->
+          List.iter
+            (fun mode ->
+              let a = Campaign.run legacy mode version in
+              let b = Campaign.run scn mode version in
+              check_bool
+                (Printf.sprintf "%s %s %s: result rows identical" name
+                   (Version.to_string version) (Campaign.mode_to_string mode))
+                true (a = b))
+            modes)
+        [ Version.V4_6; Version.V4_13 ])
+    [ "XSA-148-priv"; "XSA-182-test"; "XSA-212-crash"; "XSA-212-priv" ]
+
+let test_golden_xen_snapshots () =
+  List.iter
+    (fun name ->
+      let scn = xen_program name and legacy = legacy_xen name in
+      List.iter
+        (fun mode ->
+          let tb_a = Testbed.create Version.V4_6 in
+          ignore (Campaign.run ~tb:tb_a legacy mode Version.V4_6);
+          let tb_b = Testbed.create Version.V4_6 in
+          ignore (Campaign.run ~tb:tb_b scn mode Version.V4_6);
+          check_bool
+            (Printf.sprintf "%s %s: final snapshots identical" name
+               (Campaign.mode_to_string mode))
+            true
+            (Substrate_xen.snapshot tb_a = Substrate_xen.snapshot tb_b))
+        modes)
+    [ "XSA-148-priv"; "XSA-182-test"; "XSA-212-crash"; "XSA-212-priv" ]
+
+let kvm_program name =
+  let _, p =
+    List.find (fun (_, p) -> Scn_bytecode.name p = name) (Lazy.force corpus_programs)
+  in
+  check_bool (name ^ " checks") true (KV.check p = Ok ());
+  KV.use_case p
+
+let legacy_kvm name =
+  List.find (fun uc -> uc.KC.uc_name = name) Ii_backends.Kvm_use_cases.use_cases
+
+let test_golden_kvm () =
+  List.iter
+    (fun name ->
+      let scn = kvm_program name and legacy = legacy_kvm name in
+      List.iter
+        (fun mode ->
+          let a = KC.run legacy mode BK.Stock in
+          let b = KC.run scn mode BK.Stock in
+          check_bool
+            (Printf.sprintf "%s %s: result rows identical" name
+               (Campaign.mode_to_string mode))
+            true (a = b))
+        modes)
+    [ "KVM-VMCS"; "KVM-IDT" ]
+
+let test_golden_kvm_snapshots () =
+  List.iter
+    (fun name ->
+      let scn = kvm_program name and legacy = legacy_kvm name in
+      List.iter
+        (fun mode ->
+          let tb_a = BK.create BK.Stock in
+          ignore (KC.run ~tb:tb_a legacy mode BK.Stock);
+          let tb_b = BK.create BK.Stock in
+          ignore (KC.run ~tb:tb_b scn mode BK.Stock);
+          check_bool
+            (Printf.sprintf "%s %s: final snapshots identical" name
+               (Campaign.mode_to_string mode))
+            true
+            (BK.snapshot tb_a = BK.snapshot tb_b))
+        modes)
+    [ "KVM-VMCS"; "KVM-IDT" ]
+
+(* The corpus through the scheduler's batching path: same rows as the
+   one-at-a-time runs, so compiled scenarios shard like legacy modules. *)
+let test_run_corpus_matches_run () =
+  let progs =
+    List.filter_map
+      (fun (_, p) ->
+        match Scn_bytecode.backend p with Scn_bytecode.Xen_only -> Some p | _ -> None)
+      (Lazy.force corpus_programs)
+  in
+  let rows = XV.run_corpus ~workers:2 progs ~versions:[ Version.V4_6 ] ~modes in
+  List.iter
+    (fun p ->
+      let uc = XV.use_case p in
+      List.iter
+        (fun mode ->
+          let direct = Campaign.run uc mode Version.V4_6 in
+          let sharded =
+            List.find
+              (fun r ->
+                r.Campaign.r_use_case = Scn_bytecode.name p && r.Campaign.r_mode = mode)
+              rows
+          in
+          check_bool
+            (Printf.sprintf "%s %s: scheduler row = direct row" (Scn_bytecode.name p)
+               (Campaign.mode_to_string mode))
+            true (direct = sharded))
+        modes)
+    progs
+
+(* --- checker specifics ----------------------------------------------------- *)
+
+let compile_str s =
+  match Scn_compile.compile_string s with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "unexpected compile error: %s" (Scn_ast.error_to_string e)
+
+let minimal ~backend ~body =
+  Printf.sprintf
+    {|scenario "T" {
+  xsa "-"
+  backend %s
+  description "t"
+  model {
+    name "IM-t"
+    source unprivileged-guest
+    interface hypercall "h"
+    target memory-management
+    functionality "Write Unauthorized Arbitrary Memory"
+    summary "t"
+  }
+  exploit {
+%s
+  }
+  inject {
+    halt
+  }
+}|}
+    backend body
+
+let test_checker_gates () =
+  (* an unknown payload name is a load-time error, not a VM trap *)
+  let p = compile_str (minimal ~backend:"xen" ~body:"    payload no-such-payload") in
+  check_bool "unknown payload rejected" true (Result.is_error (XV.check p));
+  (* host writes exist on KVM but not on the Xen PV substrate *)
+  let p = compile_str (minimal ~backend:"any" ~body:"    r0 = 1\n    host-w64 r0 r0") in
+  check_bool "host-w64 rejected on xen" true (Result.is_error (XV.check p));
+  check_bool "host-w64 allowed on kvm" true (KV.check p = Ok ());
+  (* backend fences: a kvm-only program may not run on the xen VM *)
+  let p = compile_str (minimal ~backend:"kvm" ~body:"    halt") in
+  check_bool "kvm-only incompatible with xen" true (not (XV.compatible p));
+  check_bool "kvm-only compatible with kvm" true (KV.compatible p);
+  (* jumps out of the section are load-time errors *)
+  (match Scn_compile.compile_string (minimal ~backend:"xen" ~body:"    if-err nowhere") with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "undefined label accepted");
+  (* env argument range: kernel-l1 takes 0..511 *)
+  let p = compile_str (minimal ~backend:"xen" ~body:"    r0 = kernel-l1 9999") in
+  check_bool "env arg out of range rejected" true (Result.is_error (XV.check p))
+
+let qsuite tests = List.map (QCheck_alcotest.to_alcotest ~verbose:false) tests
+
+let () =
+  Alcotest.run "scenario"
+    [
+      ( "corpus",
+        [
+          Alcotest.test_case "complete" `Quick test_corpus_complete;
+          Alcotest.test_case "checks" `Quick test_corpus_checks;
+          Alcotest.test_case "encode/decode roundtrip" `Quick test_encode_decode_roundtrip;
+          Alcotest.test_case "disasm/reparse roundtrip" `Quick test_disasm_reparse_roundtrip;
+          Alcotest.test_case "loader both forms" `Quick test_loader_accepts_both_forms;
+        ] );
+      ( "totality",
+        qsuite
+          [
+            prop_parser_total_random;
+            prop_parser_total_mutated;
+            prop_decoder_total_random;
+            prop_decoder_total_magic;
+            prop_checker_total_corrupted;
+          ] );
+      ( "golden",
+        [
+          Alcotest.test_case "xen result rows" `Quick test_golden_xen;
+          Alcotest.test_case "xen snapshots" `Quick test_golden_xen_snapshots;
+          Alcotest.test_case "kvm result rows" `Quick test_golden_kvm;
+          Alcotest.test_case "kvm snapshots" `Quick test_golden_kvm_snapshots;
+          Alcotest.test_case "scheduler path" `Quick test_run_corpus_matches_run;
+        ] );
+      ("checker", [ Alcotest.test_case "gates" `Quick test_checker_gates ]);
+    ]
