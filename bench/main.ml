@@ -518,10 +518,16 @@ let perf_report ?(full = false) ~trials () =
     Vmi_driver.coverage ~registry All.use_cases Campaign.Injection Version.V4_6
   in
   let vmi_latency_keys =
+    (* ns-denominated since schema 7 (virtual-clock deltas); the seq
+       distance the old vmi_latency_* keys carried is still in the
+       `xenrepro vmi --json` "latency" object *)
     List.map
       (fun t ->
-        ( "vmi_latency_" ^ t.Vmi_driver.t_recording.Trace_driver.rec_use_case,
-          I (match Vmi_driver.best_latency t with Some l -> l | None -> -1) ))
+        ( "vmi_latency_ns_" ^ t.Vmi_driver.t_recording.Trace_driver.rec_use_case,
+          I
+            (match Vmi_driver.best_latency_ns t with
+            | Some l -> Int64.to_int l
+            | None -> -1) ))
       vmi_trials
   in
   let vmi_detected_all = List.for_all Vmi_driver.covered vmi_trials in
@@ -592,6 +598,30 @@ let perf_report ?(full = false) ~trials () =
   let prov_off_within_noise =
     prov_off_trial_s <= (2. *. trace_off_trial_s) +. 1e-4
   in
+  (* layer 9: the virtual clock. A charge is one int64 add on the
+     machine's clock (a single branch when detached), so the attached
+     trial must stay within noise of the detached one; detaching never
+     changes trial behaviour, only freezes r_vtime_ns at 0. *)
+  let tb_vc = Testbed.create Version.V4_6 in
+  let _, vclock_attached_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_vc uc148 Campaign.Injection Version.V4_6)
+  in
+  Substrate_xen.set_vclock_attached tb_vc false;
+  let _, vclock_detached_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_vc uc148 Campaign.Injection Version.V4_6)
+  in
+  let vclock_within_noise =
+    vclock_attached_trial_s <= (2. *. vclock_detached_trial_s) +. 1e-4
+  in
+  (* the constants every virtual timestamp in this report derives from,
+     echoed so an artifact is self-describing *)
+  let cost_model_keys =
+    List.map
+      (fun (k, v) -> ("cost_model_" ^ k, I (Int64.to_int v)))
+      (Vclock.Cost_model.to_assoc Vclock.Cost_model.default)
+  in
   let xen_prov_keys =
     List.concat_map
       (fun u ->
@@ -622,7 +652,7 @@ let perf_report ?(full = false) ~trials () =
       Ii_backends.Kvm_use_cases.use_cases
   in
   ( [
-    ("schema_version", I 6);
+    ("schema_version", I 7);
     ("trials", I trials);
     ("walk_uncached_ns", F walk_uncached_ns);
     ("walk_cached_ns", F walk_cached_ns);
@@ -675,7 +705,11 @@ let perf_report ?(full = false) ~trials () =
         ("prov_overhead_off_trial_s", F prov_off_trial_s);
         ("prov_overhead_on_trial_s", F prov_on_trial_s);
         ("prov_overhead_off_within_noise", B prov_off_within_noise);
+        ("vclock_overhead_attached_trial_s", F vclock_attached_trial_s);
+        ("vclock_overhead_detached_trial_s", F vclock_detached_trial_s);
+        ("vclock_overhead_within_noise", B vclock_within_noise);
       ]
+    @ cost_model_keys
     @ campaign_1m_keys,
     Metrics.render_prometheus registry )
 

@@ -435,6 +435,15 @@ let trace_cmd =
   let replay_arg =
     Arg.(value & flag & info [ "replay" ] ~doc:"Replay the recording and check final-state equivalence.")
   in
+  let cost_model_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "cost-model" ] ~docv:"FILE"
+          ~doc:
+            "Load per-operation virtual-clock costs from $(docv) (one 'key = ns' per line, \
+             '#' comments); unknown keys keep their defaults out — the loader rejects them.")
+  in
   let find_uc name =
     match Ii_exploits.All_exploits.find name with
     | Some uc -> Ok uc
@@ -455,7 +464,7 @@ let trace_cmd =
     | "injection" -> Some Campaign.Injection
     | _ -> None
   in
-  let run_kvm name mode json replay =
+  let run_kvm name mode json replay model =
     let module KT = Ii_backends.Backends.Kvm_trace in
     match
       List.find_opt
@@ -471,7 +480,10 @@ let trace_cmd =
                     (fun uc -> uc.Ii_backends.Backends.Kvm_campaign.uc_name)
                     Ii_backends.Kvm_use_cases.use_cases)) )
     | Some uc ->
-        let r = KT.record uc mode Ii_backends.Backend_kvm.Stock in
+        let prepare =
+          Option.map (fun m tb -> Ii_backends.Backend_kvm.set_cost_model tb m) model
+        in
+        let r = KT.record ?prepare uc mode Ii_backends.Backend_kvm.Stock in
         if json then print_string (KT.to_json r) else print_string (KT.render r);
         if replay then begin
           let o = KT.replay r in
@@ -480,19 +492,29 @@ let trace_cmd =
           Printf.printf "final state %s\n"
             (if o.KT.rp_equal then "EQUIVALENT to the recording"
              else "DIVERGED from the recording");
-          if not o.KT.rp_equal then exit 1
+          Printf.printf "virtual timestamps %s\n"
+            (if o.KT.rp_vts_equal then "REPRODUCED byte-for-byte"
+             else "DIVERGED from the recording");
+          if not (o.KT.rp_equal && o.KT.rp_vts_equal) then exit 1
         end;
         `Ok ()
   in
-  let run name mode_s seed version json replay backend =
-    match (mode_of_string mode_s, backend) with
-    | None, _ -> `Error (false, Printf.sprintf "unknown mode %S (exploit|injection)" mode_s)
-    | Some mode, "kvm" -> run_kvm name mode json replay
-    | Some mode, "xen" -> (
+  let run name mode_s seed version json replay cost_model backend =
+    let model =
+      match cost_model with
+      | None -> Ok None
+      | Some f -> Result.map Option.some (Vclock.Cost_model.load f)
+    in
+    match (model, mode_of_string mode_s, backend) with
+    | Error e, _, _ -> `Error (false, "cost-model: " ^ e)
+    | Ok _, None, _ -> `Error (false, Printf.sprintf "unknown mode %S (exploit|injection)" mode_s)
+    | Ok model, Some mode, "kvm" -> run_kvm name mode json replay model
+    | Ok model, Some mode, "xen" -> (
         match find_uc name with
         | Error e -> `Error (false, e)
         | Ok uc ->
-            let r = Trace_driver.record uc mode version in
+            let prepare = Option.map (fun m tb -> Substrate_xen.set_cost_model tb m) model in
+            let r = Trace_driver.record ?prepare uc mode version in
             if json then print_string (Trace_driver.to_json r)
             else begin
               Printf.printf "seed: %Ld\n" seed;
@@ -505,17 +527,21 @@ let trace_cmd =
               Printf.printf "final state %s\n"
                 (if o.Trace_driver.rp_equal then "EQUIVALENT to the recording"
                  else "DIVERGED from the recording");
-              (* non-zero exit so CI can gate on replay equivalence *)
-              if not o.Trace_driver.rp_equal then exit 1
+              Printf.printf "virtual timestamps %s\n"
+                (if o.Trace_driver.rp_vts_equal then "REPRODUCED byte-for-byte"
+                 else "DIVERGED from the recording");
+              (* non-zero exit so CI can gate on replay + vclock
+                 determinism together *)
+              if not (o.Trace_driver.rp_equal && o.Trace_driver.rp_vts_equal) then exit 1
             end;
             `Ok ())
-    | Some _, b -> bad_backend b
+    | Ok _, Some _, b -> bad_backend b
   in
   Cmd.v (Cmd.info "trace" ~doc)
     Term.(
       ret
         (const run $ uc_opt_arg $ mode_arg $ seed_arg $ version_arg $ json_arg $ replay_arg
-       $ backend_arg))
+       $ cost_model_arg $ backend_arg))
 
 let vmi_cmd =
   let doc =
@@ -529,14 +555,23 @@ let vmi_cmd =
   let period_arg =
     Arg.(value & opt int 1 & info [ "p"; "period" ] ~docv:"N" ~doc:"Scan every N trial steps.")
   in
+  let every_ns_arg =
+    Arg.(
+      value
+      & opt (some int64) None
+      & info [ "every-ns" ] ~docv:"NS"
+          ~doc:
+            "Rate-based scheduling: scan when $(docv) simulated ns have elapsed on the \
+             machine's virtual clock (overrides $(b,--period)).")
+  in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit per-trial latencies as JSON.") in
-  let run_kvm mode period json =
+  let run_kvm mode period every_ns json =
     let module KC = Ii_backends.Backends.Kvm_campaign in
     let module KT = Ii_backends.Backends.Kvm_trace in
     let module KV = Ii_backends.Backends.Kvm_vmi in
     let ucs = Ii_backends.Kvm_use_cases.use_cases in
     let registry = Metrics.create () in
-    let trials = KV.coverage ~period ~registry ucs mode Ii_backends.Backend_kvm.Stock in
+    let trials = KV.coverage ~period ?every_ns ~registry ucs mode Ii_backends.Backend_kvm.Stock in
     if json then print_string (KV.to_json trials)
     else begin
       print_endline (KV.matrix_table trials);
@@ -570,16 +605,16 @@ let vmi_cmd =
     if !failed then exit 1;
     `Ok ()
   in
-  let run mode_s period version json backend =
+  let run mode_s period every_ns version json backend =
     let mode =
       if mode_s = "exploit" then Campaign.Real_exploit else Campaign.Injection
     in
-    if backend = "kvm" then run_kvm mode period json
+    if backend = "kvm" then run_kvm mode period every_ns json
     else if backend <> "xen" then bad_backend backend
     else begin
       let ucs = Ii_exploits.All_exploits.use_cases in
       let registry = Metrics.create () in
-      let trials = Vmi_driver.coverage ~period ~registry ucs mode version in
+      let trials = Vmi_driver.coverage ~period ?every_ns ~registry ucs mode version in
       if json then print_string (Vmi_driver.to_json trials)
       else begin
         print_endline (Vmi_driver.matrix_table trials);
@@ -618,7 +653,9 @@ let vmi_cmd =
     end
   in
   Cmd.v (Cmd.info "vmi" ~doc)
-    Term.(ret (const run $ mode_arg $ period_arg $ version_arg $ json_arg $ backend_arg))
+    Term.(
+      ret
+        (const run $ mode_arg $ period_arg $ every_ns_arg $ version_arg $ json_arg $ backend_arg))
 
 let attribution_cmd =
   let doc =

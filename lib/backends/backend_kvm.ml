@@ -27,6 +27,7 @@ type t = {
   mutable injector_on : bool;
   ck : Kvm.checkpoint;
   ck_counters : Trace.Counters.snapshot;
+  ck_vts : int64;  (* virtual clock at the reset checkpoint *)
 }
 
 (* Mirrors Testbed.create: a host plus its standard guest population,
@@ -38,7 +39,8 @@ let create ?(frames = 2048) Stock =
   let tr = Trace.create () in
   let ck = Kvm.checkpoint kvm in
   let ck_counters = Trace.Counters.snapshot (Trace.counters tr) in
-  { kvm; tr; victim; bystander; injector_on = false; ck; ck_counters }
+  let ck_vts = Trace.vts tr in
+  { kvm; tr; victim; bystander; injector_on = false; ck; ck_counters; ck_vts }
 
 (* The warm pool, mirroring {!Testbed.create_pooled}: one frozen
    template per frame count, forked copy-on-write per worker. *)
@@ -60,6 +62,11 @@ let create_pooled ?(frames = 2048) Stock =
   let tmpl = template frames in
   let kvm, ck = Kvm.fork tmpl.kvm tmpl.ck in
   let tr = Trace.create () in
+  (* the fork starts at the template's checkpointed virtual time under
+     the template's cost model, exactly like Hv.fork on Xen *)
+  Vclock.set (Trace.vclock tr) tmpl.ck_vts;
+  Vclock.set_model (Trace.vclock tr) (Vclock.model (Trace.vclock tmpl.tr));
+  Vclock.set_attached (Trace.vclock tr) (Vclock.attached (Trace.vclock tmpl.tr));
   let vm_of old =
     List.find (fun vm -> vm.Kvm.vm_id = old.Kvm.vm_id) (Kvm.vms kvm)
   in
@@ -71,16 +78,22 @@ let create_pooled ?(frames = 2048) Stock =
     injector_on = false;
     ck;
     ck_counters = Trace.Counters.snapshot (Trace.counters tr);
+    ck_vts = tmpl.ck_vts;
   }
 
 let reset t =
   ignore (Kvm.restore t.kvm t.ck);
   t.injector_on <- false;
-  (* Hv.restore rolls the Xen counters back with the checkpoint; match
-     that so per-trial telemetry deltas stay comparable. *)
-  Trace.Counters.restore (Trace.counters t.tr) t.ck_counters
+  (* Hv.restore rolls the Xen counters and virtual clock back with the
+     checkpoint; match that so per-trial telemetry deltas stay
+     comparable. *)
+  Trace.Counters.restore (Trace.counters t.tr) t.ck_counters;
+  Vclock.set (Trace.vclock t.tr) t.ck_vts
 
 let trace t = t.tr
+let vclock t = Trace.vts t.tr
+let set_cost_model t m = Vclock.set_model (Trace.vclock t.tr) m
+let set_vclock_attached t on = Vclock.set_attached (Trace.vclock t.tr) on
 let console t = Kvm.console t.kvm
 
 let enable_provenance t =
@@ -113,6 +126,7 @@ let ioctl t ~addr action data =
       (Trace.Backend_op
          { op = op_ioctl; arg1 = addr; arg2 = Access.code action; data = Bytes.to_string data })
       (fun () ->
+        Trace.charge t.tr Vclock.Kvm_ioctl;
         Trace.note_injector t.tr;
         if Trace.recording t.tr then
           Trace.emit t.tr
@@ -144,6 +158,7 @@ let host_write t ~addr data =
   bracketed t
     (Trace.Backend_op { op = op_host_write; arg1 = addr; arg2 = 0L; data = Bytes.to_string data })
     (fun () ->
+      Trace.charge t.tr Vclock.Guest_mem_op;
       match
         Phys_mem.with_origin (Kvm.mem t.kvm) (Provenance.Backend_write 0) (fun () ->
             Kvm.arbitrary_access t.kvm ~addr Access.Arbitrary_write_physical ~data)
@@ -159,6 +174,7 @@ let vm_entry t vm =
     (Trace.Backend_op
        { op = op_vm_entry; arg1 = Int64.of_int vm.Kvm.vm_id; arg2 = 0L; data = "" })
     (fun () ->
+      Trace.charge t.tr Vclock.Vm_entry;
       let was = vm.Kvm.state in
       let r = Kvm.vm_entry t.kvm vm in
       note_transition t was r;
@@ -174,6 +190,7 @@ let deliver_fault t vm ~vector =
          data = "";
        })
     (fun () ->
+      Trace.charge t.tr Vclock.Fault_delivery;
       let was = vm.Kvm.state in
       let r = Kvm.deliver_guest_fault t.kvm vm ~vector in
       note_transition t was r;
@@ -187,6 +204,7 @@ let tick_all t =
     (fun () ->
       List.iter
         (fun vm ->
+          Trace.charge t.tr Vclock.Vm_entry;
           let was = vm.Kvm.state in
           note_transition t was (Kvm.vm_entry t.kvm vm))
         (Kvm.vms t.kvm))

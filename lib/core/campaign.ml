@@ -60,6 +60,9 @@ module Make (B : Substrate.S) = struct
         (** counter delta over the trial: hypercalls by number, faults,
             flushes, ... Derived from the always-on counters, so it is
             filled whether or not the trace ring is recording. *)
+    r_vtime_ns : int64;
+        (** virtual time the trial consumed (ns on the backend's
+            deterministic {!Vclock}); 0 when the clock is detached *)
     r_backend : string;  (** {!B.name}, for cross-backend rows *)
   }
 
@@ -76,6 +79,7 @@ module Make (B : Substrate.S) = struct
        so a trial's result is identical with recording on or off. *)
     let tr = B.trace tb in
     let counters_before = Trace.Counters.snapshot (Trace.counters tr) in
+    let vts_before = B.vclock tb in
     let before = B.snapshot tb in
     let observe () = match observer with Some f -> f tb | None -> () in
     let attempt =
@@ -109,6 +113,7 @@ module Make (B : Substrate.S) = struct
       r_telemetry =
         Trace.delta ~before:counters_before
           ~after:(Trace.Counters.snapshot (Trace.counters tr));
+      r_vtime_ns = Int64.sub (B.vclock tb) vts_before;
       r_backend = B.name;
     }
 
@@ -204,7 +209,7 @@ module Make (B : Substrate.S) = struct
     let header =
       [
         "Use Case"; B.config_heading; "Mode"; B.port_heading; "Failed"; "Faults"; "Flushes";
-        "Pg-type"; "Injector"; "VMI";
+        "Pg-type"; "Injector"; "VMI"; "VTime";
       ]
     in
     let body =
@@ -222,6 +227,8 @@ module Make (B : Substrate.S) = struct
             string_of_int t.Trace.tm_page_type_changes;
             string_of_int t.Trace.tm_injector_accesses;
             Printf.sprintf "%d/%d" t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings;
+            (* per-trial virtual time, rendered in whole µs *)
+            Printf.sprintf "%Ldus" (Int64.div r.r_vtime_ns 1000L);
           ])
         rows
     in

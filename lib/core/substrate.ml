@@ -73,6 +73,24 @@ module type S = sig
   val trace : t -> Trace.t
   (** The host's tracer — counters and (when enabled) the event ring. *)
 
+  (** {1 Virtual time}
+
+      Every backend owns a deterministic {!Vclock} (embedded in its
+      tracer) that per-operation cost models advance; checkpoint,
+      reset and pooled forks carry it with machine state. *)
+
+  val vclock : t -> int64
+  (** Current virtual time of the machine, in simulated ns. *)
+
+  val set_cost_model : t -> Vclock.Cost_model.t -> unit
+  (** Swap the per-operation cost model (e.g. one loaded from a
+      cost-model config file). Affects future charges only. *)
+
+  val set_vclock_attached : t -> bool -> unit
+  (** Detach/re-attach the clock. Detached, every charge is a no-op and
+      {!vclock} stays frozen; machine behaviour is unchanged either
+      way (the vclock-off ≡ vclock-on neutrality invariant). *)
+
   val enable_provenance : t -> unit
   (** Attach a byte-granular taint shadow ({!Provenance}) to the host's
       physical memory, wired to {!trace} so interpretation edges land in

@@ -24,6 +24,9 @@ let create ?frames version = Testbed.create ?frames version
 let create_pooled ?frames version = Testbed.create_pooled ?frames version
 let reset = Testbed.reset
 let trace tb = tb.Testbed.hv.Hv.trace
+let vclock tb = Trace.vts (trace tb)
+let set_cost_model tb m = Vclock.set_model (Trace.vclock (trace tb)) m
+let set_vclock_attached tb on = Vclock.set_attached (Trace.vclock (trace tb)) on
 let console tb = Hv.console_lines tb.Testbed.hv
 
 let enable_provenance tb =
@@ -107,7 +110,12 @@ let apply_event tb (ev : Trace.event) =
           | Trace.Op_probe_u64 ->
               (* a page-table probe: translated like a kernel read (and
                  thus populating the TLB, which stale-translation
-                 exploits depend on) but never faulting *)
+                 exploits depend on) but never faulting. Bypassing
+                 [Kernel] skips its boundary emit, so re-emit the record
+                 here — the replayed (vts, event) stream must carry the
+                 probe at the same stamp the recording did *)
+              let tr = hv.Hv.trace in
+              if Trace.recording tr && Trace.top_level tr then Trace.emit tr ev;
               ignore
                 (Cpu.read_u64 hv.Hv.cpu ~ring:Cpu.Kernel
                    ~cr3:(Kernel.dom k).Domain.l4_mfn va);

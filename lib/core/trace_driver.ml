@@ -54,6 +54,9 @@ module Make (B : Substrate.S) = struct
     rec_row : C.result_row;
     rec_bytes : string;
     rec_dropped : int;
+    rec_model : Vclock.Cost_model.t;
+        (** the cost model the trial charged under; replay re-applies it
+            so virtual timestamps reproduce under non-default models *)
     rec_final : B.snapshot;
     rec_prov : string option;
         (** canonical causal graph ({!Provenance.to_json}) when the
@@ -84,6 +87,7 @@ module Make (B : Substrate.S) = struct
       rec_row = row;
       rec_bytes = Trace.to_bytes tr;
       rec_dropped = Trace.dropped tr;
+      rec_model = Vclock.model (Trace.vclock tr);
       rec_final;
       rec_prov = prov_export tb;
     }
@@ -95,6 +99,12 @@ module Make (B : Substrate.S) = struct
     rp_skipped : int;
     rp_final : B.snapshot;
     rp_equal : bool;
+    rp_vts_equal : bool;
+        (** the replay reproduced the recording's virtual timestamps
+            byte-for-byte: re-driving the boundary stream re-emitted
+            the same (event, vts) sequence, modulo the records only
+            the recording side produces (VMI scans, the final monitor
+            verdict) *)
     rp_prov : string option;
         (** the replay's own canonical graph (provenance-enabled
             recordings only) *)
@@ -103,12 +113,36 @@ module Make (B : Substrate.S) = struct
             recordings *)
   }
 
+  (* The records a replay regenerates: everything except detector scans
+     (observer-driven, never re-run) and the campaign's closing monitor
+     verdict. Comparing (vts, event) pairs over this stream is the
+     virtual-time determinism contract. *)
+  let vts_stream recs =
+    List.filter_map
+      (fun { Trace.vts; event; _ } ->
+        match event with
+        | Trace.Vmi_scan _ | Trace.Monitor_verdict _ -> None
+        | _ -> Some (vts, event))
+      recs
+
   let replay r =
     if r.rec_dropped > 0 then
       invalid_arg
         (Printf.sprintf "Trace_driver.replay: recording dropped %d records" r.rec_dropped);
     let tb = B.create ?frames:r.rec_frames r.rec_version in
+    B.set_cost_model tb r.rec_model;
     if r.rec_prov <> None then B.enable_provenance tb;
+    (* record the replay too: re-driven boundary events re-emit through
+       the same instrumentation, so their (vts, event) stream must come
+       back byte-identical. Sized so nothing drops (the replayed stream
+       is a subset of the recorded one). *)
+    let tr = B.trace tb in
+    Trace.enable ~capacity_bytes:(max (4 * 1024 * 1024) (2 * String.length r.rec_bytes + 64)) tr;
+    (* mirror the recording's trial preamble with the ring already open:
+       Campaign.run resets the testbed (whose TLB flush lands in the
+       ring) and only then installs the injector, so the replayed stream
+       starts on the same records and stamps as the recorded one *)
+    B.reset tb;
     if r.rec_mode = Campaign.Injection then B.install_injector tb;
     let applied = ref 0 and skipped = ref 0 in
     List.iter
@@ -116,6 +150,8 @@ module Make (B : Substrate.S) = struct
         if Trace.is_boundary event && B.apply_event tb event then incr applied
         else incr skipped)
       (events r);
+    Trace.disable tr;
+    let replayed = Trace.records_of_string (Trace.to_bytes tr) in
     let rp_final = B.snapshot tb in
     let rp_prov = prov_export tb in
     {
@@ -123,6 +159,7 @@ module Make (B : Substrate.S) = struct
       rp_skipped = !skipped;
       rp_final;
       rp_equal = rp_final = r.rec_final;
+      rp_vts_equal = vts_stream replayed = vts_stream (events r);
       rp_prov;
       rp_prov_equal = rp_prov = r.rec_prov;
     }
@@ -139,8 +176,8 @@ module Make (B : Substrate.S) = struct
     Buffer.add_string buf
       (Printf.sprintf "records: %d (%d dropped)\n" (List.length recs) r.rec_dropped);
     List.iter
-      (fun { Trace.seq; event } ->
-        Buffer.add_string buf (Format.asprintf "%6d  %a\n" seq Trace.pp_event event))
+      (fun { Trace.seq; vts; event } ->
+        Buffer.add_string buf (Format.asprintf "%6d  %10Ldns  %a\n" seq vts Trace.pp_event event))
       recs;
     let t = r.rec_row.C.r_telemetry in
     Buffer.add_string buf
@@ -151,9 +188,12 @@ module Make (B : Substrate.S) = struct
       (fun (n, count) ->
         Buffer.add_string buf (Printf.sprintf "  %-20s %d\n" (hypercall_name n) count))
       t.Trace.tm_hypercalls;
-    (match Trace.detection_latency recs with
-    | Some d -> Buffer.add_string buf (Printf.sprintf "detection latency: %d events\n" d)
-    | None -> ());
+    (match (Trace.detection_latency recs, Trace.detection_latency_ns recs) with
+    | Some d, Some ns ->
+        Buffer.add_string buf
+          (Printf.sprintf "detection latency: %Ld virtual ns (%d events)\n" ns d)
+    | Some d, None -> Buffer.add_string buf (Printf.sprintf "detection latency: %d events\n" d)
+    | None, _ -> ());
     Buffer.add_string buf
       (Printf.sprintf "verdict: state=%b violations=%d\n" r.rec_row.C.r_state
          (List.length r.rec_row.C.r_violations));
@@ -163,12 +203,15 @@ module Make (B : Substrate.S) = struct
     let recs = events r in
     Printf.sprintf
       "{\"use_case\":\"%s\",\"mode\":\"%s\",\"version\":\"%s\",\"records\":%d,\"dropped\":%d,\
-       \"detection_latency\":%s,\"state\":%b,\"violations\":%d,\"telemetry\":%s,\"events\":%s}"
+       \"detection_latency\":%s,\"detection_latency_ns\":%s,\"vtime_ns\":%Ld,\"state\":%b,\
+       \"violations\":%d,\"telemetry\":%s,\"events\":%s}"
       (json_escape r.rec_use_case)
       (Campaign.mode_to_string r.rec_mode)
       (json_escape (B.config_to_string r.rec_version))
       (List.length recs) r.rec_dropped
       (match Trace.detection_latency recs with Some d -> string_of_int d | None -> "null")
+      (match Trace.detection_latency_ns recs with Some d -> Int64.to_string d | None -> "null")
+      r.rec_row.C.r_vtime_ns
       r.rec_row.C.r_state
       (List.length r.rec_row.C.r_violations)
       (json_of_telemetry r.rec_row.C.r_telemetry)

@@ -12,20 +12,16 @@
    injection mode that is the injector's first raw access; a real
    exploit has no injector records, so its first boundary crossing
    stands in. *)
-let inject_seq mode records =
+let inject_record mode records =
   let first p = List.find_opt p records in
   match mode with
-  | Campaign.Injection -> (
-      match
-        first (fun r ->
-            match r.Trace.event with Trace.Injector_access _ -> true | _ -> false)
-      with
-      | Some r -> Some r.Trace.seq
-      | None -> None)
-  | Campaign.Real_exploit -> (
-      match first (fun r -> Trace.is_boundary r.Trace.event) with
-      | Some r -> Some r.Trace.seq
-      | None -> None)
+  | Campaign.Injection ->
+      first (fun r ->
+          match r.Trace.event with Trace.Injector_access _ -> true | _ -> false)
+  | Campaign.Real_exploit -> first (fun r -> Trace.is_boundary r.Trace.event)
+
+let inject_seq mode records =
+  Option.map (fun r -> r.Trace.seq) (inject_record mode records)
 
 (* Strip the VMI contribution out of a telemetry delta so detector-on
    and detector-off trials compare equal everywhere else. *)
@@ -52,16 +48,21 @@ module Make (B : Substrate.S) = struct
   type trial = {
     t_recording : T.recording;
     t_inject_seq : int option;
+    t_inject_vts : int64 option;
     t_first_fire : (string * int) list;
     t_latency : (string * int option) list;
+        (** legacy denomination: trace events between injection and fire *)
+    t_latency_ns : (string * int64 option) list;
+        (** the same interval on the virtual clock, in simulated ns *)
     t_findings : (string * string list) list;
     t_scans : int;
     t_frames_read : int;
+    t_scan_cost_ns : int64;
   }
 
-  let run_trial ?frames ?capacity_bytes ?period ?registry ?(detectors = B.detectors ()) uc mode
-      version =
-    let sched = Vmi.Scheduler.create ?period ?registry detectors in
+  let run_trial ?frames ?capacity_bytes ?period ?every_ns ?registry
+      ?(detectors = B.detectors ()) uc mode version =
+    let sched = Vmi.Scheduler.create ?period ?every_ns ?registry detectors in
     let recording =
       T.record ?frames ?capacity_bytes
         ~prepare:(fun tb -> Vmi.Scheduler.arm sched tb)
@@ -72,23 +73,41 @@ module Make (B : Substrate.S) = struct
     (* A wrapped ring may have evicted the injection record; the
        surviving records would then yield a bogus (too-late) origin and
        a silently wrong latency. No origin -> no latency claims. *)
-    let t_inject_seq =
-      if recording.T.rec_dropped > 0 then None else inject_seq mode records
+    let inject =
+      if recording.T.rec_dropped > 0 then None else inject_record mode records
     in
+    let t_inject_seq = Option.map (fun r -> r.Trace.seq) inject in
+    let t_inject_vts = Option.map (fun r -> r.Trace.vts) inject in
     let first_fire = Vmi.Scheduler.first_fire sched in
+    let first_fire_vts = Vmi.Scheduler.first_fire_vts sched in
     let latency_of name =
       match (List.assoc_opt name first_fire, t_inject_seq) with
       | Some fire, Some inj when fire > inj -> Some (fire - inj)
       | _ -> None
     in
+    (* ns latency is gated on the same seq comparison: the clock can
+       stand still across events (zero-cost records), so [fire > inj]
+       on seq is the authoritative "fired after injection" test. *)
+    let latency_ns_of name =
+      match (List.assoc_opt name first_fire, t_inject_seq, t_inject_vts) with
+      | Some fire, Some inj, Some ivts when fire > inj ->
+          Option.map
+            (fun fvts -> Int64.sub fvts ivts)
+            (List.assoc_opt name first_fire_vts)
+      | _ -> None
+    in
     {
       t_recording = recording;
       t_inject_seq;
+      t_inject_vts;
       t_first_fire = first_fire;
       t_latency = List.map (fun d -> (d.Vmi.Detector.name, latency_of d.Vmi.Detector.name)) detectors;
+      t_latency_ns =
+        List.map (fun d -> (d.Vmi.Detector.name, latency_ns_of d.Vmi.Detector.name)) detectors;
       t_findings = Vmi.Scheduler.findings sched;
       t_scans = Vmi.Scheduler.scans_run sched;
       t_frames_read = Vmi.Scheduler.frames_read sched;
+      t_scan_cost_ns = Vmi.Scheduler.scan_cost_ns sched;
     }
 
   let covered t = List.exists (fun (_, l) -> l <> None) t.t_latency
@@ -102,8 +121,17 @@ module Make (B : Substrate.S) = struct
         | Some b, None -> Some b)
       None t.t_latency
 
-  let coverage ?frames ?period ?registry ucs mode version =
-    List.map (fun uc -> run_trial ?frames ?period ?registry uc mode version) ucs
+  let best_latency_ns t =
+    List.fold_left
+      (fun best (_, l) ->
+        match (best, l) with
+        | None, l -> l
+        | Some b, Some l -> Some (if Int64.compare l b < 0 then l else b)
+        | Some b, None -> Some b)
+      None t.t_latency_ns
+
+  let coverage ?frames ?period ?every_ns ?registry ucs mode version =
+    List.map (fun uc -> run_trial ?frames ?period ?every_ns ?registry uc mode version) ucs
 
   let matrix_table trials =
     let detectors =
@@ -118,14 +146,14 @@ module Make (B : Substrate.S) = struct
           d
           :: List.map
                (fun t ->
-                 match List.assoc_opt d t.t_latency with
-                 | Some (Some l) -> string_of_int l
+                 match List.assoc_opt d t.t_latency_ns with
+                 | Some (Some ns) -> Printf.sprintf "%Ldns" ns
                  | _ -> "-")
                trials)
         detectors
     in
     Report.table
-      ~title:"Detector x erroneous-state coverage (detection latency in trace events)"
+      ~title:"Detector x erroneous-state coverage (detection latency in virtual ns)"
       ~header rows
 
   let non_vmi_events recording =
@@ -153,6 +181,9 @@ module Make (B : Substrate.S) = struct
 
   let to_json trials =
     let one t =
+      (* per-detector latency under both denominations: "latency"
+         (trace events, the legacy key, kept for one release of
+         overlap) and "latency_ns" (virtual ns, the new currency) *)
       let lat =
         String.concat ","
           (List.map
@@ -161,14 +192,24 @@ module Make (B : Substrate.S) = struct
                  (match l with Some l -> string_of_int l | None -> "null"))
              t.t_latency)
       in
+      let lat_ns =
+        String.concat ","
+          (List.map
+             (fun (d, l) ->
+               Printf.sprintf "\"%s\":%s" (json_escape d)
+                 (match l with Some l -> Int64.to_string l | None -> "null"))
+             t.t_latency_ns)
+      in
       Printf.sprintf
         "{\"use_case\":\"%s\",\"mode\":\"%s\",\"version\":\"%s\",\"inject_seq\":%s,\
-         \"scans\":%d,\"frames_read\":%d,\"covered\":%b,\"latency\":{%s}}"
+         \"inject_vts\":%s,\"scans\":%d,\"frames_read\":%d,\"scan_cost_ns\":%Ld,\
+         \"covered\":%b,\"latency\":{%s},\"latency_ns\":{%s}}"
         (json_escape t.t_recording.T.rec_use_case)
         (Campaign.mode_to_string t.t_recording.T.rec_mode)
         (json_escape (B.config_to_string t.t_recording.T.rec_version))
         (match t.t_inject_seq with Some s -> string_of_int s | None -> "null")
-        t.t_scans t.t_frames_read (covered t) lat
+        (match t.t_inject_vts with Some s -> Int64.to_string s | None -> "null")
+        t.t_scans t.t_frames_read t.t_scan_cost_ns (covered t) lat lat_ns
     in
     "[" ^ String.concat ",\n " (List.map one trials) ^ "]"
 end

@@ -20,7 +20,14 @@ type t = {
 let create () = { listeners = []; connections = []; next_id = 0; tracer = None }
 let set_tracer t tr = t.tracer <- Some tr
 
+(* Opening a listener is a management-plane input, so it is a boundary
+   event — emitted here (not in Testbed) so that replaying the record
+   through [Substrate.apply_event] re-emits it at the same stamp. *)
 let listen t ~host ~port =
+  (match t.tracer with
+  | Some tr when Trace.recording tr && Trace.top_level tr ->
+      Trace.emit tr (Trace.Net_listen { host; port })
+  | _ -> ());
   if not (List.mem (host, port) t.listeners) then t.listeners <- (host, port) :: t.listeners
 
 let is_listening t ~host ~port = List.mem (host, port) t.listeners
@@ -63,6 +70,7 @@ let run_command conn cmd =
           Trace.emit tr
             (Trace.Net_cmd
                { to_host = conn.to_host; port = conn.port; conn_id = conn.conn_id; cmd });
+        Trace.charge tr Vclock.Netsim_cmd;
         Trace.enter tr;
         Fun.protect ~finally:(fun () -> Trace.leave tr) @@ fun () -> conn.exec cmd
   in

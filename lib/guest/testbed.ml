@@ -107,7 +107,6 @@ let tick_all t =
   done
 
 let remote_listen t ~port =
-  let tr = t.hv.Hv.trace in
-  if Trace.recording tr && Trace.top_level tr then
-    Trace.emit tr (Trace.Net_listen { host = t.remote_host; port });
+  (* the boundary emit happens inside Netsim.listen, where replay also
+     goes through *)
   Netsim.listen t.net ~host:t.remote_host ~port

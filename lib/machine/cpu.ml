@@ -63,10 +63,22 @@ let resolve t ~ring ~cr3 ~kind va =
           (fun tr -> tr.Paging.t_maddr)
           (Paging.translate_cached t.tlb t.mem ~cr3 ~kind ~user va)
 
+(* Every architectural memory access costs one [Guest_mem_op] on the
+   machine's virtual clock (page-walk and TLB costs accrue separately
+   inside [translate_cached]). Charged here, at the CPU, so the record
+   path (guest kernel accessors) and the replay path (direct CPU reads
+   for probe events) price identically. *)
+let charge_mem t =
+  match Paging.Tlb.tracer t.tlb with
+  | None -> ()
+  | Some tr -> Trace.charge tr Vclock.Guest_mem_op
+
 let read_u64 t ~ring ~cr3 va =
+  charge_mem t;
   Result.map (Phys_mem.read_u64 t.mem) (resolve t ~ring ~cr3 ~kind:Paging.Read va)
 
 let write_u64 t ~ring ~cr3 va v =
+  charge_mem t;
   Result.map (fun ma -> Phys_mem.write_u64 t.mem ma v) (resolve t ~ring ~cr3 ~kind:Paging.Write va)
 
 (* Byte-range transfers translate page by page, so a range crossing a page
@@ -83,6 +95,7 @@ let rec fold_pages t ~ring ~cr3 ~kind va len f =
         fold_pages t ~ring ~cr3 ~kind (Int64.add va (Int64.of_int chunk)) (len - chunk) f
 
 let read_bytes t ~ring ~cr3 va len =
+  charge_mem t;
   let buf = Bytes.create len in
   let pos = ref 0 in
   let copy ma chunk =
@@ -92,6 +105,7 @@ let read_bytes t ~ring ~cr3 va len =
   Result.map (fun () -> buf) (fold_pages t ~ring ~cr3 ~kind:Paging.Read va len copy)
 
 let write_bytes t ~ring ~cr3 va data =
+  charge_mem t;
   let pos = ref 0 in
   let copy ma chunk =
     Phys_mem.write_from t.mem ma data !pos chunk;

@@ -156,6 +156,7 @@ module Tlb = struct
     }
 
   let set_tracer t tr = t.tracer <- Some tr
+  let tracer t = t.tracer
 
   let vpn va = Int64.to_int (Int64.shift_right_logical (Addr.canonical va) Addr.page_shift)
 
@@ -190,9 +191,11 @@ let walk_cached tlb mem ~cr3 va =
     | Some c when c.Tlb.c_gen = gen -> Some c
     | Some _ | None -> None
   in
+  let charge op = match tlb.Tlb.tracer with None -> () | Some tr -> Trace.charge tr op in
   match hit with
   | Some c ->
       tlb.Tlb.hits <- tlb.Tlb.hits + 1;
+      charge Vclock.Tlb_hit;
       Ok
         {
           t_maddr = Int64.add c.Tlb.c_page_maddr (Int64.of_int (Addr.page_offset va));
@@ -204,7 +207,12 @@ let walk_cached tlb mem ~cr3 va =
         }
   | None -> (
       tlb.Tlb.misses <- tlb.Tlb.misses + 1;
-      match walk mem ~cr3 va with
+      charge Vclock.Tlb_miss;
+      let path, result = walk_general mem ~cr3 va in
+      (match tlb.Tlb.tracer with
+      | None -> ()
+      | Some tr -> Trace.charge_n tr Vclock.Page_walk_step (List.length path));
+      match result with
       | Error _ as e -> e (* faults are never cached, like real hardware *)
       | Ok tr ->
           if Hashtbl.length tlb.Tlb.entries >= tlb.Tlb.capacity then Tlb.flush_all tlb;

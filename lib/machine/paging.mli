@@ -84,7 +84,12 @@ module Tlb : sig
 
   val set_tracer : t -> Trace.t -> unit
   (** Report flushes and invlpgs to a tracer (counters always, ring
-      records while it is recording). *)
+      records while it is recording), and charge TLB/page-walk virtual
+      time against its clock. *)
+
+  val tracer : t -> Trace.t option
+  (** The tracer installed by {!set_tracer}, if any — the CPU charges
+      its memory-access costs through the same handle. *)
 
   val flush_all : t -> unit
   (** CR3 load / global flush. *)

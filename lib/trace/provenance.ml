@@ -61,6 +61,7 @@ let all_consumers =
 
 type edge = {
   e_seq : int;
+  e_vts : int64;  (* virtual ns when the read happened (0 when no trace) *)
   e_consumer : consumer;
   e_mfn : int;
   e_off : int;
@@ -71,6 +72,7 @@ type edge = {
 type label_info = {
   li_origin : origin;
   li_seq : int;  (* trace seq when the label was first used *)
+  li_vts : int64;  (* virtual ns when the label was first used *)
   mutable li_bytes : int;  (* bytes currently carrying this label *)
   mutable li_read : bool;  (* some consumer interpreted one of them *)
 }
@@ -82,7 +84,7 @@ let max_labels = 255
 
 type baseline = {
   b_shadow : (int, Bytes.t) Hashtbl.t;
-  b_labels : (origin * int * int * bool) list;  (* in id order, from 1 *)
+  b_labels : (origin * int * int64 * int * bool) list;  (* in id order, from 1 *)
   b_tainted : int;
 }
 
@@ -126,19 +128,24 @@ let intern t origin =
   | Some id -> id
   | None ->
       let seq = match t.tr with Some tr -> Trace.seq tr | None -> 0 in
+      let vts = match t.tr with Some tr -> Trace.vts tr | None -> 0L in
       if t.n_labels >= max_labels - 1 then begin
         (* saturated: everything else shares the overflow label *)
         (match Hashtbl.find_opt t.intern Overflow with
         | Some id -> Hashtbl.replace t.intern origin id
         | None ->
-            t.labels <- { li_origin = Overflow; li_seq = seq; li_bytes = 0; li_read = false } :: t.labels;
+            t.labels <-
+              { li_origin = Overflow; li_seq = seq; li_vts = vts; li_bytes = 0; li_read = false }
+              :: t.labels;
             t.n_labels <- t.n_labels + 1;
             Hashtbl.replace t.intern Overflow t.n_labels;
             Hashtbl.replace t.intern origin t.n_labels);
         Hashtbl.find t.intern origin
       end
       else begin
-        t.labels <- { li_origin = origin; li_seq = seq; li_bytes = 0; li_read = false } :: t.labels;
+        t.labels <-
+          { li_origin = origin; li_seq = seq; li_vts = vts; li_bytes = 0; li_read = false }
+          :: t.labels;
         t.n_labels <- t.n_labels + 1;
         Hashtbl.replace t.intern origin t.n_labels;
         t.n_labels
@@ -218,8 +225,17 @@ let observe t ~consumer ~mfn ~off ~len =
       | labels ->
           List.iter (fun l -> (label_info t l).li_read <- true) labels;
           let seq = match t.tr with Some tr -> Trace.seq tr | None -> 0 in
+          let vts = match t.tr with Some tr -> Trace.vts tr | None -> 0L in
           t.edges_rev <-
-            { e_seq = seq; e_consumer = consumer; e_mfn = mfn; e_off = off; e_len = len; e_labels = labels }
+            {
+              e_seq = seq;
+              e_vts = vts;
+              e_consumer = consumer;
+              e_mfn = mfn;
+              e_off = off;
+              e_len = len;
+              e_labels = labels;
+            }
             :: t.edges_rev;
           t.n_edges <- t.n_edges + 1;
           (match t.tr with
@@ -235,7 +251,7 @@ let capture_baseline t =
   let b_shadow = Hashtbl.create (max 16 (Hashtbl.length t.shadow)) in
   Hashtbl.iter (fun mfn row -> Hashtbl.replace b_shadow mfn (Bytes.copy row)) t.shadow;
   let b_labels =
-    List.rev_map (fun li -> (li.li_origin, li.li_seq, li.li_bytes, li.li_read)) t.labels
+    List.rev_map (fun li -> (li.li_origin, li.li_seq, li.li_vts, li.li_bytes, li.li_read)) t.labels
   in
   t.base <- Some { b_shadow; b_labels; b_tainted = t.tainted }
 
@@ -258,8 +274,8 @@ let reset_to_baseline t =
       t.n_labels <- 0;
       Hashtbl.reset t.intern;
       List.iter
-        (fun (origin, li_seq, li_bytes, li_read) ->
-          t.labels <- { li_origin = origin; li_seq; li_bytes; li_read } :: t.labels;
+        (fun (origin, li_seq, li_vts, li_bytes, li_read) ->
+          t.labels <- { li_origin = origin; li_seq; li_vts; li_bytes; li_read } :: t.labels;
           t.n_labels <- t.n_labels + 1;
           Hashtbl.replace t.intern origin t.n_labels)
         b.b_labels;
@@ -272,6 +288,7 @@ let edge_count t = t.n_edges
 let edges t = List.rev t.edges_rev
 
 let label_seq t id = if id = 0 then 0 else (label_info t id).li_seq
+let label_vts t id = if id = 0 then 0L else (label_info t id).li_vts
 
 let labels t =
   List.rev (List.mapi (fun i li -> (t.n_labels - i, li.li_origin, li.li_bytes, li.li_read)) t.labels)
@@ -392,6 +409,7 @@ let to_dot t =
 (* --- metrics ------------------------------------------------------------ *)
 
 let read_distance_buckets = [ 1.; 4.; 16.; 64.; 256.; 1024.; 4096. ]
+let read_distance_ns_buckets = [ 100.; 1_000.; 10_000.; 100_000.; 1e6; 1e7; 1e8 ]
 
 let publish registry t =
   let c =
@@ -412,9 +430,17 @@ let publish registry t =
     Metrics.histogram registry ~help:"Trace-seq distance from taint to first interpreting read"
       ~buckets:read_distance_buckets "provenance_read_distance"
   in
+  let hns =
+    Metrics.histogram registry
+      ~help:"Virtual-ns distance from taint to first interpreting read"
+      ~buckets:read_distance_ns_buckets "provenance_read_distance_ns"
+  in
   List.iter
     (fun e ->
       List.iter
-        (fun id -> Metrics.observe h (float_of_int (max 0 (e.e_seq - label_seq t id))))
+        (fun id ->
+          Metrics.observe h (float_of_int (max 0 (e.e_seq - label_seq t id)));
+          Metrics.observe hns
+            (Int64.to_float (Int64.max 0L (Int64.sub e.e_vts (label_vts t id)))))
         e.e_labels)
     (edges t)

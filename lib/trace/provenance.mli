@@ -61,6 +61,9 @@ val all_consumers : consumer list
 
 type edge = {
   e_seq : int;  (** ring seq when the read happened (0 when no trace) *)
+  e_vts : int64;
+      (** virtual timestamp (simulated ns) when the read happened (0
+          when no trace is attached) *)
   e_consumer : consumer;
   e_mfn : int;
   e_off : int;
@@ -121,6 +124,10 @@ val edges : t -> edge list
 val origin_of_label : t -> int -> origin
 val label_seq : t -> int -> int
 
+val label_vts : t -> int -> int64
+(** Virtual timestamp at which the label was interned (first taint from
+    its origin); 0 for the baseline label. *)
+
 val labels : t -> (int * origin * int * bool) list
 (** All interned labels in id order: (id, origin, live bytes, read). *)
 
@@ -156,6 +163,11 @@ val to_dot : t -> string
 
 val read_distance_buckets : float list
 
+val read_distance_ns_buckets : float list
+(** Bucket bounds (virtual ns) for the ns-denominated taint→read
+    distance histogram. *)
+
 val publish : Metrics.registry -> t -> unit
 (** Publish edges-total, live tainted bytes, silent-label count and the
-    taint→read seq-distance histogram into [registry]. *)
+    taint→read distance histograms — both the legacy seq-denominated
+    one and its virtual-ns counterpart. *)

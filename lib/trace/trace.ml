@@ -455,7 +455,7 @@ let decode_payload code r =
 
 (* --- the ring --------------------------------------------------------- *)
 
-type record = { seq : int; event : event }
+type record = { seq : int; vts : int64; event : event }
 
 type t = {
   mutable enabled : bool;
@@ -466,6 +466,7 @@ type t = {
   mutable dropped : int;
   mutable depth : int;
   counters : Counters.t;
+  vclock : Vclock.t;
   scratch : Buffer.t;
 }
 
@@ -481,6 +482,7 @@ let create () =
     dropped = 0;
     depth = 0;
     counters = Counters.create ();
+    vclock = Vclock.create ();
     scratch = Buffer.create 256;
   }
 
@@ -488,6 +490,10 @@ let recording t = t.enabled
 let counters t = t.counters
 let dropped t = t.dropped
 let seq t = t.seq_next
+let vclock t = t.vclock
+let vts t = Vclock.now t.vclock
+let charge t op = Vclock.charge t.vclock op
+let charge_n t op n = Vclock.charge_n t.vclock op n
 
 let clear t =
   t.start <- 0;
@@ -534,9 +540,10 @@ let emit t event =
     let s = t.seq_next in
     t.seq_next <- s + 1;
     Buffer.clear t.scratch;
-    (* frame: [u32 len | u32 seq | u8 code | payload] *)
+    (* frame: [u32 len | u32 seq | i64 vts | u8 code | payload] *)
     put_u32 t.scratch 0;
     put_u32 t.scratch s;
+    put_i64 t.scratch (Vclock.now t.vclock);
     put_u8 t.scratch (code_of_event event);
     encode_payload t.scratch event;
     let frame = Buffer.length t.scratch in
@@ -575,15 +582,40 @@ let records_of_string src =
       let body = get_u32 r in
       let stop = r.pos + body in
       let seq = get_u32 r in
+      let vts = get_i64 r in
       let code = get_u8 r in
       let event = decode_payload code r in
       if r.pos <> stop then failwith "Trace: record length mismatch";
-      go ({ seq; event } :: acc)
+      go ({ seq; vts; event } :: acc)
     end
   in
   go []
 
 let records t = records_of_string (to_bytes t)
+
+(* Re-frame a current image into the v1 layout (no [vts] word), so
+   fixtures captured before the format bump stay comparable: the
+   seq/code/payload bytes of each frame are preserved verbatim. *)
+let strip_vts src =
+  let r = { src; pos = 0 } in
+  let b = Buffer.create (String.length src) in
+  let rec go () =
+    if r.pos >= String.length src then Buffer.contents b
+    else begin
+      let body = get_u32 r in
+      let stop = r.pos + body in
+      let seq = get_u32 r in
+      let _vts = get_i64 r in
+      need r (stop - r.pos);
+      let rest = String.sub r.src r.pos (stop - r.pos) in
+      r.pos <- stop;
+      put_u32 b (body - 8);
+      put_u32 b seq;
+      Buffer.add_string b rest;
+      go ()
+    end
+  in
+  go ()
 
 (* --- counters API ----------------------------------------------------- *)
 
@@ -685,6 +717,21 @@ let detection_latency records =
           | _ -> None)
         records
 
+let detection_latency_ns records =
+  let injection =
+    List.find_opt (fun r -> match r.event with Injector_access _ -> true | _ -> false) records
+  in
+  match injection with
+  | None -> None
+  | Some inj ->
+      List.find_map
+        (fun r ->
+          match r.event with
+          | Monitor_verdict { violations; _ } when violations > 0 && r.seq > inj.seq ->
+              Some (Int64.sub r.vts inj.vts)
+          | _ -> None)
+        records
+
 (* --- digest ----------------------------------------------------------- *)
 
 let digest s =
@@ -767,8 +814,9 @@ let json_of_records records =
     (fun i r ->
       if i > 0 then Buffer.add_string b ",";
       Buffer.add_string b
-        (Printf.sprintf "\n  {\"seq\": %d, \"event\": \"%s\", \"boundary\": %b, \"detail\": \"%s\"}"
-           r.seq (event_name r.event) (is_boundary r.event)
+        (Printf.sprintf
+           "\n  {\"seq\": %d, \"vts\": %Ld, \"event\": \"%s\", \"boundary\": %b, \"detail\": \"%s\"}"
+           r.seq r.vts (event_name r.event) (is_boundary r.event)
            (json_escape (Format.asprintf "%a" pp_event r.event))))
     records;
   Buffer.add_string b "\n]";

@@ -15,10 +15,12 @@
       records are evicted (xentrace keeps the newest). A disabled ring
       costs one boolean load per instrumentation point.
 
-    Records carry a monotonically increasing sequence number instead of
-    a wall-clock timestamp, so a trace of a deterministic run is itself
-    byte-deterministic: the same trial recorded twice produces
-    bit-identical {!to_bytes} output.
+    Records carry a monotonically increasing sequence number plus a
+    {e virtual} timestamp — the machine's deterministic {!Vclock}
+    reading in simulated nanoseconds — instead of a wall-clock stamp,
+    so a trace of a deterministic run is itself byte-deterministic:
+    the same trial recorded twice produces bit-identical {!to_bytes}
+    output, virtual timestamps included.
 
     {b Boundary vs. internal events.} Events subdivide into {e
     boundary} events — crossings from a script into the testbed
@@ -113,7 +115,9 @@ val is_boundary : event -> bool
 val event_name : event -> string
 val pp_event : Format.formatter -> event -> unit
 
-type record = { seq : int; event : event }
+type record = { seq : int; vts : int64; event : event }
+(** [vts] is the machine's virtual time (ns) when the record was
+    emitted; {!Trace_driver.replay} reproduces it byte-for-byte. *)
 
 (** {1 Lifecycle} *)
 
@@ -155,12 +159,33 @@ val seq : t -> int
 (** Sequence number the next record will get (= records emitted so
     far). *)
 
+(** {1 Virtual time}
+
+    Each trace owns the machine's {!Vclock}: instrumentation points
+    charge per-operation costs against it, and {!emit} stamps its
+    reading into every record. Unlike the ring, the clock advances
+    whether or not recording is on (neutrality: a traced and an
+    untraced trial read the same virtual time). *)
+
+val vclock : t -> Vclock.t
+(** The machine's virtual clock (checkpoint/restore goes through
+    {!Vclock.now}/{!Vclock.set} on this handle). *)
+
+val vts : t -> int64
+(** [Vclock.now (vclock t)]: current virtual time in nanoseconds. *)
+
+val charge : t -> Vclock.op -> unit
+val charge_n : t -> Vclock.op -> int -> unit
+(** Advance the clock by the cost model's price for an operation
+    (no-ops when the clock is detached). *)
+
 (** {1 Reading a trace} *)
 
 val to_bytes : t -> string
 (** The live records, oldest first, in the framed binary layout
-    ([u32 len | u32 seq | u8 code | payload], little-endian). Two
-    recordings of the same deterministic run are byte-identical. *)
+    ([u32 len | u32 seq | i64 vts | u8 code | payload],
+    little-endian). Two recordings of the same deterministic run are
+    byte-identical. *)
 
 val records : t -> record list
 (** Decoded view of {!to_bytes}, oldest first. *)
@@ -169,10 +194,22 @@ val records_of_string : string -> record list
 (** Decode a {!to_bytes} image (e.g. one held by a
     [Trace_driver.recording]). *)
 
+val strip_vts : string -> string
+(** Re-frame a {!to_bytes} image into the pre-vts v1 layout
+    ([u32 len | u32 seq | u8 code | payload]): drops each frame's
+    [vts] word and fixes the length prefix, leaving every other byte
+    verbatim. Lets fixtures captured under v1 keep pinning the
+    seq/code/payload content of current recordings. *)
+
 val detection_latency : record list -> int option
 (** Sequence distance from the first injector access to the first
     non-empty monitor verdict after it — the trace-level
     detection-latency metric (None when either end is missing). *)
+
+val detection_latency_ns : record list -> int64 option
+(** Same two endpoints as {!detection_latency}, measured on the
+    virtual clock: how long (simulated ns) the injected state survived
+    before a monitor saw it. *)
 
 (** {1 Counters} *)
 

@@ -281,24 +281,36 @@ module Scheduler = struct
   type 'st t = {
     detectors : 'st Detector.t list;
     period : int;
+    every_ns : int64 option;  (* rate-based mode: scan every N virtual ns *)
     registry : Metrics.registry option;
     mutable steps : int;
+    mutable deadline : int64 option;  (* next virtual-time scan deadline *)
     mutable scans_run : int;
     mutable frames_read : int;
+    mutable scan_cost_ns : int64;  (* virtual cost of scans, never charged to the machine *)
     mutable first_fire : (string * int) list;  (* insertion = firing order *)
+    mutable first_fire_vts : (string * int64) list;
     mutable found : (string * string list) list;
   }
 
-  let create ?(period = 1) ?registry detectors =
+  let create ?(period = 1) ?every_ns ?registry detectors =
     if period < 1 then invalid_arg "Vmi.Scheduler.create: period must be >= 1";
+    (match every_ns with
+    | Some ns when Int64.compare ns 1L < 0 ->
+        invalid_arg "Vmi.Scheduler.create: every_ns must be >= 1"
+    | _ -> ());
     {
       detectors;
       period;
+      every_ns;
       registry;
       steps = 0;
+      deadline = None;
       scans_run = 0;
       frames_read = 0;
+      scan_cost_ns = 0L;
       first_fire = [];
+      first_fire_vts = [];
       found = [];
     }
 
@@ -323,10 +335,12 @@ module Scheduler = struct
       (fun d ->
         let r = d.Detector.scan st in
         let n = List.length r.Detector.findings in
-        (* capture the sequence number this scan's own record will get:
-           it sits after every machine event the detector could have
-           reacted to, so [fire - inject] is a true latency *)
+        (* capture the sequence number and virtual timestamp this scan's
+           own record will get: they sit after every machine event the
+           detector could have reacted to, so [fire - inject] is a true
+           latency in both denominations *)
         let s = Trace.seq tr in
+        let vts = Trace.vts tr in
         if Trace.recording tr then
           Trace.emit tr
             (Trace.Vmi_scan
@@ -334,9 +348,18 @@ module Scheduler = struct
         Trace.note_vmi_scan tr ~findings:n ~frames:r.Detector.frames_read;
         t.scans_run <- t.scans_run + 1;
         t.frames_read <- t.frames_read + r.Detector.frames_read;
+        (* scans are out-of-band observers: their cost accrues on the
+           scheduler's own tally, never the machine's virtual clock *)
+        t.scan_cost_ns <-
+          Int64.add t.scan_cost_ns
+            (Int64.mul
+               (Int64.of_int r.Detector.frames_read)
+               (Vclock.cost (Vclock.model (Trace.vclock tr)) Vclock.Vmi_scan_frame));
         if n > 0 then begin
-          if not (List.mem_assoc d.Detector.name t.first_fire) then
+          if not (List.mem_assoc d.Detector.name t.first_fire) then begin
             t.first_fire <- t.first_fire @ [ (d.Detector.name, s) ];
+            t.first_fire_vts <- t.first_fire_vts @ [ (d.Detector.name, vts) ]
+          end;
           let prev =
             Option.value ~default:[] (List.assoc_opt d.Detector.name t.found)
           in
@@ -349,11 +372,28 @@ module Scheduler = struct
       t.detectors
 
   let step t tr st =
-    if t.steps mod t.period = 0 then scan_now t tr st;
+    (match t.every_ns with
+    | Some ns -> (
+        (* rate-based: scan when the machine's virtual clock has crossed
+           the deadline; the first step always scans and arms it. Purely
+           a function of the deterministic clock, so sharded and pooled
+           runs fire at identical points. *)
+        let now = Trace.vts tr in
+        match t.deadline with
+        | None ->
+            scan_now t tr st;
+            t.deadline <- Some (Int64.add now ns)
+        | Some d when Int64.compare now d >= 0 ->
+            scan_now t tr st;
+            t.deadline <- Some (Int64.add now ns)
+        | Some _ -> ())
+    | None -> if t.steps mod t.period = 0 then scan_now t tr st);
     t.steps <- t.steps + 1
 
   let scans_run t = t.scans_run
   let frames_read t = t.frames_read
+  let scan_cost_ns t = t.scan_cost_ns
   let first_fire t = t.first_fire
+  let first_fire_vts t = t.first_fire_vts
   let findings t = t.found
 end

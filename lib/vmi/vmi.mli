@@ -105,33 +105,59 @@ end
 module Scheduler : sig
   type 'st t
 
-  val create : ?period:int -> ?registry:Metrics.registry -> 'st Detector.t list -> 'st t
+  val create :
+    ?period:int ->
+    ?every_ns:int64 ->
+    ?registry:Metrics.registry ->
+    'st Detector.t list ->
+    'st t
   (** [period] (default 1) is how many {!step} calls elapse between
-      scans; the first step always scans. When [registry] is given,
-      every scan publishes [vmi_scans_total]/[vmi_findings_total]
-      (labelled by detector) and the [vmi_scan_frames] histogram. *)
+      scans; the first step always scans. When [every_ns] is given the
+      scheduler is {e rate-based} instead: a step scans iff the
+      machine's virtual clock ({!Trace.vts}) has reached the deadline
+      armed [every_ns] simulated ns after the previous scan ([period]
+      is then ignored). Because the deadline is a pure function of the
+      deterministic clock, sharded/pooled campaigns fire scans at
+      identical virtual instants. When [registry] is given, every scan
+      publishes [vmi_scans_total]/[vmi_findings_total] (labelled by
+      detector) and the [vmi_scan_frames] histogram. *)
 
   val arm : 'st t -> 'st -> unit
   (** Arm every detector against the current (known-good) state. *)
 
   val step : 'st t -> Trace.t -> 'st -> unit
-  (** One interleaving point in a trial; scans when the period elapses.
-      [Trace.t] is where scan records and counters land — the monitored
-      system's trace, passed explicitly since ['st] is opaque here. *)
+  (** One interleaving point in a trial; scans when the period elapses
+      (step-count mode) or the virtual-time deadline has passed
+      (rate-based mode). [Trace.t] is where scan records and counters
+      land — the monitored system's trace, passed explicitly since
+      ['st] is opaque here. *)
 
   val scan_now : 'st t -> Trace.t -> 'st -> unit
   (** Run every detector once: emits a [Vmi_scan] trace record and bumps
       the VMI counters per detector, and records the first firing
-      sequence number per detector. *)
+      sequence number and virtual timestamp per detector. *)
 
   val scans_run : 'st t -> int
   val frames_read : 'st t -> int
+
+  val scan_cost_ns : 'st t -> int64
+  (** Cumulative virtual cost of every scan so far: frames read priced
+      at the trace's {!Vclock.Cost_model} [Vmi_scan_frame] rate. Scans
+      are out-of-band observers, so this accrues here and is {e never}
+      charged to the machine's clock — tracing-off neutrality and
+      replay determinism depend on that. *)
 
   val first_fire : 'st t -> (string * int) list
   (** [(detector, seq)] for each detector that has fired, in firing
       order. [seq] is the trace sequence number captured just before the
       scan's own record — comparable against [Injector_access] records
       in the same trace. Only meaningful while the ring is recording. *)
+
+  val first_fire_vts : 'st t -> (string * int64) list
+  (** [(detector, vts)] analogue of {!first_fire}: the machine's virtual
+      timestamp (ns) captured just before the scan's own record, so
+      [fire - inject] is a detection latency in simulated ns.
+      Meaningful whenever the clock is attached, recording or not. *)
 
   val findings : 'st t -> (string * string list) list
   (** Cumulative distinct findings per detector (firing order). *)

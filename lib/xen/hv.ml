@@ -153,6 +153,7 @@ let crash_dump t ~first_vector ~bad_handler ~detail =
   ]
 
 let deliver_fault t ~vector ~detail =
+  Trace.charge t.trace Vclock.Fault_delivery;
   let outcome = Cpu.deliver_exception t.cpu ~vector in
   let double = match outcome with Cpu.Handled _ -> false | _ -> true in
   Trace.note_fault t.trace ~double;
@@ -210,6 +211,7 @@ type checkpoint = {
   ck_extra : (int * string * hypercall_handler) list;
   ck_hook : (Addr.mfn -> unit) option;
   ck_counters : Trace.Counters.snapshot;
+  ck_vts : int64;  (* virtual clock, restored with the machine *)
   ck_pages : Page_info.checkpoint;
   ck_handlers : (Addr.vaddr * string) list;
 }
@@ -226,6 +228,7 @@ let checkpoint t =
     ck_extra = t.extra_hypercalls;
     ck_hook = t.pt_write_hook;
     ck_counters = Trace.Counters.snapshot (Trace.counters t.trace);
+    ck_vts = Trace.vts t.trace;
     ck_pages = Page_info.checkpoint t.pages;
     ck_handlers = Cpu.handlers_dump t.cpu;
   }
@@ -243,9 +246,11 @@ let restore t ck =
   Sched.restore t.sched ck.ck_sched;
   t.extra_hypercalls <- ck.ck_extra;
   t.pt_write_hook <- ck.ck_hook;
-  (* the counters roll back with the machine; the trace ring does not —
-     a recording deliberately spans resets, which replay re-executes *)
+  (* the counters and virtual clock roll back with the machine; the
+     trace ring does not — a recording deliberately spans resets,
+     which replay re-executes *)
   Trace.Counters.restore (Trace.counters t.trace) ck.ck_counters;
+  Vclock.set (Trace.vclock t.trace) ck.ck_vts;
   Cpu.handlers_restore t.cpu ck.ck_handlers;
   (* reset_to_baseline bumped the generation, but flush anyway so the
      restored machine starts from a cold TLB like a rebooted host *)
@@ -294,6 +299,12 @@ let fork (template : t) ck =
     }
   in
   Trace.Counters.restore (Trace.counters trace) ck.ck_counters;
+  (* the fork starts at the template's checkpointed virtual time under
+     the template's live cost model, so a pooled trial reads the same
+     timestamps a fresh boot would *)
+  Vclock.set (Trace.vclock trace) ck.ck_vts;
+  Vclock.set_model (Trace.vclock trace) (Vclock.model (Trace.vclock template.trace));
+  Vclock.set_attached (Trace.vclock trace) (Vclock.attached (Trace.vclock template.trace));
   Cpu.set_idt cpu t.idt_mfn;
   Cpu.handlers_restore cpu ck.ck_handlers;
   t

@@ -403,6 +403,9 @@ let dispatch hv dom call =
       (Trace.Hypercall
          { domid = dom.Domain.id; number; digest = Trace.digest payload; payload })
   end;
+  (* the dispatch itself (entry, demux, exit) costs a fixed slice of
+     virtual time; the work the call performs accrues inside *)
+  Trace.charge tr Vclock.Hypercall_dispatch;
   Trace.enter tr;
   (* everything the hypervisor writes on behalf of this call carries the
      call number as origin; more specific origins (the injector port)

@@ -292,6 +292,7 @@ let apply_one ?(flush = Flush_all) hv dom ~ptr ~value =
         if fast_path then begin
           (* The XSA-182 bug lives here: on 4.6 this path accepts an RW
              upgrade of an L4 entry without revalidation. *)
+          Trace.charge hv.Hv.trace Vclock.Pte_install;
           Frame.set_entry frame index value;
           Phys_mem.taint hv.Hv.mem ~mfn:table_mfn ~off:(8 * index) ~len:8;
           Hv.notify_pt_write hv table_mfn;
@@ -308,6 +309,7 @@ let apply_one ?(flush = Flush_all) hv dom ~ptr ~value =
               | Error e -> Error e
               | Ok () ->
                   if Pte.is_present old_e then unaccount_existing hv dom ~level old_e;
+                  Trace.charge hv.Hv.trace Vclock.Pte_install;
                   Frame.set_entry frame index value;
                   Phys_mem.taint hv.Hv.mem ~mfn:table_mfn ~off:(8 * index) ~len:8;
                   Hv.notify_pt_write hv table_mfn;

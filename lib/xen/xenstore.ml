@@ -23,9 +23,15 @@ let trace_write t ~caller ~injected path value =
       if Trace.recording tr && Trace.top_level tr then
         Trace.emit tr (Trace.Xenstore_write { caller; injected; path; value })
 
+(* A committed write costs one store transaction of virtual time,
+   traced or not; refused writes cost nothing. *)
+let charge t =
+  match t.tracer with None -> () | Some tr -> Trace.charge tr Vclock.Xenstore_write
+
 let write t ~caller path value =
   if may_access ~caller path then begin
     trace_write t ~caller ~injected:false path value;
+    charge t;
     Hashtbl.replace t.tbl path value;
     Ok ()
   end
@@ -59,6 +65,7 @@ let list_prefix t ~caller prefix =
 
 let inject_write t path value =
   trace_write t ~caller:(-1) ~injected:true path value;
+  charge t;
   Hashtbl.replace t.tbl path value
 
 let dump t = List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.tbl [])

@@ -60,9 +60,13 @@ let test_golden_trace_bytes () =
   List.iter
     (fun (name, mode_s, trace_bytes, _) ->
       let r = Trace_driver.record (uc name) (mode_of_string mode_s) Version.V4_6 in
+      (* the fixtures pre-date the virtual-timestamp field; stripping it
+         re-frames the v2 ring back to the v1 layout they were cut from,
+         so the (seq, event) stream is still compared byte-for-byte *)
       check_string
         (Printf.sprintf "%s/%s trace bytes" name mode_s)
-        trace_bytes r.Trace_driver.rec_bytes)
+        trace_bytes
+        (Trace.strip_vts r.Trace_driver.rec_bytes))
     Golden_xen.cases
 
 let test_golden_row_fingerprints () =

@@ -39,7 +39,7 @@ let test_roundtrip () =
   let recs = Trace.records tr in
   check_int "count" (List.length evs) (List.length recs);
   List.iteri
-    (fun i { Trace.seq; event } ->
+    (fun i { Trace.seq; event; _ } ->
       check_int "seq" i seq;
       check_bool "event" true (event = List.nth evs i))
     recs;
@@ -58,7 +58,7 @@ let test_wraparound_keeps_newest () =
   (* survivors are exactly the newest suffix, in order *)
   let expected_first = 100 - List.length recs in
   List.iteri
-    (fun i { Trace.seq; event } ->
+    (fun i { Trace.seq; event; _ } ->
       check_int "suffix seq" (expected_first + i) seq;
       check_bool "suffix payload" true (event = Trace.Tlb_invlpg { va = Int64.of_int seq }))
     recs
@@ -83,7 +83,7 @@ let test_depth_suppression () =
 let test_detection_latency () =
   let inj = Trace.Injector_access { action = 1; addr = 0L; len = 8 } in
   let verdict n = Trace.Monitor_verdict { violations = n; classes = 1 } in
-  let recs evs = List.mapi (fun seq event -> { Trace.seq; event }) evs in
+  let recs evs = List.mapi (fun seq event -> { Trace.seq; vts = 0L; event }) evs in
   check_bool "missing injector" true
     (Trace.detection_latency (recs [ verdict 1 ]) = None);
   check_bool "empty verdict ignored" true
