@@ -187,6 +187,18 @@ let modes_of_string = function
   | "both" -> Some [ Campaign.Real_exploit; Campaign.Injection ]
   | _ -> None
 
+let domains_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Concurrent guest domains on the testbed (>= 2: victim + attacker).")
+
+let load_arg =
+  Arg.(
+    value & opt string "none"
+    & info [ "load" ] ~docv:"MIX"
+        ~doc:"Deterministic background workload mix every guest runs (none|default|heavy).")
+
 let row_json ~version r =
   Printf.sprintf
     "{\"use_case\":%s,\"version\":%s,\"mode\":%s,\"rc\":%s,\"state\":%b,\"violations\":%s,\"transcript\":%s}"
@@ -285,40 +297,52 @@ let run_cmd =
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit result rows as JSON.") in
   let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print transcripts.") in
-  let run file backend_s mode_s version json verbose =
-    match Scn_loader.load_file file with
-    | Error e -> `Error (false, e)
-    | Ok p -> (
-        match modes_of_string mode_s with
-        | None -> `Error (false, Printf.sprintf "unknown mode %S (exploit|injection|both)" mode_s)
-        | Some modes -> (
-            match effective_backend p backend_s with
-            | Error e -> `Error (false, e)
-            | Ok `Xen -> (
-                match XV.check p with
+  let run file backend_s mode_s version domains load_s json verbose =
+    match Load_mix.of_string load_s with
+    | None -> `Error (false, Printf.sprintf "unknown load mix %S (none|default|heavy)" load_s)
+    | Some load -> (
+        match Scn_loader.load_file file with
+        | Error e -> `Error (false, e)
+        | Ok p -> (
+            match modes_of_string mode_s with
+            | None ->
+                `Error (false, Printf.sprintf "unknown mode %S (exploit|injection|both)" mode_s)
+            | Some modes -> (
+                match effective_backend p backend_s with
                 | Error e -> `Error (false, e)
-                | Ok () ->
-                    let uc = XV.use_case p in
-                    let rows = List.map (fun m -> Campaign.run uc m version) modes in
-                    if json then
-                      print_endline
-                        (jlist (row_json ~version:(Version.to_string version)) rows)
-                    else List.iter (print_xen_row ~verbose) rows;
-                    `Ok ())
-            | Ok `Kvm -> (
-                match KV.check p with
-                | Error e -> `Error (false, e)
-                | Ok () ->
-                    let uc = KV.use_case p in
-                    let rows =
-                      List.map (fun m -> KC.run uc m Ii_backends.Backend_kvm.rq1_config) modes
-                    in
-                    if json then print_endline (jlist kvm_row_json rows)
-                    else List.iter (print_kvm_row ~verbose) rows;
-                    `Ok ())))
+                | Ok `Xen -> (
+                    match XV.check p with
+                    | Error e -> `Error (false, e)
+                    | Ok () ->
+                        let uc = XV.use_case p in
+                        let rows =
+                          List.map (fun m -> Campaign.run ~domains ~load uc m version) modes
+                        in
+                        if json then
+                          print_endline
+                            (jlist (row_json ~version:(Version.to_string version)) rows)
+                        else List.iter (print_xen_row ~verbose) rows;
+                        `Ok ())
+                | Ok `Kvm -> (
+                    match KV.check p with
+                    | Error e -> `Error (false, e)
+                    | Ok () ->
+                        let uc = KV.use_case p in
+                        let rows =
+                          List.map
+                            (fun m ->
+                              KC.run ~domains ~load uc m Ii_backends.Backend_kvm.rq1_config)
+                            modes
+                        in
+                        if json then print_endline (jlist kvm_row_json rows)
+                        else List.iter (print_kvm_row ~verbose) rows;
+                        `Ok ()))))
   in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(ret (const run $ file_arg $ backend_arg $ mode_arg $ version_arg $ json_arg $ verbose_arg))
+    Term.(
+      ret
+        (const run $ file_arg $ backend_arg $ mode_arg $ version_arg $ domains_arg $ load_arg
+        $ json_arg $ verbose_arg))
 
 (* --- scenario gate ------------------------------------------------------- *)
 
@@ -417,8 +441,91 @@ let gate_cmd =
   in
   Cmd.v (Cmd.info "gate" ~doc) Term.(ret (const run $ files_arg))
 
+(* --- scenario crossdomain ------------------------------------------------ *)
+
+(* The cross-domain gate behind the CI step: each scenario runs on an
+   N-domain testbed under background load and must (a) produce its
+   expected violation classes with at least one violation landing in a
+   guest domain (the bystander casualty), (b) record and replay byte
+   for byte with every domain live, and (c) attribute every violation
+   to an originating action through the provenance graph — an intrusion
+   found in a bystander domain that cannot be traced to the injector is
+   a gate failure. Xen-capable scenarios only: the gate exercises the
+   grant-table/event-channel/device-model surfaces. *)
+let crossdomain_program ~domains ~load (file, p) =
+  let errs = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun m -> errs := Printf.sprintf "%s: %s" file m :: !errs) fmt
+  in
+  (match XV.check p with
+  | Error e -> fail "%s" e
+  | Ok () -> (
+      let uc = XV.use_case p in
+      let version = Substrate_xen.rq1_config in
+      (* (a) blast radius: expected classes, landing in a guest domain *)
+      let row = Campaign.run ~domains ~load uc Campaign.Injection version in
+      let classes = List.map Scn_ast.violation_class row.Campaign.r_violations in
+      List.iter
+        (fun c ->
+          if not (List.mem c classes) then
+            fail "expected violation class %s not observed at %d domains under %s load" c
+              domains (Load_mix.to_string load))
+        (Scn_bytecode.expected_violations p);
+      if not (List.exists (fun (d, vs) -> d <> "host" && vs <> []) row.Campaign.r_domains)
+      then fail "no violation landed in a guest domain (no bystander casualty)";
+      (* (b) replay determinism with every domain live *)
+      List.iter
+        (fun mode ->
+          let r = Trace_driver.record ~domains ~load uc mode version in
+          let rp = Trace_driver.replay r in
+          if not rp.Trace_driver.rp_equal then
+            fail "replay diverged in final state (%s mode)" (Campaign.mode_to_string mode);
+          if not rp.Trace_driver.rp_vts_equal then
+            fail "replay diverged in virtual timestamps (%s mode)" (Campaign.mode_to_string mode))
+        [ Campaign.Real_exploit; Campaign.Injection ];
+      (* (c) attribution completeness *)
+      let report = Attribution.attribute ~domains ~load uc Campaign.Injection version in
+      if not (Attribution.complete report) then
+        fail "a violation in the blast radius has no attributed origin";
+      match !errs with
+      | [] ->
+          Printf.printf
+            "%s: %s OK at %d domains / %s load (%d violation(s), %d affected domain(s))\n"
+            file (Scn_bytecode.name p)
+            domains (Load_mix.to_string load)
+            (List.length row.Campaign.r_violations)
+            (List.length row.Campaign.r_domains)
+      | _ -> ()));
+  List.rev !errs
+
+let crossdomain_cmd =
+  let doc =
+    "Cross-domain gate: run each scenario on a multi-domain testbed under background load; \
+     fail unless the blast radius, replay determinism and per-violation attribution all \
+     hold (the CI cross-domain step)."
+  in
+  let run files domains load_s =
+    match Load_mix.of_string load_s with
+    | None -> `Error (false, Printf.sprintf "unknown load mix %S (none|default|heavy)" load_s)
+    | Some load -> (
+        if domains < 2 then `Error (false, "need at least 2 guest domains")
+        else
+          match load_all files with
+          | Error e -> `Error (false, e)
+          | Ok progs -> (
+              match List.concat_map (crossdomain_program ~domains ~load) progs with
+              | [] -> `Ok ()
+              | errs ->
+                  List.iter prerr_endline errs;
+                  `Error
+                    (false, Printf.sprintf "%d cross-domain gate failure(s)" (List.length errs))))
+  in
+  Cmd.v
+    (Cmd.info "crossdomain" ~doc)
+    Term.(ret (const run $ files_arg $ domains_arg $ load_arg))
+
 let cmd =
   let doc = "Work with compiled intrusion scenarios (.scn corpus)." in
   Cmd.group
     (Cmd.info "scenario" ~doc)
-    [ list_cmd; check_cmd; compile_cmd; disasm_cmd; run_cmd; gate_cmd ]
+    [ list_cmd; check_cmd; compile_cmd; disasm_cmd; run_cmd; gate_cmd; crossdomain_cmd ]

@@ -96,6 +96,26 @@ let with_workers spec k =
   | Error e -> `Error (false, e)
   | Ok workers -> k workers
 
+let domains_arg =
+  let doc = "Concurrent guest domains on each testbed (>= 2: victim + attacker)." in
+  Arg.(value & opt int 2 & info [ "domains" ] ~docv:"N" ~doc)
+
+let load_arg =
+  let doc =
+    "Deterministic background workload every guest domain runs while trials execute \
+     (none|default|heavy)."
+  in
+  Arg.(value & opt string "none" & info [ "load" ] ~docv:"MIX" ~doc)
+
+let with_load spec k =
+  match Load_mix.of_string spec with
+  | None ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown load mix %S; available: %s" spec
+            (String.concat ", " (List.map Load_mix.to_string Load_mix.all)) )
+  | Some load -> k load
+
 let campaign_cmd =
   let doc = "Run the full evaluation campaign and print Table III." in
   let trials_arg =
@@ -105,9 +125,10 @@ let campaign_cmd =
     in
     Arg.(value & opt int 0 & info [ "n"; "trials" ] ~docv:"N" ~doc)
   in
-  let run_xen verbose workers trials =
+  let run_xen verbose workers domains load trials =
     let rows =
-      Campaign.run_matrix ~workers Ii_exploits.All_exploits.use_cases ~versions:Version.all
+      Campaign.run_matrix ~workers ~domains ~load Ii_exploits.All_exploits.use_cases
+        ~versions:Version.all
         ~modes:[ Campaign.Real_exploit; Campaign.Injection ]
     in
     print_endline (Campaign.table3 rows);
@@ -118,7 +139,7 @@ let campaign_cmd =
     List.iter
       (fun (name, st, viol) ->
         Printf.printf "  %-14s same erroneous state: %b   same violation class: %b\n" name st viol)
-      (Campaign.validate_rq1 Ii_exploits.All_exploits.use_cases);
+      (Campaign.validate_rq1 ~domains ~load Ii_exploits.All_exploits.use_cases);
     if verbose then begin
       print_newline ();
       List.iter
@@ -136,10 +157,10 @@ let campaign_cmd =
         (Random_campaign.render (Campaign_scheduler.run ~workers ~trials Version.all))
     end
   in
-  let run_kvm verbose =
+  let run_kvm verbose domains load =
     let module KC = Ii_backends.Backends.Kvm_campaign in
     let rows =
-      KC.run_matrix Ii_backends.Kvm_use_cases.use_cases
+      KC.run_matrix ~domains ~load Ii_backends.Kvm_use_cases.use_cases
         ~versions:Ii_backends.Backend_kvm.configs
         ~modes:[ Campaign.Real_exploit; Campaign.Injection ]
     in
@@ -151,7 +172,7 @@ let campaign_cmd =
     List.iter
       (fun (name, st, viol) ->
         Printf.printf "  %-14s same erroneous state: %b   same violation class: %b\n" name st viol)
-      (KC.validate_rq1 Ii_backends.Kvm_use_cases.use_cases);
+      (KC.validate_rq1 ~domains ~load Ii_backends.Kvm_use_cases.use_cases);
     if verbose then begin
       print_newline ();
       List.iter
@@ -164,19 +185,23 @@ let campaign_cmd =
         rows
     end
   in
-  let run verbose backend workers_spec trials =
-    match backend with
-    | "xen" ->
-        with_workers workers_spec (fun workers ->
-            run_xen verbose workers trials;
-            `Ok ())
-    | "kvm" ->
-        run_kvm verbose;
-        `Ok ()
-    | b -> bad_backend b
+  let run verbose backend workers_spec domains load_spec trials =
+    with_load load_spec (fun load ->
+        match backend with
+        | "xen" ->
+            with_workers workers_spec (fun workers ->
+                run_xen verbose workers domains load trials;
+                `Ok ())
+        | "kvm" ->
+            run_kvm verbose domains load;
+            `Ok ()
+        | b -> bad_backend b)
   in
   Cmd.v (Cmd.info "campaign" ~doc)
-    Term.(ret (const run $ verbose_arg $ backend_arg $ workers_arg $ trials_arg))
+    Term.(
+      ret
+        (const run $ verbose_arg $ backend_arg $ workers_arg $ domains_arg $ load_arg
+        $ trials_arg))
 
 let tables_cmd =
   let doc = "Regenerate the paper's tables (I, II, III)." in

@@ -24,42 +24,52 @@ type t = {
   tr : Trace.t;
   victim : Kvm.vm;
   bystander : Kvm.vm;
+  extras : Kvm.vm list;  (* guest domains beyond the standard pair *)
   mutable injector_on : bool;
+  mutable load : Load_mix.t;
   ck : Kvm.checkpoint;
   ck_counters : Trace.Counters.snapshot;
   ck_vts : int64;  (* virtual clock at the reset checkpoint *)
 }
 
+(* Extra guests follow the Xen testbed's naming scheme: guest05, ... *)
+let extra_name i = Printf.sprintf "guest%02d" (5 + (2 * i))
+
 (* Mirrors Testbed.create: a host plus its standard guest population,
    with the reset checkpoint captured at the end of boot. *)
-let create ?(frames = 2048) Stock =
+let create ?(frames = 2048) ?(domains = 2) ?(load = Load_mix.none) Stock =
+  if domains < 2 then invalid_arg "Backend_kvm.create: need at least victim + bystander";
   let kvm = Kvm.boot ~frames in
   let victim = Kvm.create_vm kvm ~name:"guest03" ~pages:64 in
   let bystander = Kvm.create_vm kvm ~name:"guest01" ~pages:64 in
+  let extras =
+    List.init (domains - 2) (fun i -> Kvm.create_vm kvm ~name:(extra_name i) ~pages:64)
+  in
   let tr = Trace.create () in
   let ck = Kvm.checkpoint kvm in
   let ck_counters = Trace.Counters.snapshot (Trace.counters tr) in
   let ck_vts = Trace.vts tr in
-  { kvm; tr; victim; bystander; injector_on = false; ck; ck_counters; ck_vts }
+  { kvm; tr; victim; bystander; extras; injector_on = false; load; ck; ck_counters; ck_vts }
 
 (* The warm pool, mirroring {!Testbed.create_pooled}: one frozen
-   template per frame count, forked copy-on-write per worker. *)
+   template per (frame count, domain count), forked copy-on-write per
+   worker. The load mix is runtime-only, installed on the fork. *)
 let pool_lock = Mutex.create ()
-let pool : (int, t) Hashtbl.t = Hashtbl.create 4
+let pool : (int * int, t) Hashtbl.t = Hashtbl.create 4
 
-let template frames =
+let template frames domains =
   Mutex.lock pool_lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock pool_lock) @@ fun () ->
-  match Hashtbl.find_opt pool frames with
+  match Hashtbl.find_opt pool (frames, domains) with
   | Some tmpl -> tmpl
   | None ->
-      let tmpl = create ~frames Stock in
+      let tmpl = create ~frames ~domains Stock in
       Phys_mem.freeze (Kvm.mem tmpl.kvm);
-      Hashtbl.replace pool frames tmpl;
+      Hashtbl.replace pool (frames, domains) tmpl;
       tmpl
 
-let create_pooled ?(frames = 2048) Stock =
-  let tmpl = template frames in
+let create_pooled ?(frames = 2048) ?(domains = 2) ?(load = Load_mix.none) Stock =
+  let tmpl = template frames domains in
   let kvm, ck = Kvm.fork tmpl.kvm tmpl.ck in
   let tr = Trace.create () in
   (* the fork starts at the template's checkpointed virtual time under
@@ -75,11 +85,16 @@ let create_pooled ?(frames = 2048) Stock =
     tr;
     victim = vm_of tmpl.victim;
     bystander = vm_of tmpl.bystander;
+    extras = List.map vm_of tmpl.extras;
     injector_on = false;
+    load;
     ck;
     ck_counters = Trace.Counters.snapshot (Trace.counters tr);
     ck_vts = tmpl.ck_vts;
   }
+
+let domains t =
+  List.map (fun vm -> vm.Kvm.vm_name) (t.victim :: t.bystander :: t.extras)
 
 let reset t =
   ignore (Kvm.restore t.kvm t.ck);
@@ -151,6 +166,9 @@ let inject_read t ~addr action ~len =
   | Ok None -> Error Errno.EINVAL
   | Error e -> Error e
 
+(* No testbed-resident device model on this backend. *)
+let inject_dm_write _t _data = Error Errno.ENOSYS
+
 (* The "real exploit" port: a compromised device model writing host
    memory directly — no injector involved, like a userspace process
    with /dev/mem on a broken host. *)
@@ -207,7 +225,20 @@ let tick_all t =
           Trace.charge t.tr Vclock.Vm_entry;
           let was = vm.Kvm.state in
           note_transition t was (Kvm.vm_entry t.kvm vm))
-        (Kvm.vms t.kvm))
+        (Kvm.vms t.kvm);
+      (* background load: extra VM entries per guest per round, charged
+         on the vclock; runs inside the round's trace scope so a
+         replayed [Sched_round] regenerates it deterministically *)
+      let n = Load_mix.ops_per_tick t.load in
+      if n > 0 then
+        List.iter
+          (fun vm ->
+            for _ = 1 to n do
+              Trace.charge t.tr Vclock.Vm_entry;
+              let was = vm.Kvm.state in
+              note_transition t was (Kvm.vm_entry t.kvm vm)
+            done)
+          (Kvm.vms t.kvm))
 
 (* --- erroneous-state auditing ------------------------------------------ *)
 
@@ -276,7 +307,15 @@ let snapshot t =
     s_free_frames = Phys_mem.free_frames (Kvm.mem t.kvm);
   }
 
-let violations ~before ~after =
+(* Each violation tagged with the VM (domain) it was observed in, so
+   the per-domain rows of multi-domain campaigns work on this backend
+   too; [violations] projects the tags away. *)
+let violations_tagged ~before ~after =
+  let name_of id =
+    match List.find_opt (fun (id', _, _, _) -> id' = id) after.s_vms with
+    | Some (_, n, _, _) -> n
+    | None -> Printf.sprintf "vm%d" id
+  in
   let crashes =
     List.filter_map
       (fun (id, vm_name, alive, reason) ->
@@ -285,9 +324,10 @@ let violations ~before ~after =
         in
         if was_alive && not alive then
           Some
-            (Monitor.Guest_crash
-               (Printf.sprintf "vm%d (%s): %s" id vm_name
-                  (Option.value reason ~default:"killed")))
+            ( vm_name,
+              Monitor.Guest_crash
+                (Printf.sprintf "vm%d (%s): %s" id vm_name
+                   (Option.value reason ~default:"killed")) )
         else None)
       after.s_vms
   in
@@ -297,8 +337,9 @@ let violations ~before ~after =
         match List.assoc_opt id before.s_vmcs with
         | Some h0 when h0 <> h ->
             Some
-              (Monitor.Integrity_violation
-                 (Printf.sprintf "vm%d VMCS hash changed (host-critical structure)" id))
+              ( name_of id,
+                Monitor.Integrity_violation
+                  (Printf.sprintf "vm%d VMCS hash changed (host-critical structure)" id) )
         | _ -> None)
       after.s_vmcs
   in
@@ -308,12 +349,24 @@ let violations ~before ~after =
         match List.assoc_opt id before.s_ept_exposure with
         | Some n0 when n > n0 ->
             Some
-              (Monitor.Integrity_violation
-                 (Printf.sprintf "vm%d EPT exposes %d host/foreign frames (was %d)" id n n0))
+              ( name_of id,
+                Monitor.Integrity_violation
+                  (Printf.sprintf "vm%d EPT exposes %d host/foreign frames (was %d)" id n n0) )
         | _ -> None)
       after.s_ept_exposure
   in
   crashes @ vmcs_tampered @ ept_exposed
+
+let violations ~before ~after = List.map snd (violations_tagged ~before ~after)
+
+let violations_by_domain ~before ~after =
+  let tagged = violations_tagged ~before ~after in
+  let doms =
+    List.fold_left (fun acc (d, _) -> if List.mem d acc then acc else d :: acc) [] tagged
+  in
+  List.rev_map
+    (fun d -> (d, List.filter_map (fun (d', v) -> if d' = d then Some v else None) tagged))
+    doms
 
 (* KVM kills the offending VM at the failed entry; the host never dies
    in this model — the cross-backend blast-radius contrast with Xen. *)

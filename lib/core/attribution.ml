@@ -42,8 +42,12 @@ let violation_consumers v =
   let open Provenance in
   match v with
   | Monitor.Hypervisor_crash _ -> [ Idt_gate; Pt_walk ]
-  | Monitor.Privilege_escalation _ -> [ Pt_walk; Page_type_check; Monitor_scan ]
-  | Monitor.Unauthorized_disclosure _ -> [ Pt_walk; Monitor_scan ]
+  | Monitor.Privilege_escalation _ ->
+      (* a root shell/file can land via the page-table route or via a
+         planted backdoor decoded at vDSO execution (the device-model
+         radiation path); forged grants go through the wire-entry check *)
+      [ Pt_walk; Page_type_check; Monitor_scan; Vdso_exec; Gnt_check ]
+  | Monitor.Unauthorized_disclosure _ -> [ Pt_walk; Monitor_scan; Gnt_check ]
   | Monitor.Integrity_violation msg ->
       if contains msg "M2P" then [ M2p_check; Vmi_view ]
       else if contains msg "VMCS" then [ Vmcs_check ]
@@ -99,12 +103,12 @@ module Make (B : Substrate.S) = struct
     in
     List.map Provenance.origin_to_string chosen
 
-  let attribute ?frames ?period ?registry uc mode config =
+  let attribute ?frames ?domains ?load ?period ?registry uc mode config =
     let detectors = B.detectors () in
     let sched = Vmi.Scheduler.create ?period ?registry detectors in
     let tbr = ref None in
     let recording =
-      T.record ?frames ~provenance:true
+      T.record ?frames ?domains ?load ~provenance:true
         ~prepare:(fun tb ->
           tbr := Some tb;
           Vmi.Scheduler.arm sched tb)
@@ -169,8 +173,8 @@ module Make (B : Substrate.S) = struct
   let complete r =
     List.for_all (fun row -> row.a_kind = "silent" || row.a_origins <> []) r.ar_rows
 
-  let attribute_all ?frames ?period ?registry ucs mode config =
-    List.map (fun uc -> attribute ?frames ?period ?registry uc mode config) ucs
+  let attribute_all ?frames ?domains ?load ?period ?registry ucs mode config =
+    List.map (fun uc -> attribute ?frames ?domains ?load ?period ?registry uc mode config) ucs
 
   let table reports =
     let body =

@@ -54,6 +54,9 @@ module Make (B : Substrate.S) = struct
     r_state : bool;  (** the erroneous state holds (audited) *)
     r_state_evidence : string list;
     r_violations : Monitor.violation list;
+    r_domains : (string * Monitor.violation list) list;
+        (** the same violations grouped per domain (host-level rows
+            under ["host"]) — the per-domain blast radius *)
     r_transcript : string list;
     r_rc : int option;
     r_telemetry : Trace.telemetry;
@@ -66,13 +69,13 @@ module Make (B : Substrate.S) = struct
     r_backend : string;  (** {!B.name}, for cross-backend rows *)
   }
 
-  let run ?frames ?tb ?observer uc mode version =
+  let run ?frames ?domains ?load ?tb ?observer uc mode version =
     let tb =
       match tb with
       | Some tb ->
           B.reset tb;
           tb
-      | None -> B.create ?frames version
+      | None -> B.create ?frames ?domains ?load version
     in
     if mode = Injection then B.install_injector tb;
     (* Telemetry comes only from the always-on counters, never the ring,
@@ -97,6 +100,7 @@ module Make (B : Substrate.S) = struct
     let r_state_evidence = List.concat_map (fun a -> a.Erroneous_state.evidence) audits in
     let after = B.snapshot tb in
     let r_violations = B.violations ~before ~after in
+    let r_domains = B.violations_by_domain ~before ~after in
     if Trace.recording tr then
       Trace.emit tr
         (Trace.Monitor_verdict
@@ -108,6 +112,7 @@ module Make (B : Substrate.S) = struct
       r_state;
       r_state_evidence;
       r_violations;
+      r_domains;
       r_transcript = attempt.transcript;
       r_rc = attempt.rc;
       r_telemetry =
@@ -117,7 +122,7 @@ module Make (B : Substrate.S) = struct
       r_backend = B.name;
     }
 
-  let run_matrix ?workers ?pooled ?frames ucs ~versions ~modes =
+  let run_matrix ?workers ?pooled ?frames ?domains ?load ucs ~versions ~modes =
     (* One cell per (uc, version, mode), in that nesting order; cells are
        independent, so they shard: the flattened queue is dealt in chunks
        over one worker pool. Each worker keeps one testbed per version
@@ -144,7 +149,8 @@ module Make (B : Substrate.S) = struct
           | Some tb -> tb
           | None ->
               let tb =
-                if pooled then B.create_pooled ?frames version else B.create ?frames version
+                if pooled then B.create_pooled ?frames ?domains ?load version
+                else B.create ?frames ?domains ?load version
               in
               Hashtbl.replace testbeds version tb;
               tb
@@ -154,8 +160,8 @@ module Make (B : Substrate.S) = struct
 
   let violated r = r.r_violations <> []
 
-  let validate_rq1 ?frames ucs =
-    let tb = B.create ?frames B.rq1_config in
+  let validate_rq1 ?frames ?domains ?load ucs =
+    let tb = B.create ?frames ?domains ?load B.rq1_config in
     List.map
       (fun uc ->
         let e = run ~tb uc Real_exploit B.rq1_config in
@@ -208,31 +214,44 @@ module Make (B : Substrate.S) = struct
   let telemetry_table rows =
     let header =
       [
-        "Use Case"; B.config_heading; "Mode"; B.port_heading; "Failed"; "Faults"; "Flushes";
-        "Pg-type"; "Injector"; "VMI"; "VTime";
+        "Use Case"; B.config_heading; "Mode"; "Dom"; "Viol"; B.port_heading; "Failed"; "Faults";
+        "Flushes"; "Pg-type"; "Injector"; "VMI"; "VTime";
       ]
     in
     let body =
-      List.map
+      List.concat_map
         (fun r ->
           let t = r.r_telemetry in
-          [
-            r.r_use_case;
-            B.config_to_string r.r_version;
-            mode_to_string r.r_mode;
-            string_of_int (Trace.total_hypercalls t);
-            string_of_int t.Trace.tm_hypercalls_failed;
-            string_of_int t.Trace.tm_faults;
-            string_of_int (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
-            string_of_int t.Trace.tm_page_type_changes;
-            string_of_int t.Trace.tm_injector_accesses;
-            Printf.sprintf "%d/%d" t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings;
-            (* per-trial virtual time, rendered in whole µs *)
-            Printf.sprintf "%Ldus" (Int64.div r.r_vtime_ns 1000L);
-          ])
+          let counters =
+            [
+              string_of_int (Trace.total_hypercalls t);
+              string_of_int t.Trace.tm_hypercalls_failed;
+              string_of_int t.Trace.tm_faults;
+              string_of_int (t.Trace.tm_flushes + t.Trace.tm_invlpgs);
+              string_of_int t.Trace.tm_page_type_changes;
+              string_of_int t.Trace.tm_injector_accesses;
+              Printf.sprintf "%d/%d" t.Trace.tm_vmi_scans t.Trace.tm_vmi_findings;
+              (* per-trial virtual time, rendered in whole µs *)
+              Printf.sprintf "%Ldus" (Int64.div r.r_vtime_ns 1000L);
+            ]
+          in
+          let blank = List.map (fun _ -> "") counters in
+          let prefix = [ r.r_use_case; B.config_to_string r.r_version; mode_to_string r.r_mode ] in
+          (* one row per domain with violations; counters (which are
+             per-trial, not per-domain) appear on the first row only *)
+          match r.r_domains with
+          | [] -> [ prefix @ [ "-"; "0" ] @ counters ]
+          | doms ->
+              List.mapi
+                (fun i (dom, viols) ->
+                  prefix
+                  @ [ dom; string_of_int (List.length viols) ]
+                  @ (if i = 0 then counters else blank))
+                doms)
         rows
     in
-    Report.table ~title:"Per-trial telemetry (counter deltas)" ~header body
+    Report.table ~title:"Per-trial telemetry (counter deltas; one row per affected domain)"
+      ~header body
 
   let publish reg row =
     let t = row.r_telemetry in

@@ -7,6 +7,8 @@ type spec =
   | Interrupt_storm of { domid : int; min_pending : int }
   | Xenstore_tampered of { path : string; legitimate : string }
   | Vcpu_hung of { domid : int }
+  | Wire_grant_writable of { granter : int; gref : int; grantee : int }
+  | Dm_handler_corrupted
 
 type audit = { holds : bool; evidence : string list }
 
@@ -26,6 +28,9 @@ let describe = function
   | Xenstore_tampered { path; legitimate } ->
       Printf.sprintf "xenstore node %s diverges from its legitimate value %S" path legitimate
   | Vcpu_hung { domid } -> Printf.sprintf "d%d vcpu stuck inside the hypervisor" domid
+  | Wire_grant_writable { granter; gref; grantee } ->
+      Printf.sprintf "d%d wire grant entry %d grants d%d writable access" granter gref grantee
+  | Dm_handler_corrupted -> "device-model FDC request-handler pointer overwritten"
 
 let entry_of hv mfn index =
   if Phys_mem.is_valid_mfn hv.Hv.mem mfn then Some (Frame.get_entry (Phys_mem.frame_ro hv.Hv.mem mfn) index)
@@ -33,7 +38,7 @@ let entry_of hv mfn index =
 
 let pte_evidence label e = Format.asprintf "%s = %a" label Pte.pp e
 
-let audit hv spec =
+let audit ?dm hv spec =
   match spec with
   | Idt_gate_corrupted { vector } ->
       let gate = Idt.read_gate hv.Hv.mem hv.Hv.idt_mfn vector in
@@ -142,6 +147,47 @@ let audit hv spec =
       | Some reason ->
           { holds = true; evidence = [ Printf.sprintf "d%d vcpu hung: %s" domid reason ] }
       | None -> { holds = false; evidence = [ Printf.sprintf "d%d vcpu runnable" domid ] })
+  | Wire_grant_writable { granter; gref; grantee } -> (
+      match Hv.find_domain hv granter with
+      | None -> { holds = false; evidence = [ Printf.sprintf "no domain %d" granter ] }
+      | Some dom -> (
+          let gt = dom.Domain.grant in
+          (* parse the wire entry exactly as the hypervisor's map path
+             does: 8-byte entries packed into the shared frames *)
+          let per_frame = Addr.page_size / Grant_table.Wire.entry_size in
+          match List.nth_opt (Grant_table.shared_frames gt) (gref / per_frame) with
+          | None ->
+              {
+                holds = false;
+                evidence = [ Printf.sprintf "d%d grant table not memory-backed at gref %d" granter gref ];
+              }
+          | Some frame_mfn ->
+              let frame = Phys_mem.frame_ro hv.Hv.mem frame_mfn in
+              let e = Grant_table.Wire.read frame (gref mod per_frame) in
+              let permits = e.Grant_table.Wire.w_flags land Grant_table.Wire.gtf_permit_access <> 0 in
+              let readonly = e.Grant_table.Wire.w_flags land Grant_table.Wire.gtf_readonly <> 0 in
+              {
+                holds = permits && (not readonly) && e.Grant_table.Wire.w_domid = grantee;
+                evidence =
+                  [
+                    Printf.sprintf
+                      "d%d wire gref %d @ mfn 0x%x: flags=0x%x domid=%d gfn=%d" granter gref
+                      frame_mfn e.Grant_table.Wire.w_flags e.Grant_table.Wire.w_domid
+                      e.Grant_table.Wire.w_gfn;
+                  ];
+              }))
+  | Dm_handler_corrupted -> (
+      match dm with
+      | None -> { holds = false; evidence = [ "no device model attached" ] }
+      | Some fdc ->
+          {
+            holds = not (Fdc.handler_intact fdc);
+            evidence =
+              [
+                Printf.sprintf "fdc handler = 0x%016Lx (legitimate 0x%016Lx)"
+                  (Fdc.handler_value fdc) Fdc.legitimate_handler;
+              ];
+          })
 
 let pp_audit ppf { holds; evidence } =
   Format.fprintf ppf "@[<v2>%s:@ %a@]"

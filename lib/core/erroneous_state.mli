@@ -25,12 +25,22 @@ type spec =
   | Vcpu_hung of { domid : int }
       (** a vcpu is stuck inside the hypervisor and pins the pCPU —
           the Induce-a-Hang-State erroneous state *)
+  | Wire_grant_writable of { granter : int; gref : int; grantee : int }
+      (** the cross-domain grant state: [granter]'s memory-backed wire
+          entry [gref] permits {e writable} access to [grantee] — a
+          grant the granter never legitimately made (the
+          Corrupt-a-Page-Reference intrusion model on the wire table) *)
+  | Dm_handler_corrupted
+      (** the VENOM state: the device model's FDC request-handler
+          pointer no longer holds its legitimate value (§III-B) *)
 
 type audit = { holds : bool; evidence : string list }
 
-val audit : Hv.t -> spec -> audit
+val audit : ?dm:Fdc.t -> Hv.t -> spec -> audit
 (** Inspect live machine state; [evidence] lists what was read (entry
-    values, ownership, walk steps) for the experiment transcript. *)
+    values, ownership, walk steps) for the experiment transcript.
+    [?dm] attaches the testbed's device-model FDC, which
+    {!Dm_handler_corrupted} audits; without it that spec never holds. *)
 
 val describe : spec -> string
 val pp_audit : Format.formatter -> audit -> unit

@@ -290,33 +290,49 @@ let snapshot ?cache (tb : Testbed.t) =
 
 let subtract l before = List.filter (fun x -> not (List.mem x before)) l
 
-let violations ~before ~after =
+(* Every violation, tagged with the domain (hostname) it was observed
+   in — [None] for host-level conditions (hypervisor crash, M2P
+   divergence, scheduler stalls, memory exhaustion). The tagged list is
+   the source of truth; [violations] projects the tags away, so the
+   historical ordering is preserved exactly. *)
+let violations_tagged ~before ~after =
   let crash =
     if after.crashed && not before.crashed then
-      [ Hypervisor_crash (Option.value ~default:"crash" after.crash_reason) ]
+      [ (None, Hypervisor_crash (Option.value ~default:"crash" after.crash_reason)) ]
     else []
   in
   let escalations =
     List.map
-      (fun (host, path) -> Privilege_escalation (Printf.sprintf "root file %s on %s" path host))
+      (fun (host, path) ->
+        (Some host, Privilege_escalation (Printf.sprintf "root file %s on %s" path host)))
       (subtract after.root_artifacts before.root_artifacts)
     @ List.map
         (fun (victim, remote) ->
-          Privilege_escalation (Printf.sprintf "root shell from %s to %s" victim remote))
+          (Some victim, Privilege_escalation (Printf.sprintf "root shell from %s to %s" victim remote)))
         (subtract after.root_shells before.root_shells)
   in
   let disclosures =
-    List.map (fun s -> Unauthorized_disclosure s) (subtract after.disclosed before.disclosed)
+    List.map
+      (fun s ->
+        let host = match String.index_opt s ':' with
+          | Some i -> Some (String.sub s 0 i)
+          | None -> None
+        in
+        (host, Unauthorized_disclosure s))
+      (subtract after.disclosed before.disclosed)
   in
   let guest_crashes =
-    List.map (fun h -> Guest_crash h) (subtract after.guest_crashes before.guest_crashes)
+    List.map (fun h -> (Some h, Guest_crash h)) (subtract after.guest_crashes before.guest_crashes)
   in
   let storms =
     List.filter_map
       (fun (host, n) ->
         match List.assoc_opt host before.pending_events with
         | Some n0 when n - n0 >= 16 ->
-            Some (Availability_degradation (Printf.sprintf "interrupt storm on %s (+%d)" host (n - n0)))
+            Some
+              ( Some host,
+                Availability_degradation
+                  (Printf.sprintf "interrupt storm on %s (+%d)" host (n - n0)) )
         | Some _ | None -> None)
       after.pending_events
   in
@@ -326,17 +342,20 @@ let violations ~before ~after =
         match List.assoc_opt host before.pt_exposure with
         | Some n0 when n > n0 ->
             Some
-              (Integrity_violation
-                 (Printf.sprintf "guest-writable page-table mappings on %s (+%d)" host (n - n0)))
+              ( Some host,
+                Integrity_violation
+                  (Printf.sprintf "guest-writable page-table mappings on %s (+%d)" host (n - n0))
+              )
         | Some _ | None -> None)
       after.pt_exposure
   in
   let m2p =
     if after.m2p_mismatches > before.m2p_mismatches then
       [
-        Integrity_violation
-          (Printf.sprintf "M2P/P2M divergence (+%d entries)"
-             (after.m2p_mismatches - before.m2p_mismatches));
+        ( None,
+          Integrity_violation
+            (Printf.sprintf "M2P/P2M divergence (+%d entries)"
+               (after.m2p_mismatches - before.m2p_mismatches)) );
       ]
     else []
   in
@@ -346,30 +365,52 @@ let violations ~before ~after =
         match List.assoc_opt host before.domain_pages with
         | Some n0 when n0 - n >= 8 ->
             Some
-              (Availability_degradation
-                 (Printf.sprintf "%s lost %d pages to balloon pressure" host (n0 - n)))
+              ( Some host,
+                Availability_degradation
+                  (Printf.sprintf "%s lost %d pages to balloon pressure" host (n0 - n)) )
         | Some _ | None -> None)
       after.domain_pages
   in
   let stalls =
     if after.sched_stalled > before.sched_stalled then
       [
-        Availability_degradation
-          (Printf.sprintf "pCPU stalled for %d scheduler slices" after.sched_stalled);
+        ( None,
+          Availability_degradation
+            (Printf.sprintf "pCPU stalled for %d scheduler slices" after.sched_stalled) );
       ]
     else []
   in
   let exhaustion =
     if before.free_frames > 0 && after.free_frames * 2 < before.free_frames then
       [
-        Availability_degradation
-          (Printf.sprintf "host memory exhaustion (%d -> %d free frames)" before.free_frames
-             after.free_frames);
+        ( None,
+          Availability_degradation
+            (Printf.sprintf "host memory exhaustion (%d -> %d free frames)" before.free_frames
+               after.free_frames) );
       ]
     else []
   in
   crash @ escalations @ disclosures @ integrity @ m2p @ guest_crashes @ storms @ memory_loss
   @ stalls @ exhaustion
+
+let violations ~before ~after = List.map snd (violations_tagged ~before ~after)
+
+(* Group the tagged list by domain, preserving first-appearance order of
+   the domains and the within-domain violation order. Host-level
+   violations group under "host". *)
+let violations_by_domain ~before ~after =
+  let tagged = violations_tagged ~before ~after in
+  let key = function Some h -> h | None -> "host" in
+  let doms =
+    List.fold_left
+      (fun acc (tag, _) ->
+        let k = key tag in
+        if List.mem k acc then acc else k :: acc)
+      [] tagged
+  in
+  List.rev_map
+    (fun d -> (d, List.filter_map (fun (tag, v) -> if key tag = d then Some v else None) tagged))
+    doms
 
 let violation_to_string = function
   | Hypervisor_crash r -> Printf.sprintf "hypervisor crash (%s)" r

@@ -72,6 +72,15 @@ val violations : before:snapshot -> after:snapshot -> violation list
     first. An empty list means the system handled the state (the
     shield of Table III). *)
 
+val violations_by_domain :
+  before:snapshot -> after:snapshot -> (string * violation list) list
+(** The same violations as {!violations}, grouped by the domain
+    (hostname) each one was observed in. Host-level conditions — a
+    hypervisor crash, M2P divergence, scheduler stalls, frame
+    exhaustion — group under ["host"]. Domains appear in
+    first-violation order; within a domain the {!violations} order is
+    preserved. Domains with no violations do not appear. *)
+
 val violation_to_string : violation -> string
 val pp_violation : Format.formatter -> violation -> unit
 

@@ -55,16 +55,25 @@ module type S = sig
 
   type t
 
-  val create : ?frames:int -> config -> t
+  val create : ?frames:int -> ?domains:int -> ?load:Load_mix.t -> config -> t
   (** Boot a fresh testbed: host plus its standard population of
-      guests, with a reset checkpoint captured at the end. *)
+      guests, with a reset checkpoint captured at the end. [?domains]
+      is the number of concurrent guest domains (default 2, the
+      historical victim + attacker pair); [?load] attaches a
+      deterministic background workload every guest runs per scheduler
+      round (default {!Load_mix.none}). *)
 
-  val create_pooled : ?frames:int -> config -> t
+  val create_pooled : ?frames:int -> ?domains:int -> ?load:Load_mix.t -> config -> t
   (** Like [create], but forked copy-on-write from a process-wide frozen
       template for this configuration (built once, on first use) — the
       warm-pool path campaign workers use so every shard and matrix cell
       costs O(metadata) instead of a full boot. Thread-safe; observably
-      equivalent to [create]. *)
+      equivalent to [create]. Templates are pooled per (config, domains)
+      and load-free: the load mix is runtime-only state installed on the
+      fork, so pooled ≡ fresh holds for loaded multi-domain testbeds. *)
+
+  val domains : t -> string list
+  (** Hostnames of the guest domains, stable per-domain row order. *)
 
   val reset : t -> unit
   (** Roll back to the post-boot checkpoint in O(frames dirtied);
@@ -122,6 +131,13 @@ module type S = sig
   val inject_read :
     t -> addr:int64 -> Access.action -> len:int -> (bytes, Errno.t) result
 
+  val inject_dm_write : t -> bytes -> (unit, Errno.t) result
+  (** The device-model injection surface: write bytes past the FDC FIFO
+      end inside the device-model process (the VENOM erroneous state),
+      counted and recorded like any injector access. Gated on
+      {!injector_installed} ([ENOSYS] otherwise); [ENOSYS] on backends
+      without a device model. *)
+
   (** {1 Erroneous-state auditing} *)
 
   type state_spec
@@ -138,6 +154,12 @@ module type S = sig
   val violations : before:snapshot -> after:snapshot -> Monitor.violation list
   (** Diff two snapshots into the shared violation vocabulary
       ({!Monitor.violation}), so rows compare across backends. *)
+
+  val violations_by_domain :
+    before:snapshot -> after:snapshot -> (string * Monitor.violation list) list
+  (** The same violations grouped by the domain each was observed in
+      (host-level conditions under ["host"]) — the per-domain blast
+      radius rows of multi-domain campaigns. *)
 
   val host_alive : snapshot -> bool
   val guests_alive : snapshot -> int

@@ -20,9 +20,13 @@ let port_heading = "Hypercalls"
 
 type t = Testbed.t
 
-let create ?frames version = Testbed.create ?frames version
-let create_pooled ?frames version = Testbed.create_pooled ?frames version
+let create ?frames ?domains ?load version = Testbed.create ?frames ?domains ?load version
+
+let create_pooled ?frames ?domains ?load version =
+  Testbed.create_pooled ?frames ?domains ?load version
+
 let reset = Testbed.reset
+let domains = Testbed.domain_names
 let trace tb = tb.Testbed.hv.Hv.trace
 let vclock tb = Trace.vts (trace tb)
 let set_cost_model tb m = Vclock.set_model (Trace.vclock (trace tb)) m
@@ -44,16 +48,29 @@ let injector_installed tb = Injector.installed tb.Testbed.hv
 let inject_write tb ~addr action data = Injector.write tb.Testbed.attacker ~addr ~action data
 let inject_read tb ~addr action ~len = Injector.read tb.Testbed.attacker ~addr ~action ~len
 
+(* The device-model surface is process memory, not machine memory, so it
+   bypasses the hypercall port — but it is still an injector access, and
+   it obeys the same gate: no injection without the port installed. *)
+let inject_dm_write tb data =
+  if not (Injector.installed tb.Testbed.hv) then Error Errno.ENOSYS
+  else Devmodel.inject tb.Testbed.dm data
+
 type state_spec = Erroneous_state.spec
 
-let audit tb spec = Erroneous_state.audit tb.Testbed.hv spec
+let audit tb spec = Erroneous_state.audit ~dm:(Devmodel.fdc tb.Testbed.dm) tb.Testbed.hv spec
 
 type snapshot = Monitor.snapshot
 
 let snapshot tb = Monitor.snapshot tb
 let violations = Monitor.violations
+let violations_by_domain = Monitor.violations_by_domain
 let host_alive (s : snapshot) = not s.Monitor.crashed
-let guests_alive (s : snapshot) = 3 - List.length s.Monitor.guest_crashes
+
+let guests_alive (s : snapshot) =
+  (* every guest domain the snapshot saw, minus the crashed ones; dom0
+     is not a guest *)
+  List.length (List.filter (fun (h, _) -> h <> "xen3") s.Monitor.domain_pages)
+  - List.length s.Monitor.guest_crashes
 let frame_hash tb mfn = Phys_mem.frame_hash tb.Testbed.hv.Hv.mem mfn
 
 let critical_frames tb =
@@ -153,7 +170,18 @@ let apply_event tb (ev : Trace.event) =
       if injected then Xenstore.inject_write hv.Hv.xenstore path value
       else ignore (Xenstore.write hv.Hv.xenstore ~caller path value);
       true
-  | Trace.Backend_op _ (* no backend-private ops on the Xen substrate *)
+  | Trace.Backend_op { op; arg1; data; _ } when op = Devmodel.op_guest_io ->
+      (* a guest-facing device-model command; re-issue it so the FDC
+         (and a VENOM overflow) replays in place *)
+      ignore (Devmodel.guest_io tb.Testbed.dm ~domid:(Int64.to_int arg1) (Bytes.of_string data));
+      true
+  | Trace.Backend_op { op; data; _ } when op = Devmodel.op_inject ->
+      (* the device-model injection surface: re-running it regenerates
+         the Injector_access record (internal, like hypercall-port
+         injector accesses) at the same stamp *)
+      ignore (Devmodel.inject tb.Testbed.dm (Bytes.of_string data));
+      true
+  | Trace.Backend_op _ (* other backends' private ops *)
   | Trace.Hypercall_ret _ | Trace.Fault _ | Trace.Tlb_flush_all | Trace.Tlb_invlpg _
   | Trace.Page_type _ | Trace.Grant_op _ | Trace.Evtchn_op _ | Trace.Injector_access _
   | Trace.Console _ | Trace.Monitor_verdict _ | Trace.Panic _ | Trace.Vmi_scan _

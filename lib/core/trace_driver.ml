@@ -51,6 +51,11 @@ module Make (B : Substrate.S) = struct
     rec_mode : Campaign.mode;
     rec_version : B.config;
     rec_frames : int option;
+    rec_domains : int option;
+    rec_load : Load_mix.t option;
+        (** the testbed shape (guest-domain count, background-load mix)
+            the trial ran under; replay recreates the same shape so
+            multi-domain loaded recordings reproduce byte-for-byte *)
     rec_row : C.result_row;
     rec_bytes : string;
     rec_dropped : int;
@@ -67,8 +72,9 @@ module Make (B : Substrate.S) = struct
   let prov_export tb =
     match B.provenance tb with Some p -> Some (Provenance.to_json p) | None -> None
 
-  let record ?frames ?capacity_bytes ?(provenance = false) ?prepare ?observer uc mode version =
-    let tb = B.create ?frames version in
+  let record ?frames ?domains ?load ?capacity_bytes ?(provenance = false) ?prepare ?observer uc
+      mode version =
+    let tb = B.create ?frames ?domains ?load version in
     if provenance then B.enable_provenance tb;
     (* [prepare] runs before the ring opens (and before Campaign.run's
        reset, which returns to this very state): the place to arm VMI
@@ -84,6 +90,8 @@ module Make (B : Substrate.S) = struct
       rec_mode = mode;
       rec_version = version;
       rec_frames = frames;
+      rec_domains = domains;
+      rec_load = load;
       rec_row = row;
       rec_bytes = Trace.to_bytes tr;
       rec_dropped = Trace.dropped tr;
@@ -129,7 +137,9 @@ module Make (B : Substrate.S) = struct
     if r.rec_dropped > 0 then
       invalid_arg
         (Printf.sprintf "Trace_driver.replay: recording dropped %d records" r.rec_dropped);
-    let tb = B.create ?frames:r.rec_frames r.rec_version in
+    let tb =
+      B.create ?frames:r.rec_frames ?domains:r.rec_domains ?load:r.rec_load r.rec_version
+    in
     B.set_cost_model tb r.rec_model;
     if r.rec_prov <> None then B.enable_provenance tb;
     (* record the replay too: re-driven boundary events re-emit through

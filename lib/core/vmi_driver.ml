@@ -58,13 +58,15 @@ module Make (B : Substrate.S) = struct
     t_scans : int;
     t_frames_read : int;
     t_scan_cost_ns : int64;
+    t_domains : (string * Monitor.violation list) list;
+        (** per-domain blast radius of the trial (from the result row) *)
   }
 
-  let run_trial ?frames ?capacity_bytes ?period ?every_ns ?registry
+  let run_trial ?frames ?domains ?load ?capacity_bytes ?period ?every_ns ?registry
       ?(detectors = B.detectors ()) uc mode version =
     let sched = Vmi.Scheduler.create ?period ?every_ns ?registry detectors in
     let recording =
-      T.record ?frames ?capacity_bytes
+      T.record ?frames ?domains ?load ?capacity_bytes
         ~prepare:(fun tb -> Vmi.Scheduler.arm sched tb)
         ~observer:(fun tb -> Vmi.Scheduler.step sched (B.trace tb) tb)
         uc mode version
@@ -108,6 +110,7 @@ module Make (B : Substrate.S) = struct
       t_scans = Vmi.Scheduler.scans_run sched;
       t_frames_read = Vmi.Scheduler.frames_read sched;
       t_scan_cost_ns = Vmi.Scheduler.scan_cost_ns sched;
+      t_domains = recording.T.rec_row.C.r_domains;
     }
 
   let covered t = List.exists (fun (_, l) -> l <> None) t.t_latency
@@ -130,8 +133,49 @@ module Make (B : Substrate.S) = struct
         | Some b, None -> Some b)
       None t.t_latency_ns
 
-  let coverage ?frames ?period ?every_ns ?registry ucs mode version =
-    List.map (fun uc -> run_trial ?frames ?period ?every_ns ?registry uc mode version) ucs
+  let coverage ?frames ?domains ?load ?period ?every_ns ?registry ucs mode version =
+    List.map
+      (fun uc -> run_trial ?frames ?domains ?load ?period ?every_ns ?registry uc mode version)
+      ucs
+
+  (* Per-domain blast radius and detection latency: one row per (trial,
+     affected domain). The latency is the trial's best (first) detector
+     fire — detectors watch host-critical structures, so the same
+     latency bounds every domain's exposure window under that trial. *)
+  let domain_table trials =
+    let header = [ "Use Case"; "Mode"; "Dom"; "Violations"; "Latency" ] in
+    let rows =
+      List.concat_map
+        (fun t ->
+          let latency =
+            match
+              List.fold_left
+                (fun best (_, l) ->
+                  match (best, l) with
+                  | None, l -> l
+                  | Some b, Some l -> Some (if Int64.compare l b < 0 then l else b)
+                  | Some b, None -> Some b)
+                None t.t_latency_ns
+            with
+            | Some ns -> Printf.sprintf "%Ldns" ns
+            | None -> "-"
+          in
+          let prefix =
+            [
+              t.t_recording.T.rec_use_case;
+              Campaign.mode_to_string t.t_recording.T.rec_mode;
+            ]
+          in
+          match t.t_domains with
+          | [] -> [ prefix @ [ "-"; "0"; latency ] ]
+          | doms ->
+              List.map
+                (fun (dom, viols) ->
+                  prefix @ [ dom; string_of_int (List.length viols); latency ])
+                doms)
+        trials
+    in
+    Report.table ~title:"Per-domain blast radius x detection latency" ~header rows
 
   let matrix_table trials =
     let detectors =

@@ -289,7 +289,12 @@ let tick t =
     balloon t;
     (* user processes run and call into the vDSO *)
     Process.on_tick t.procs;
-    let frame = Phys_mem.frame_ro t.hv.Hv.mem (vdso_mfn t) in
+    let vdso = vdso_mfn t in
+    (* user code *executes* these bytes: the causal edge a bystander
+       compromise is attributed through *)
+    Phys_mem.observe t.hv.Hv.mem ~consumer:Provenance.Vdso_exec ~mfn:vdso
+      ~off:Builder.Vdso.code_off ~len:Builder.Vdso.code_len;
+    let frame = Phys_mem.frame_ro t.hv.Hv.mem vdso in
     let blob = Frame.read_bytes frame Builder.Vdso.code_off Builder.Vdso.code_len in
     match Backdoor.decode blob with
     | None -> ()

@@ -15,6 +15,7 @@ type origin =
   | Guest_write of int
   | Backend_write of int
   | Overflow
+  | Device_model of int
 
 let origin_to_string = function
   | Baseline -> "baseline"
@@ -23,6 +24,8 @@ let origin_to_string = function
   | Guest_write domid -> Printf.sprintf "guest:d%d" domid
   | Backend_write id -> Printf.sprintf "backend:%d" id
   | Overflow -> "overflow"
+  | Device_model 0 -> "device-model"
+  | Device_model n -> Printf.sprintf "device-model(injector#%d)" n
 
 type consumer =
   | Pt_walk
@@ -33,6 +36,8 @@ type consumer =
   | Vmcs_check
   | Ept_walk
   | Vmi_view
+  | Gnt_check
+  | Vdso_exec
 
 let consumer_code = function
   | Pt_walk -> 0
@@ -43,6 +48,8 @@ let consumer_code = function
   | Vmcs_check -> 5
   | Ept_walk -> 6
   | Vmi_view -> 7
+  | Gnt_check -> 8
+  | Vdso_exec -> 9
 
 let consumer_name = function
   | Pt_walk -> "pt_walk"
@@ -53,9 +60,14 @@ let consumer_name = function
   | Vmcs_check -> "vmcs_check"
   | Ept_walk -> "ept_walk"
   | Vmi_view -> "vmi_view"
+  | Gnt_check -> "gnt_check"
+  | Vdso_exec -> "vdso_exec"
 
 let all_consumers =
-  [ Pt_walk; Page_type_check; Idt_gate; Monitor_scan; M2p_check; Vmcs_check; Ept_walk; Vmi_view ]
+  [
+    Pt_walk; Page_type_check; Idt_gate; Monitor_scan; M2p_check; Vmcs_check; Ept_walk; Vmi_view;
+    Gnt_check; Vdso_exec;
+  ]
 
 (* --- the shadow map ----------------------------------------------------- *)
 

@@ -37,6 +37,12 @@ type origin =
   | Guest_write of int  (** an ordinary guest kernel write from domain [domid] *)
   | Backend_write of int  (** a backend-private write port (KVM [host_write]) *)
   | Overflow  (** the saturation label once 254 origins are live *)
+  | Device_model of int
+      (** bytes radiated into guest memory by a compromised device
+          model. [n] is the injector access ordinal that corrupted the
+          device model (so a bystander-domain casualty still attributes
+          to the injector), or 0 when the compromise came from a real
+          exploit rather than the injection port. *)
 
 val origin_to_string : origin -> string
 (** Deterministic rendering ("injector#1", "hypercall:2", "guest:d1",
@@ -52,6 +58,8 @@ type consumer =
   | Vmcs_check  (** KVM VM entry / VMCS hash reads *)
   | Ept_walk  (** the KVM EPT graph walk *)
   | Vmi_view  (** out-of-band VMI view reconstruction *)
+  | Gnt_check  (** grant-table wire-entry interpretation ([Grant_table.map_memory]) *)
+  | Vdso_exec  (** guest vDSO code page read at tick (backdoor decode) *)
 
 val consumer_code : consumer -> int
 (** Stable wire code used by [Trace.Provenance_edge]. *)

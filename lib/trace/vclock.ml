@@ -14,6 +14,9 @@ module Cost_model = struct
     vmi_scan_frame : int64;
     kvm_ioctl : int64;
     vm_entry : int64;
+    grant_map : int64;
+    evtchn_send : int64;
+    dm_io : int64;
   }
 
   (* Anchored on the bench's real-time hypercall_dispatch_ns
@@ -34,6 +37,9 @@ module Cost_model = struct
       vmi_scan_frame = 150L;
       kvm_ioctl = 900L;
       vm_entry = 650L;
+      grant_map = 260L;
+      evtchn_send = 110L;
+      dm_io = 1500L;
     }
 
   let to_assoc m =
@@ -50,6 +56,9 @@ module Cost_model = struct
       ("vmi_scan_frame", m.vmi_scan_frame);
       ("kvm_ioctl", m.kvm_ioctl);
       ("vm_entry", m.vm_entry);
+      ("grant_map", m.grant_map);
+      ("evtchn_send", m.evtchn_send);
+      ("dm_io", m.dm_io);
     ]
 
   let to_string m =
@@ -70,6 +79,9 @@ module Cost_model = struct
     | "vmi_scan_frame" -> Some { m with vmi_scan_frame = v }
     | "kvm_ioctl" -> Some { m with kvm_ioctl = v }
     | "vm_entry" -> Some { m with vm_entry = v }
+    | "grant_map" -> Some { m with grant_map = v }
+    | "evtchn_send" -> Some { m with evtchn_send = v }
+    | "dm_io" -> Some { m with dm_io = v }
     | _ -> None
 
   let of_string ?(base = default) src =
@@ -122,6 +134,9 @@ type op =
   | Vmi_scan_frame
   | Kvm_ioctl
   | Vm_entry
+  | Grant_map
+  | Evtchn_send
+  | Dm_io
 
 let op_name = function
   | Hypercall_dispatch -> "hypercall_dispatch"
@@ -136,6 +151,9 @@ let op_name = function
   | Vmi_scan_frame -> "vmi_scan_frame"
   | Kvm_ioctl -> "kvm_ioctl"
   | Vm_entry -> "vm_entry"
+  | Grant_map -> "grant_map"
+  | Evtchn_send -> "evtchn_send"
+  | Dm_io -> "dm_io"
 
 let cost (m : Cost_model.t) = function
   | Hypercall_dispatch -> m.Cost_model.hypercall_dispatch
@@ -150,6 +168,9 @@ let cost (m : Cost_model.t) = function
   | Vmi_scan_frame -> m.Cost_model.vmi_scan_frame
   | Kvm_ioctl -> m.Cost_model.kvm_ioctl
   | Vm_entry -> m.Cost_model.vm_entry
+  | Grant_map -> m.Cost_model.grant_map
+  | Evtchn_send -> m.Cost_model.evtchn_send
+  | Dm_io -> m.Cost_model.dm_io
 
 type t = { mutable now : int64; mutable model : Cost_model.t; mutable attached : bool }
 

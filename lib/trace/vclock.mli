@@ -42,6 +42,9 @@ module Cost_model : sig
             side-effect-free and replay does not re-run them. *)
     kvm_ioctl : int64;  (** one KVM injector ioctl *)
     vm_entry : int64;  (** one KVM VM entry (or in-guest fault delivery) *)
+    grant_map : int64;  (** one cross-domain grant map/unmap *)
+    evtchn_send : int64;  (** one event-channel notification *)
+    dm_io : int64;  (** one device-model I/O request (FDC command round) *)
   }
 
   val default : t
@@ -79,6 +82,9 @@ type op =
   | Vmi_scan_frame
   | Kvm_ioctl
   | Vm_entry
+  | Grant_map
+  | Evtchn_send
+  | Dm_io
 
 val op_name : op -> string
 val cost : Cost_model.t -> op -> int64

@@ -98,6 +98,11 @@ let map_memory t ~mem ~granter ~mapper ~gref ~gfn_to_mfn =
   | None -> Error Errno.EINVAL
   | Some (frame_mfn, slot) ->
       let frame = Phys_mem.frame mem frame_mfn in
+      (* the hypervisor is about to *interpret* these guest-writable
+         bytes: record the causal edge so attribution can tie a forged
+         wire entry back to whoever wrote it *)
+      Phys_mem.observe mem ~consumer:Provenance.Gnt_check ~mfn:frame_mfn
+        ~off:(slot * Wire.entry_size) ~len:Wire.entry_size;
       let e = Wire.read frame slot in
       if e.Wire.w_flags land Wire.gtf_permit_access = 0 then Error Errno.ENOENT
       else if e.Wire.w_domid <> mapper then Error Errno.EPERM

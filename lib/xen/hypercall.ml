@@ -305,6 +305,7 @@ let do_grant_op hv dom = function
       | Some mfn -> of_unit (Grant_table.grant_access dom.Domain.grant ~gref ~grantee ~mfn ~readonly))
   | Gnttab_end_access { gref } -> of_unit (Grant_table.end_access dom.Domain.grant ~gref)
   | Gnttab_map { granter; gref } -> (
+      Trace.charge hv.Hv.trace Vclock.Grant_map;
       match Hv.find_domain hv granter with
       | None -> Error Errno.EINVAL
       | Some gd ->
@@ -319,6 +320,7 @@ let do_grant_op hv dom = function
           | Ok record -> Ok (Int64.of_int record.Grant_table.handle)
           | Error e -> Error e))
   | Gnttab_unmap { granter; handle } -> (
+      Trace.charge hv.Hv.trace Vclock.Grant_map;
       match Hv.find_domain hv granter with
       | None -> Error Errno.EINVAL
       | Some gd ->
@@ -346,6 +348,7 @@ let do_evtchn hv dom = function
       | Ok port -> Ok (Int64.of_int port)
       | Error e -> Error e)
   | Evtchn_send { port } -> (
+      Trace.charge hv.Hv.trace Vclock.Evtchn_send;
       (* interdomain semantics: signalling my port raises the peer's *)
       match Event_channel.port dom.Domain.events port with
       | Some { Event_channel.binding = Some (Event_channel.Interdomain { remote_dom; remote_port }); _ }

@@ -40,6 +40,16 @@ let validate_l1 hv dom e =
           Ok (Some { acc_target = target; acc_kind = `Data_ro })
         else if List.mem target (Grant_table.shared_frames dom.Domain.grant) then
           Ok (Some { acc_target = target; acc_kind = (if write then `Data_rw else `Data_ro) })
+        else if
+          (* The grant-ownership bug: 4.6 only checks that the target is
+             *some* grant-table frame, not that it is the mapper's own —
+             so a guest can map a co-resident domain's wire entries
+             writable and forge grants. *)
+          (not (Version.grant_frame_ownership_checked hv.Hv.version))
+          && List.exists
+               (fun d -> List.mem target (Grant_table.shared_frames d.Domain.grant))
+               hv.Hv.domains
+        then Ok (Some { acc_target = target; acc_kind = (if write then `Data_rw else `Data_ro) })
         else Error Errno.EPERM
     | Phys_mem.Dom id when id = dom.Domain.id ->
         if write then

@@ -33,4 +33,19 @@ val hardened_address_space : t -> bool
 (** Post-XSA-213 hardening (4.9+): the 512 GiB RWX linear-page-table
     window and the extra guest-mappable L4 slots were removed. *)
 
+val grant_frame_ownership_checked : t -> bool
+(** [validate_l1] checks that a Xen-owned grant-table frame belongs to
+    the mapping domain before admitting a writable mapping. 4.6 admits
+    any domain's grant frames — a guest can rewrite a co-resident
+    domain's wire entries and forge grants that were never made. *)
+
+val venom_fixed : t -> bool
+(** The device-model FDC bounds-checks FIFO input (CVE-2015-3456
+    "VENOM", fixed in the QEMU shipped from 4.7 on). *)
+
+val dm_handler_validation : t -> bool
+(** The device model validates its dispatch handler against a known-good
+    value before each command kick (a 4.13-era hardening), shielding
+    guests from a corrupted handler even when corruption lands. *)
+
 val pp : Format.formatter -> t -> unit

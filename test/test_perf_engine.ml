@@ -171,6 +171,27 @@ let test_pooled_equals_fresh_campaign () =
         [ Campaign.Real_exploit; Campaign.Injection ])
     All.use_cases
 
+(* The same contract with extra domains and background load live: the
+   pool keys on the domain count, the template stays load-free, and the
+   fork installs its own per-domain streams — so a loaded four-domain
+   fork must return the exact row a loaded four-domain fresh boot
+   returns, per-domain violation rows included. *)
+let test_pooled_equals_fresh_multidomain () =
+  let load = Ii_trace.Load_mix.default in
+  let tb = Testbed.create_pooled ~domains:4 ~load Version.V4_6 in
+  List.iter
+    (fun uc ->
+      List.iter
+        (fun mode ->
+          let fresh = Campaign.run ~domains:4 ~load uc mode Version.V4_6 in
+          let pooled = Campaign.run ~tb uc mode Version.V4_6 in
+          check_bool
+            (uc.Campaign.uc_name ^ "/" ^ Campaign.mode_to_string mode
+           ^ " multi-domain pooled")
+            true (fresh = pooled))
+        [ Campaign.Real_exploit; Campaign.Injection ])
+    All.use_cases
+
 let test_pooled_equals_fresh_kvm () =
   let module BK = Ii_backends.Backend_kvm in
   let module KC = Ii_backends.Backends.Kvm_campaign in
@@ -419,6 +440,8 @@ let () =
             test_pooled_equals_fresh_campaign;
           Alcotest.test_case "campaign rows: pooled = fresh (kvm)" `Quick
             test_pooled_equals_fresh_kvm;
+          Alcotest.test_case "campaign rows: pooled = fresh (4 domains, loaded)" `Quick
+            test_pooled_equals_fresh_multidomain;
           Alcotest.test_case "interleaved scans on a fork" `Quick test_pooled_interleaved_scans;
           Alcotest.test_case "provenance on a fork" `Quick test_pooled_provenance;
           Alcotest.test_case "scan-cache anchoring on a fork" `Quick

@@ -50,12 +50,15 @@ let corpus_programs = lazy (List.map (fun ft -> (fst ft, compile_exn ft)) (Lazy.
 
 let test_corpus_complete () =
   let progs = Lazy.force corpus_programs in
-  check_int "six scenarios in the corpus" 6 (List.length progs);
+  check_int "eight scenarios in the corpus" 8 (List.length progs);
   let names = List.map (fun (_, p) -> Scn_bytecode.name p) progs in
   check_bool "names are unique" true (List.sort_uniq compare names = List.sort compare names);
   List.iter
-    (fun n -> check_bool (n ^ " ported") true (List.mem n names))
-    [ "XSA-148-priv"; "XSA-182-test"; "XSA-212-crash"; "XSA-212-priv"; "KVM-VMCS"; "KVM-IDT" ]
+    (fun n -> check_bool (n ^ " present") true (List.mem n names))
+    [
+      "XSA-148-priv"; "XSA-182-test"; "XSA-212-crash"; "XSA-212-priv";
+      "KVM-VMCS"; "KVM-IDT"; "GNT-XDOM"; "VENOM-dm";
+    ]
 
 let check_for p =
   match Scn_bytecode.backend p with
@@ -295,6 +298,42 @@ let test_run_corpus_matches_run () =
         modes)
     progs
 
+(* --- cross-domain scenarios ------------------------------------------------ *)
+
+(* The two multi-domain scenarios, run the way the CI cross-domain gate
+   runs them: four guest domains, default background mix. The injection
+   campaign must leave a casualty in a bystander domain (a per-domain
+   violation row other than the attacker-host row), record/replay must
+   stay byte-identical — snapshot AND virtual-timestamp stream — with
+   the load running, and attribution must resolve every violation to a
+   non-empty origin set. *)
+let test_crossdomain_scenarios () =
+  let load = Ii_trace.Load_mix.default in
+  let version = Substrate_xen.rq1_config in
+  List.iter
+    (fun name ->
+      let uc = xen_program name in
+      let row = Campaign.run ~domains:4 ~load uc Campaign.Injection version in
+      check_bool (name ^ ": injected state present") true row.Campaign.r_state;
+      check_bool (name ^ ": bystander domain affected") true
+        (List.exists (fun (d, vs) -> d <> "host" && vs <> []) row.Campaign.r_domains);
+      List.iter
+        (fun mode ->
+          let r = Trace_driver.record ~domains:4 ~load uc mode version in
+          let o = Trace_driver.replay r in
+          check_bool
+            (Printf.sprintf "%s %s: replay equal under load" name
+               (Campaign.mode_to_string mode))
+            true o.Trace_driver.rp_equal;
+          check_bool
+            (Printf.sprintf "%s %s: vts stream equal under load" name
+               (Campaign.mode_to_string mode))
+            true o.Trace_driver.rp_vts_equal)
+        modes;
+      let a = Attribution.attribute ~domains:4 ~load uc Campaign.Injection version in
+      check_bool (name ^ ": every violation attributed") true (Attribution.complete a))
+    [ "GNT-XDOM"; "VENOM-dm" ]
+
 (* --- checker specifics ----------------------------------------------------- *)
 
 let compile_str s =
@@ -374,6 +413,7 @@ let () =
           Alcotest.test_case "kvm result rows" `Quick test_golden_kvm;
           Alcotest.test_case "kvm snapshots" `Quick test_golden_kvm_snapshots;
           Alcotest.test_case "scheduler path" `Quick test_run_corpus_matches_run;
+          Alcotest.test_case "cross-domain" `Quick test_crossdomain_scenarios;
         ] );
       ("checker", [ Alcotest.test_case "gates" `Quick test_checker_gates ]);
     ]

@@ -201,6 +201,49 @@ let test_kvm_detectors_cover () =
         (KV.side_effect_free u Campaign.Injection BK.Stock))
     KU.use_cases
 
+(* The domain-indexed view of Substrate.S, exercised on both backends:
+   [domains] names every guest in stable row order, scaling with
+   ?domains, and [violations_by_domain] partitions exactly the flat
+   [violations] list — same multiset, every group keyed by a known
+   domain name or "host", no empty groups. *)
+let test_domain_indexed_view () =
+  let xen_tb = Ii_guest.Testbed.create ~domains:4 ~load:Load_mix.default Version.V4_6 in
+  check_int "xen: four guest domains" 4 (List.length (Substrate_xen.domains xen_tb));
+  let uc = Option.get (All.find "XSA-212-priv") in
+  let before = Substrate_xen.snapshot xen_tb in
+  ignore (Campaign.run ~tb:xen_tb uc Campaign.Injection Version.V4_6);
+  Ii_guest.Testbed.tick_all xen_tb;
+  let after = Substrate_xen.snapshot xen_tb in
+  let flat = Substrate_xen.violations ~before ~after in
+  let grouped = Substrate_xen.violations_by_domain ~before ~after in
+  (* valid group keys: "host", plus any domain on the machine — dom0
+     included, which is not in the guest-row [domains] list *)
+  let names =
+    "host" :: List.map Ii_guest.Kernel.hostname (Ii_guest.Testbed.kernels xen_tb)
+  in
+  List.iter
+    (fun (d, vs) ->
+      check_bool ("xen: known domain " ^ d) true (List.mem d names);
+      check_bool ("xen: non-empty group " ^ d) true (vs <> []))
+    grouped;
+  check_int "xen: groups partition the flat list" (List.length flat)
+    (List.length (List.concat_map snd grouped));
+  let kvm_tb = BK.create ~domains:3 BK.Stock in
+  check_int "kvm: three guest domains" 3 (List.length (BK.domains kvm_tb));
+  let kb = BK.snapshot kvm_tb in
+  ignore (KC.run ~tb:kvm_tb KU.vmcs_uc Campaign.Injection BK.Stock);
+  let ka = BK.snapshot kvm_tb in
+  let kflat = BK.violations ~before:kb ~after:ka in
+  let kgrouped = BK.violations_by_domain ~before:kb ~after:ka in
+  let knames = "host" :: BK.domains kvm_tb in
+  List.iter
+    (fun (d, vs) ->
+      check_bool ("kvm: known domain " ^ d) true (List.mem d knames);
+      check_bool ("kvm: non-empty group " ^ d) true (vs <> []))
+    kgrouped;
+  check_int "kvm: groups partition the flat list" (List.length kflat)
+    (List.length (List.concat_map snd kgrouped))
+
 let test_backend_registry () =
   check_bool "xen known" true (Ii_backends.Backends.is_known "xen");
   check_bool "kvm known" true (Ii_backends.Backends.is_known "kvm");
@@ -251,6 +294,7 @@ let () =
           Alcotest.test_case "record/replay equal" `Quick test_kvm_replay;
           Alcotest.test_case "detectors cover states" `Quick test_kvm_detectors_cover;
           Alcotest.test_case "registry" `Quick test_backend_registry;
+          Alcotest.test_case "domain-indexed view" `Quick test_domain_indexed_view;
         ] );
       ( "cross",
         [ Alcotest.test_case "comparable rows" `Quick test_cross_backend_rows ] );

@@ -157,6 +157,22 @@ let test_telemetry_table_renders () =
   check_bool "mentions the use case" true (contains ~sub:"XSA-212-crash" s);
   check_bool "has the hypercall column" true (contains ~sub:"Hypercalls" s)
 
+(* With extra domains live the table grows one row per affected domain:
+   the Dom/Viol columns name each casualty, and every domain the trial
+   touched must appear in the rendering. *)
+let test_telemetry_table_per_domain_rows () =
+  let r =
+    Campaign.run ~domains:4 ~load:Load_mix.default (uc "XSA-212-priv") Campaign.Injection
+      Version.V4_6
+  in
+  let s = Campaign.telemetry_table [ r ] in
+  check_bool "has the Dom column" true (contains ~sub:"Dom" s);
+  check_bool "has the Viol column" true (contains ~sub:"Viol" s);
+  check_bool "at least one affected domain" true (r.Campaign.r_domains <> []);
+  List.iter
+    (fun (d, _) -> check_bool (d ^ " rendered") true (contains ~sub:d s))
+    r.Campaign.r_domains
+
 let () =
   Alcotest.run "trace"
     [
@@ -179,5 +195,6 @@ let () =
             test_tracing_does_not_change_results;
           Alcotest.test_case "injector counted" `Quick test_telemetry_counts_injector;
           Alcotest.test_case "table renders" `Quick test_telemetry_table_renders;
+          Alcotest.test_case "per-domain rows" `Quick test_telemetry_table_per_domain_rows;
         ] );
     ]

@@ -28,7 +28,12 @@ let test_cost_model_roundtrip () =
   (match Vclock.Cost_model.of_string (Vclock.Cost_model.to_string d) with
   | Ok m -> check_bool "to_string/of_string roundtrip" true (m = d)
   | Error e -> Alcotest.fail e);
-  check_int "twelve ops priced" 12 (List.length (Vclock.Cost_model.to_assoc d));
+  check_int "fifteen ops priced" 15 (List.length (Vclock.Cost_model.to_assoc d));
+  List.iter
+    (fun k ->
+      check_bool (k ^ " priced") true
+        (List.mem_assoc k (Vclock.Cost_model.to_assoc d)))
+    [ "grant_map"; "evtchn_send"; "dm_io" ];
   List.iter
     (fun (_, v) -> check_bool "all defaults positive" true (Int64.compare v 0L > 0))
     (Vclock.Cost_model.to_assoc d)
@@ -41,8 +46,16 @@ let test_cost_model_parsing () =
       check_i64 "untouched key keeps default" (Vclock.cost Vclock.Cost_model.default Vclock.Pte_install)
         (Vclock.cost m Vclock.Pte_install)
   | Error e -> Alcotest.fail e);
+  (match Vclock.Cost_model.of_string "grant_map = 7\nevtchn_send = 9\ndm_io = 11\n" with
+  | Ok m ->
+      check_i64 "grant_map override" 7L (Vclock.cost m Vclock.Grant_map);
+      check_i64 "evtchn_send override" 9L (Vclock.cost m Vclock.Evtchn_send);
+      check_i64 "dm_io override" 11L (Vclock.cost m Vclock.Dm_io)
+  | Error e -> Alcotest.fail e);
   check_bool "unknown key rejected" true
     (Result.is_error (Vclock.Cost_model.of_string "frobnicate = 3"));
+  check_bool "negative grant_map rejected" true
+    (Result.is_error (Vclock.Cost_model.of_string "grant_map = -260"));
   check_bool "negative cost rejected" true
     (Result.is_error (Vclock.Cost_model.of_string "tlb_hit = -1"));
   check_bool "non-integer rejected" true

@@ -172,6 +172,145 @@ let test_grant_version_switch_blocked_while_mapped () =
   check_bool "busy" true
     (Grant_table.set_version t ~alloc ~release Grant_table.V2 = Error Errno.EBUSY)
 
+(* --- Grant/evtchn error paths under multi-domain load --------------------- *)
+
+(* The same error paths, driven through the full hypercall dispatcher on
+   a four-domain testbed with the default background mix running: every
+   tick interleaves two bystander domains' grant/evtchn/memory traffic
+   with the steps under test, so the error returns must hold with other
+   domains' handles and ports live in the same tables. *)
+
+module TB = Ii_guest.Testbed
+module GK = Ii_guest.Kernel
+
+let loaded_tb () = TB.create ~domains:4 ~load:Ii_trace.Load_mix.default Version.V4_8
+
+let test_grant_revoked_mid_map_under_load () =
+  let tb = loaded_tb () in
+  let victim = tb.TB.victim and attacker = tb.TB.attacker in
+  let rc k call = GK.hypercall_rc k call in
+  TB.tick_all tb;
+  check_int "grant" 0
+    (rc victim
+       (Hypercall.Grant_table_op
+          (Hypercall.Gnttab_grant_access
+             { gref = 5; grantee = GK.domid attacker; pfn = 30; readonly = true })));
+  TB.tick_all tb;
+  let handle =
+    rc attacker
+      (Hypercall.Grant_table_op
+         (Hypercall.Gnttab_map { granter = GK.domid victim; gref = 5 }))
+  in
+  check_bool "mapped" true (handle >= 0);
+  TB.tick_all tb;
+  (* the granter revokes while the foreign mapping is still live *)
+  check_int "revoke mid-map refused" (-16)
+    (rc victim (Hypercall.Grant_table_op (Hypercall.Gnttab_end_access { gref = 5 })));
+  TB.tick_all tb;
+  check_int "unmap" 0
+    (rc attacker
+       (Hypercall.Grant_table_op (Hypercall.Gnttab_unmap { granter = GK.domid victim; handle })));
+  check_int "revoke after unmap" 0
+    (rc victim (Hypercall.Grant_table_op (Hypercall.Gnttab_end_access { gref = 5 })));
+  check_int "map after revoke" (-2)
+    (rc attacker
+       (Hypercall.Grant_table_op (Hypercall.Gnttab_map { granter = GK.domid victim; gref = 5 })))
+
+let test_grant_crossdomain_unmap_ordering_under_load () =
+  let tb = loaded_tb () in
+  let victim = tb.TB.victim and attacker = tb.TB.attacker in
+  let extra =
+    match TB.guest_kernels tb with
+    | _ :: _ :: e :: _ -> e
+    | _ -> Alcotest.fail "expected a third guest domain"
+  in
+  let rc k call = GK.hypercall_rc k call in
+  (* one gref granted to two different domains in turn: the granter may
+     only retire the entry once every mapper has released it, whatever
+     order they unmap in *)
+  check_int "grant to attacker" 0
+    (rc victim
+       (Hypercall.Grant_table_op
+          (Hypercall.Gnttab_grant_access
+             { gref = 6; grantee = GK.domid attacker; pfn = 31; readonly = true })));
+  let h1 =
+    rc attacker
+      (Hypercall.Grant_table_op
+         (Hypercall.Gnttab_map { granter = GK.domid victim; gref = 6 }))
+  in
+  check_bool "first mapping" true (h1 >= 0);
+  TB.tick_all tb;
+  (* a third domain is not the grantee: its map attempt must fail even
+     while the legitimate mapping is live *)
+  check_int "third domain refused" (-1)
+    (rc extra
+       (Hypercall.Grant_table_op
+          (Hypercall.Gnttab_map { granter = GK.domid victim; gref = 6 })));
+  TB.tick_all tb;
+  (* a second mapping by the grantee shares the entry *)
+  let h2 =
+    rc attacker
+      (Hypercall.Grant_table_op
+         (Hypercall.Gnttab_map { granter = GK.domid victim; gref = 6 }))
+  in
+  check_bool "second mapping" true (h2 >= 0 && h2 <> h1);
+  check_int "revoke with two live" (-16)
+    (rc victim (Hypercall.Grant_table_op (Hypercall.Gnttab_end_access { gref = 6 })));
+  check_int "unmap first" 0
+    (rc attacker
+       (Hypercall.Grant_table_op
+          (Hypercall.Gnttab_unmap { granter = GK.domid victim; handle = h1 })));
+  check_int "revoke with one live" (-16)
+    (rc victim (Hypercall.Grant_table_op (Hypercall.Gnttab_end_access { gref = 6 })));
+  TB.tick_all tb;
+  check_int "unmap second" 0
+    (rc attacker
+       (Hypercall.Grant_table_op
+          (Hypercall.Gnttab_unmap { granter = GK.domid victim; handle = h2 })));
+  check_int "stale handle" (-2)
+    (rc attacker
+       (Hypercall.Grant_table_op
+          (Hypercall.Gnttab_unmap { granter = GK.domid victim; handle = h1 })));
+  check_int "revoke after both" 0
+    (rc victim (Hypercall.Grant_table_op (Hypercall.Gnttab_end_access { gref = 6 })))
+
+let test_evtchn_closed_channel_under_load () =
+  let tb = loaded_tb () in
+  let victim = tb.TB.victim and attacker = tb.TB.attacker in
+  let rc k call = GK.hypercall_rc k call in
+  let remote_port =
+    rc victim
+      (Hypercall.Event_channel_op
+         (Hypercall.Evtchn_alloc_unbound { allowed_remote = GK.domid attacker }))
+  in
+  check_bool "alloc" true (remote_port >= 0);
+  let local =
+    rc attacker
+      (Hypercall.Event_channel_op
+         (Hypercall.Evtchn_bind_interdomain
+            { remote_dom = GK.domid victim; remote_port }))
+  in
+  check_bool "bind" true (local >= 0);
+  TB.tick_all tb;
+  check_int "send" 0
+    (rc attacker (Hypercall.Event_channel_op (Hypercall.Evtchn_send { port = local })));
+  (* the peer closes its end: the sender's port still exists but the
+     signal has nowhere to land *)
+  check_int "peer close" 0
+    (rc victim (Hypercall.Event_channel_op (Hypercall.Evtchn_close { port = remote_port })));
+  TB.tick_all tb;
+  check_int "send to closed peer" (-2)
+    (rc attacker (Hypercall.Event_channel_op (Hypercall.Evtchn_send { port = local })));
+  (* closing our own end, then sending on it *)
+  check_int "own close" 0
+    (rc attacker (Hypercall.Event_channel_op (Hypercall.Evtchn_close { port = local })));
+  check_int "send on own closed port" (-2)
+    (rc attacker (Hypercall.Event_channel_op (Hypercall.Evtchn_send { port = local })));
+  check_int "double close" (-2)
+    (rc attacker (Hypercall.Event_channel_op (Hypercall.Evtchn_close { port = local })));
+  check_int "close out of range" (-22)
+    (rc attacker (Hypercall.Event_channel_op (Hypercall.Evtchn_close { port = 999 })))
+
 (* --- Sched ---------------------------------------------------------------- *)
 
 let test_sched_round_robin () =
@@ -863,6 +1002,12 @@ let () =
           Alcotest.test_case "version switch" `Quick test_grant_version_switch;
           Alcotest.test_case "switch blocked while mapped" `Quick
             test_grant_version_switch_blocked_while_mapped;
+          Alcotest.test_case "revoked mid-map under load" `Quick
+            test_grant_revoked_mid_map_under_load;
+          Alcotest.test_case "cross-domain unmap ordering under load" `Quick
+            test_grant_crossdomain_unmap_ordering_under_load;
+          Alcotest.test_case "closed channel under load" `Quick
+            test_evtchn_closed_channel_under_load;
         ] );
       ( "sched",
         [
