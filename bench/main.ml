@@ -615,6 +615,42 @@ let perf_report ?(full = false) ~trials () =
   let vclock_within_noise =
     vclock_attached_trial_s <= (2. *. vclock_detached_trial_s) +. 1e-4
   in
+  (* layer 11: coverage observability. Detached (the default) every
+     producer is one option match; attached, a feed is a handful of FNV
+     multiplies and one bit poke into a fixed 1328-byte map — both must
+     stay within noise of the plain trial. The cumulative corpus map and
+     the per-use-case novelty are deterministic and archived. *)
+  let tb_cov = Testbed.create Version.V4_6 in
+  let _, coverage_off_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_cov uc148 Campaign.Injection Version.V4_6)
+  in
+  Trace.set_coverage tb_cov.Testbed.hv.Hv.trace (Some (Coverage.create ()));
+  let _, coverage_on_trial_s =
+    seconds_best ~reps:5 (fun () ->
+        Campaign.run ~tb:tb_cov uc148 Campaign.Injection Version.V4_6)
+  in
+  let coverage_within_noise =
+    coverage_on_trial_s <= (2. *. coverage_off_trial_s) +. 1e-4
+  in
+  let cov_acc = ref Coverage.empty in
+  let cov_rows =
+    Campaign.run_matrix ~coverage:cov_acc All.use_cases ~versions:[ Version.V4_6 ]
+      ~modes:[ Campaign.Real_exploit; Campaign.Injection ]
+  in
+  (* one key per use case: bits the pair of trials (exploit + injection)
+     added to the cumulative map on first sight *)
+  let coverage_novelty_keys =
+    List.rev
+      (List.fold_left
+         (fun acc r ->
+           let key = "coverage_novelty_per_trial_" ^ r.Campaign.r_use_case in
+           match List.assoc_opt key acc with
+           | Some (I n) ->
+               (key, I (n + r.Campaign.r_cov_novelty)) :: List.remove_assoc key acc
+           | _ -> (key, I r.Campaign.r_cov_novelty) :: acc)
+         [] cov_rows)
+  in
   (* layer 10: multi-domain testbeds and background load. A loaded
      4-domain trial prices the workload generator: the hypercall surplus
      over the unloaded trial, divided by the loaded trial's wall time,
@@ -686,7 +722,7 @@ let perf_report ?(full = false) ~trials () =
       Ii_backends.Kvm_use_cases.use_cases
   in
   ( [
-    ("schema_version", I 8);
+    ("schema_version", I 9);
     ("trials", I trials);
     ("walk_uncached_ns", F walk_uncached_ns);
     ("walk_cached_ns", F walk_cached_ns);
@@ -742,11 +778,16 @@ let perf_report ?(full = false) ~trials () =
         ("vclock_overhead_attached_trial_s", F vclock_attached_trial_s);
         ("vclock_overhead_detached_trial_s", F vclock_detached_trial_s);
         ("vclock_overhead_within_noise", B vclock_within_noise);
+        ("coverage_off_trial_s", F coverage_off_trial_s);
+        ("coverage_on_trial_s", F coverage_on_trial_s);
+        ("coverage_overhead_within_noise", B coverage_within_noise);
+        ("coverage_bits_total", I (Coverage.popcount !cov_acc));
         ("load_domains", I 4);
         ("load_hypercalls_per_trial", I load_hypercalls);
         ("load_hypercalls_per_s", F load_hypercalls_per_s);
         ("crossdomain_detected_all", B crossdomain_detected_all);
       ]
+    @ coverage_novelty_keys
     @ crossdomain_latency_keys
     @ cost_model_keys
     @ campaign_1m_keys,

@@ -1,0 +1,256 @@
+(* The coverage subcommand: deterministic coverage maps over the .scn
+   corpus — per-scenario bits and novelty, the cumulative union,
+   differential coverage between two saved runs, and the CI gate
+   (determinism check, non-empty first-run novelty, pinned bit floor). *)
+
+open Cmdliner
+
+module XV = Scenario_cmd.XV
+module KV = Scenario_cmd.KV
+module KC = Scenario_cmd.KC
+
+let jstr = Scenario_cmd.jstr
+let jlist = Scenario_cmd.jlist
+
+(* One result row, projected out of whichever backend's campaign ran it. *)
+type srow = {
+  sr_name : string;
+  sr_mode : string;
+  sr_bits : int;
+  sr_novelty : int;
+  sr_hash : int64;
+}
+
+let modes = [ Campaign.Real_exploit; Campaign.Injection ]
+
+let xen_run ?workers ?pooled ~domains ~load progs =
+  let ucs = List.map XV.use_case progs in
+  let acc = ref Coverage.empty in
+  let rows =
+    Campaign.run_matrix ?workers ?pooled ~domains ~load ~coverage:acc ucs
+      ~versions:[ Substrate_xen.rq1_config ] ~modes
+  in
+  let srows =
+    List.map
+      (fun r ->
+        let m = Option.value r.Campaign.r_coverage ~default:Coverage.empty in
+        {
+          sr_name = r.Campaign.r_use_case;
+          sr_mode = Campaign.mode_to_string r.Campaign.r_mode;
+          sr_bits = Coverage.popcount m;
+          sr_novelty = r.Campaign.r_cov_novelty;
+          sr_hash = Coverage.hash m;
+        })
+      rows
+  in
+  (srows, !acc)
+
+let kvm_run ?workers ?pooled ~domains ~load progs =
+  let ucs = List.map KV.use_case progs in
+  let acc = ref Coverage.empty in
+  let rows =
+    KC.run_matrix ?workers ?pooled ~domains ~load ~coverage:acc ucs
+      ~versions:[ Ii_backends.Backend_kvm.rq1_config ] ~modes
+  in
+  let srows =
+    List.map
+      (fun r ->
+        let m = Option.value r.KC.r_coverage ~default:Coverage.empty in
+        {
+          sr_name = r.KC.r_use_case;
+          sr_mode = Campaign.mode_to_string r.KC.r_mode;
+          sr_bits = Coverage.popcount m;
+          sr_novelty = r.KC.r_cov_novelty;
+          sr_hash = Coverage.hash m;
+        })
+      rows
+  in
+  (srows, !acc)
+
+(* The corpus subset a backend can execute, already checked against its
+   action table. *)
+let compatible_progs backend progs =
+  List.filter_map
+    (fun (file, p) ->
+      match backend with
+      | `Xen -> (
+          if not (XV.compatible p) then None
+          else match XV.check p with Ok () -> Some p | Error e -> failwith (file ^ ": " ^ e))
+      | `Kvm -> (
+          if not (KV.compatible p) then None
+          else match KV.check p with Ok () -> Some p | Error e -> failwith (file ^ ": " ^ e)))
+    progs
+
+let srow_json r =
+  Printf.sprintf "{\"scenario\":%s,\"mode\":%s,\"bits\":%d,\"novelty\":%d,\"hash\":\"%016Lx\"}"
+    (jstr r.sr_name) (jstr r.sr_mode) r.sr_bits r.sr_novelty r.sr_hash
+
+(* Per-scenario novelty total: the rows of one scenario are contiguous
+   (run_matrix deals cells use-case-major), so summing novelty by name
+   is the "what did this scenario add on first sight" signal. *)
+let novelty_by_scenario srows =
+  List.fold_left
+    (fun acc r ->
+      match List.assoc_opt r.sr_name acc with
+      | Some n -> (r.sr_name, n + r.sr_novelty) :: List.remove_assoc r.sr_name acc
+      | None -> (r.sr_name, r.sr_novelty) :: acc)
+    [] srows
+  |> List.rev
+
+(* --- coverage diff ------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_direction label d =
+  Printf.printf "%s: %d bit(s)\n" label (Coverage.popcount d);
+  List.iter
+    (fun (region, bits) -> if bits > 0 then Printf.printf "    %-10s %d\n" region bits)
+    (Coverage.region_bits d)
+
+let run_diff file_a file_b json =
+  let load path =
+    match Coverage.of_json_map (read_file path) with
+    | Ok m -> Ok m
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  in
+  match (load file_a, load file_b) with
+  | Error e, _ | _, Error e -> `Error (false, e)
+  | Ok a, Ok b ->
+      let only_a = Coverage.diff a b and only_b = Coverage.diff b a in
+      if json then
+        Printf.printf
+          "{\"a\":%s,\"b\":%s,\"only_a\":%s,\"only_b\":%s,\"equal\":%b}\n" (jstr file_a)
+          (jstr file_b) (Coverage.to_json only_a) (Coverage.to_json only_b)
+          (Coverage.equal a b)
+      else begin
+        Printf.printf "A = %s (%d bits)\nB = %s (%d bits)\n" file_a (Coverage.popcount a)
+          file_b (Coverage.popcount b);
+        print_direction "only in A" only_a;
+        print_direction "only in B" only_b;
+        if Coverage.equal a b then print_endline "maps are identical"
+      end;
+      `Ok ()
+
+(* --- the corpus sweep + gate --------------------------------------------- *)
+
+let run_corpus dir backend_s domains load json min_bits =
+  let backend =
+    match backend_s with
+    | "xen" -> Ok `Xen
+    | "kvm" -> Ok `Kvm
+    | b -> Error (Printf.sprintf "unknown backend %S (xen|kvm)" b)
+  in
+  match backend with
+  | Error e -> `Error (false, e)
+  | Ok backend -> (
+      match Scenario_cmd.corpus_files dir with
+      | Error e -> `Error (false, e)
+      | Ok files -> (
+          match Scenario_cmd.load_all files with
+          | Error e -> `Error (false, e)
+          | Ok progs -> (
+              match compatible_progs backend progs with
+              | exception Failure e -> `Error (false, e)
+              | [] -> `Error (false, Printf.sprintf "no %s-compatible scenarios in %s" backend_s dir)
+              | progs ->
+                  let run = match backend with `Xen -> xen_run | `Kvm -> kvm_run in
+                  (* the run whose rows we report: sequential, fresh boots *)
+                  let srows, cum = run ~workers:1 ~domains ~load progs in
+                  (* the determinism gate re-runs the same matrix sharded
+                     (3 workers, pooled forks) and pooled-sequential; all
+                     three cumulative maps must be byte-identical *)
+                  let _, cum_sharded = run ~workers:3 ~domains ~load progs in
+                  let _, cum_pooled = run ~workers:1 ~pooled:true ~domains ~load progs in
+                  let deterministic =
+                    Coverage.equal cum cum_sharded && Coverage.equal cum cum_pooled
+                  in
+                  let no_novelty =
+                    List.filter_map
+                      (fun (name, n) -> if n = 0 then Some name else None)
+                      (novelty_by_scenario srows)
+                  in
+                  let bits = Coverage.popcount cum in
+                  if json then
+                    Printf.printf
+                      "{\"backend\":%s,\"scenarios\":%s,\"cumulative\":%s,\"deterministic\":%b,\
+                       \"scenarios_without_novelty\":%s}\n"
+                      (jstr backend_s) (jlist srow_json srows) (Coverage.to_json cum)
+                      deterministic
+                      (jlist jstr no_novelty)
+                  else begin
+                    Printf.printf "%-18s %-10s %6s %8s  %s\n" "SCENARIO" "MODE" "BITS"
+                      "NOVELTY" "HASH";
+                    List.iter
+                      (fun r ->
+                        Printf.printf "%-18s %-10s %6d %8d  %016Lx\n" r.sr_name r.sr_mode
+                          r.sr_bits r.sr_novelty r.sr_hash)
+                      srows;
+                    Printf.printf "\ncumulative: %d / %d bits (hash %016Lx)\n" bits
+                      Coverage.size_bits (Coverage.hash cum);
+                    List.iter
+                      (fun (region, n) -> Printf.printf "  %-10s %d\n" region n)
+                      (Coverage.region_bits cum);
+                    Printf.printf "deterministic (workers 1 = workers 3 = pooled): %b\n"
+                      deterministic
+                  end;
+                  if not deterministic then
+                    `Error (false, "coverage maps diverged across scheduling strategies")
+                  else if no_novelty <> [] then
+                    `Error
+                      ( false,
+                        Printf.sprintf "scenario(s) with no first-run novelty: %s"
+                          (String.concat ", " no_novelty) )
+                  else if bits < min_bits then
+                    `Error
+                      ( false,
+                        Printf.sprintf "cumulative coverage %d bit(s) below the floor (%d)" bits
+                          min_bits )
+                  else `Ok ())))
+
+let cmd =
+  let doc =
+    "Deterministic corpus coverage: per-scenario maps and novelty, the cumulative union, \
+     and the CI determinism/floor gate."
+  in
+  let dir_arg =
+    Arg.(value & pos 0 dir "corpus" & info [] ~docv:"DIR" ~doc:"Corpus directory.")
+  in
+  let backend_arg =
+    Arg.(
+      value & opt string "xen"
+      & info [ "b"; "backend" ] ~docv:"BACKEND" ~doc:"Backend to sweep (xen|kvm).")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.") in
+  let min_bits_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "min-bits" ] ~docv:"N"
+          ~doc:"Fail unless the cumulative map covers at least $(docv) bits (the CI floor).")
+  in
+  let diff_arg =
+    Arg.(
+      value
+      & opt (some (pair ~sep:',' file file)) None
+      & info [ "diff" ] ~docv:"A.json,B.json"
+          ~doc:
+            "Differential coverage: compare the cumulative maps of two saved --json reports \
+             and print the bits unique to each side (no campaign runs).")
+  in
+  let run dir backend_s domains load_s json min_bits diff =
+    match diff with
+    | Some (a, b) -> run_diff a b json
+    | None -> (
+        match Load_mix.of_string load_s with
+        | None -> `Error (false, Printf.sprintf "unknown load mix %S (none|default|heavy)" load_s)
+        | Some load -> run_corpus dir backend_s domains load json min_bits)
+  in
+  Cmd.v
+    (Cmd.info "coverage" ~doc)
+    Term.(
+      ret
+        (const run $ dir_arg $ backend_arg $ Scenario_cmd.domains_arg $ Scenario_cmd.load_arg
+        $ json_arg $ min_bits_arg $ diff_arg))

@@ -155,6 +155,11 @@ let ioctl t ~addr action data =
               Kvm.arbitrary_access t.kvm ~addr action ~data)
         in
         Trace.note_hypercall t.tr ~number:Injector.hypercall_number ~failed:(Result.is_error r);
+        (match Trace.coverage t.tr with
+        | Some cov ->
+            Coverage.note_port cov ~nr:Injector.hypercall_number
+              ~outcome:(match r with Ok _ -> 0 | Error e -> Errno.to_int e)
+        | None -> ());
         r)
 
 let inject_write t ~addr action data =
@@ -490,5 +495,14 @@ let apply_event t (ev : Trace.event) =
       else false
   | Trace.Sched_round ->
       tick_all t;
+      true
+  | Trace.Scn_edge { section; prev; pc } ->
+      (* scenario-bytecode edge: refeed the coverage map and re-emit,
+         exactly as the Xen substrate does — the VM never runs during
+         replay *)
+      (match Trace.coverage t.tr with
+      | Some cov -> Coverage.note_scn_edge cov ~section ~prev ~pc
+      | None -> ());
+      if Trace.recording t.tr && Trace.top_level t.tr then Trace.emit t.tr ev;
       true
   | _ -> false

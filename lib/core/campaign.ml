@@ -67,6 +67,16 @@ module Make (B : Substrate.S) = struct
         (** virtual time the trial consumed (ns on the backend's
             deterministic {!Vclock}); 0 when the clock is detached *)
     r_backend : string;  (** {!B.name}, for cross-backend rows *)
+    r_coverage : Coverage.map option;
+        (** this trial's absolute coverage map (the collector is cleared
+            at trial start), when one is attached to the testbed's
+            trace; [None] otherwise — detached trials compare equal to
+            pre-coverage rows *)
+    r_cov_novelty : int;
+        (** bits this trial added over the campaign's cumulative map so
+            far; 0 outside [run_matrix ~coverage] (novelty is a
+            campaign-order property, assigned by the deterministic fold
+            over positional row order) *)
   }
 
   let run ?frames ?domains ?load ?tb ?observer uc mode version =
@@ -81,6 +91,12 @@ module Make (B : Substrate.S) = struct
     (* Telemetry comes only from the always-on counters, never the ring,
        so a trial's result is identical with recording on or off. *)
     let tr = B.trace tb in
+    (* A trial's coverage map is absolute: clearing here (after reset +
+       injector install, the point replay mirrors) makes the map a pure
+       function of the trial, independent of what the worker's testbed
+       ran before — the property that keeps sharded ≡ sequential. *)
+    let cov = Trace.coverage tr in
+    (match cov with Some c -> Coverage.clear c | None -> ());
     let counters_before = Trace.Counters.snapshot (Trace.counters tr) in
     let vts_before = B.vclock tb in
     let before = B.snapshot tb in
@@ -105,6 +121,18 @@ module Make (B : Substrate.S) = struct
       Trace.emit tr
         (Trace.Monitor_verdict
            { violations = List.length r_violations; classes = Monitor.class_mask r_violations });
+    let r_coverage =
+      match cov with
+      | Some c ->
+          List.iter
+            (fun (dom, vs) ->
+              List.iter
+                (fun v -> Coverage.note_violation c ~cls:(Monitor.class_index v) ~domain:dom)
+                vs)
+            r_domains;
+          Some (Coverage.snapshot c)
+      | None -> None
+    in
     {
       r_use_case = uc.uc_name;
       r_version = version;
@@ -120,9 +148,11 @@ module Make (B : Substrate.S) = struct
           ~after:(Trace.Counters.snapshot (Trace.counters tr));
       r_vtime_ns = Int64.sub (B.vclock tb) vts_before;
       r_backend = B.name;
+      r_coverage;
+      r_cov_novelty = 0;
     }
 
-  let run_matrix ?workers ?pooled ?frames ?domains ?load ucs ~versions ~modes =
+  let run_matrix ?workers ?pooled ?frames ?domains ?load ?coverage ucs ~versions ~modes =
     (* One cell per (uc, version, mode), in that nesting order; cells are
        independent, so they shard: the flattened queue is dealt in chunks
        over one worker pool. Each worker keeps one testbed per version
@@ -141,22 +171,44 @@ module Make (B : Substrate.S) = struct
           List.concat_map (fun version -> List.map (fun mode -> (uc, version, mode)) modes) versions)
         ucs
     in
-    Shard.map_init ?workers
-      ~init:(fun () -> Hashtbl.create 4)
-      (fun testbeds _ (uc, version, mode) ->
-        let tb =
-          match Hashtbl.find_opt testbeds version with
-          | Some tb -> tb
-          | None ->
-              let tb =
-                if pooled then B.create_pooled ?frames ?domains ?load version
-                else B.create ?frames ?domains ?load version
-              in
-              Hashtbl.replace testbeds version tb;
-              tb
-        in
-        run ~tb uc mode version)
-      cells
+    let rows =
+      Shard.map_init ?workers
+        ~init:(fun () -> Hashtbl.create 4)
+        (fun testbeds _ (uc, version, mode) ->
+          let tb =
+            match Hashtbl.find_opt testbeds version with
+            | Some tb -> tb
+            | None ->
+                let tb =
+                  if pooled then B.create_pooled ?frames ?domains ?load version
+                  else B.create ?frames ?domains ?load version
+                in
+                (* attach one collector per worker testbed; [run] clears
+                   it per trial, so each row's map is absolute *)
+                if coverage <> None then
+                  Trace.set_coverage (B.trace tb) (Some (Coverage.create ()));
+                Hashtbl.replace testbeds version tb;
+                tb
+          in
+          run ~tb uc mode version)
+        cells
+    in
+    match coverage with
+    | None -> rows
+    | Some acc ->
+        (* novelty is assigned here, never on the workers: the fold runs
+           over positional row order (= input cell order), so the
+           novelty sequence and the cumulative union are byte-identical
+           whatever worker ran which cell *)
+        List.map
+          (fun r ->
+            match r.r_coverage with
+            | None -> r
+            | Some m ->
+                let n = Coverage.novelty m ~against:!acc in
+                acc := Coverage.merge !acc m;
+                { r with r_cov_novelty = n })
+          rows
 
   let violated r = r.r_violations <> []
 

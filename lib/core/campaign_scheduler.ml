@@ -16,14 +16,17 @@
 
 module RC = Random_campaign
 
-(* Per-worker testbed table, one slot per version, filled on first use. *)
-let worker_pool versions =
+(* Per-worker testbed table, one slot per version, filled on first use.
+   [coverage] attaches a collector to each testbed so trials return
+   per-trial coverage maps. *)
+let worker_pool ~coverage versions =
   let tbs = Array.make (Array.length versions) None in
   fun vi ->
     match tbs.(vi) with
     | Some w -> w
     | None ->
         let w = RC.make_worker ~pooled:true versions.(vi) in
+        if coverage then RC.attach_coverage w;
         tbs.(vi) <- Some w;
         w
 
@@ -32,16 +35,27 @@ let check_args ~trials ~targets versions =
   if trials <= 0 then invalid_arg "Campaign_scheduler: trials must be positive";
   if targets = [] then invalid_arg "Campaign_scheduler: no targets"
 
-let run ?(seed = 42L) ?(targets = RC.intrusion_targets) ?workers ~trials versions =
+let run ?(seed = 42L) ?(targets = RC.intrusion_targets) ?workers ?coverage ~trials versions =
   check_args ~trials ~targets versions;
   let varr = Array.of_list versions in
   let n = Array.length varr * trials in
-  let rows =
+  let pairs =
     Shard.map_init ?workers
-      ~init:(fun () -> worker_pool varr)
-      (fun pool j () -> RC.run_one (pool (j / trials)) ~seed ~targets (j mod trials))
+      ~init:(fun () -> worker_pool ~coverage:(coverage <> None) varr)
+      (fun pool j () -> RC.run_one_cov (pool (j / trials)) ~seed ~targets (j mod trials))
       (List.init n (fun _ -> ()))
   in
+  (* merge per-trial maps into the caller's cumulative map in job order —
+     a deterministic fold over the positional results, identical
+     whatever the worker count (and, since merge is a commutative OR,
+     identical to any other order too) *)
+  (match coverage with
+  | None -> ()
+  | Some acc ->
+      List.iter
+        (fun (_, m) -> match m with Some m -> acc := Coverage.merge !acc m | None -> ())
+        pairs);
+  let rows = List.map fst pairs in
   (* jobs were dealt flattened but land positionally: version vi owns
      the contiguous slice [vi*trials, (vi+1)*trials) *)
   List.mapi
@@ -66,22 +80,30 @@ let outcome_slot = function
 
 let n_outcomes = List.length RC.all_outcomes
 
-let run_streamed ?(seed = 42L) ?(targets = RC.intrusion_targets) ?workers ~trials versions =
+let run_streamed ?(seed = 42L) ?(targets = RC.intrusion_targets) ?workers ?coverage ~trials
+    versions =
   check_args ~trials ~targets versions;
   let varr = Array.of_list versions in
   let n = Array.length varr * trials in
   (* streaming fold: each trial reduces to (version, outcome) and is
      dropped; peak memory is the worker testbeds plus one counter table,
-     flat in [trials] — the shape a million-trial run needs *)
+     flat in [trials] — the shape a million-trial run needs. The
+     coverage merge rides the same fold: bitwise OR is commutative and
+     idempotent, so the merge order the scheduler happens to deliver is
+     invisible in the cumulative map — the order-insensitivity
+     {!Shard.fold_init} requires. *)
   let counts =
     Shard.fold_init ?workers ~n
-      ~init:(fun () -> worker_pool varr)
+      ~init:(fun () -> worker_pool ~coverage:(coverage <> None) varr)
       ~f:(fun pool j ->
         let vi = j / trials in
-        let t = RC.run_one (pool vi) ~seed ~targets (j mod trials) in
-        (vi, t.RC.outcome))
-      ~merge:(fun counts (vi, outcome) ->
+        let t, m = RC.run_one_cov (pool vi) ~seed ~targets (j mod trials) in
+        (vi, t.RC.outcome, m))
+      ~merge:(fun counts (vi, outcome, m) ->
         counts.((vi * n_outcomes) + outcome_slot outcome) <- counts.((vi * n_outcomes) + outcome_slot outcome) + 1;
+        (match (coverage, m) with
+        | Some acc, Some m -> acc := Coverage.merge !acc m
+        | _ -> ());
         counts)
       (Array.make (Array.length varr * n_outcomes) 0)
   in

@@ -17,13 +17,19 @@ val run :
   ?seed:int64 ->
   ?targets:Random_campaign.target_class list ->
   ?workers:int ->
+  ?coverage:Coverage.map ref ->
   trials:int ->
   Version.t list ->
   Random_campaign.summary list
 (** Materializing scheduler: byte-identical summaries to
     [List.map (Random_campaign.run ~seed ~trials ~targets) versions],
     whatever the worker count. Defaults: seed 42, intrusion targets,
-    1 worker. *)
+    1 worker.
+
+    [coverage] accumulates every trial's coverage map
+    ({!Random_campaign.run_one_cov}) into the referenced cumulative map
+    by a deterministic positional fold; the final map is byte-identical
+    whatever the worker count. *)
 
 type stream_stats = {
   st_version : Version.t;
@@ -36,6 +42,7 @@ val run_streamed :
   ?seed:int64 ->
   ?targets:Random_campaign.target_class list ->
   ?workers:int ->
+  ?coverage:Coverage.map ref ->
   trials:int ->
   Version.t list ->
   stream_stats list
@@ -43,6 +50,11 @@ val run_streamed :
     is reduced to its outcome tally on the spot and dropped, so peak
     memory is flat in [trials] (worker testbeds plus one counter
     table). [st_tally] equals the [tally] field {!run} would produce
-    for the same arguments. *)
+    for the same arguments.
+
+    [coverage] merges per-trial maps into the referenced map inside the
+    streaming fold; because the merge is a bitwise OR (commutative,
+    idempotent), the cumulative map equals {!run}'s byte for byte even
+    though the streamed merge order is scheduler-dependent. *)
 
 val render_stream : stream_stats list -> string

@@ -430,6 +430,8 @@ let class_of = function
   | Guest_crash _ -> 4
   | Availability_degradation _ -> 5
 
+let class_index = class_of
+
 let same_class a b =
   let sig_of l = List.sort compare (List.map class_of l) in
   sig_of a = sig_of b

@@ -92,3 +92,7 @@ val class_mask : violation list -> int
 (** Bitmask of the violation classes present (bit 0 = hypervisor crash,
     … bit 5 = availability degradation) — the compact form trace
     [Monitor_verdict] records carry. *)
+
+val class_index : violation -> int
+(** The class number behind {!class_mask}'s bits (0–5): the violation
+    axis of {!Coverage} maps. *)

@@ -214,11 +214,34 @@ let make_worker ?(pooled = false) version =
     w_before = None;
   }
 
-let run_one w ~seed ~targets index =
+(* Coverage-aware trial: when a {!Coverage} collector is attached to the
+   worker testbed's trace, clear it at the pristine point — after reset
+   and injector install, mirroring Campaign.run's protocol, so pooled
+   and freshly-booted workers produce identical per-trial maps — then
+   run the trial, feed the violation axis (these trials observe
+   host-level violations), and snapshot. Collector-free workers pay
+   nothing and get [None]. *)
+let run_one_cov w ~seed ~targets index =
   let before = pristine w in
+  let cov = Trace.coverage w.w_tb.Testbed.hv.Hv.trace in
+  (match cov with Some c -> Coverage.clear c | None -> ());
   let rng = Prng.create ~seed:(trial_seed seed index) in
   let target = Prng.choose rng targets in
-  run_trial rng index w.w_tb ~cache:w.w_cache ~before target
+  let t = run_trial rng index w.w_tb ~cache:w.w_cache ~before target in
+  let m =
+    match cov with
+    | None -> None
+    | Some c ->
+        List.iter
+          (fun v -> Coverage.note_violation c ~cls:(Monitor.class_index v) ~domain:"host")
+          t.t_violations;
+        Some (Coverage.snapshot c)
+  in
+  (t, m)
+
+let run_one w ~seed ~targets index = fst (run_one_cov w ~seed ~targets index)
+
+let attach_coverage w = Trace.set_coverage w.w_tb.Testbed.hv.Hv.trace (Some (Coverage.create ()))
 
 let tally_of trials_list =
   List.map

@@ -80,6 +80,19 @@ val run_one : worker -> seed:int64 -> targets:target_class list -> int -> trial
     memoized before-snapshot). Deterministic in [(seed, index, targets)]
     alone — the positional-determinism contract sharded runs rely on. *)
 
+val attach_coverage : worker -> unit
+(** Attach a fresh {!Coverage} collector to the worker testbed's trace;
+    subsequent {!run_one_cov} calls return per-trial maps. *)
+
+val run_one_cov :
+  worker -> seed:int64 -> targets:target_class list -> int -> trial * Coverage.map option
+(** {!run_one} plus the trial's coverage map when the worker has a
+    collector attached ({!attach_coverage}). The collector is cleared at
+    the pristine point (after reset + injector install, exactly where
+    {!Campaign.Make.run} clears its own), so the map depends only on
+    [(seed, index, targets)] — never on the worker, its fork origin, or
+    scheduling. *)
+
 val tally_of : trial list -> (outcome_class * int) list
 (** Outcome counts in [all_outcomes] order. *)
 

@@ -67,13 +67,17 @@ module Make (B : Substrate.S) = struct
         (** canonical causal graph ({!Provenance.to_json}) when the
             trial ran with provenance attached; replay must reproduce it
             byte for byte *)
+    rec_cov : Coverage.map option;
+        (** the trial's coverage map when recorded with [~coverage:true];
+            replay must reproduce it byte for byte, like vts and the
+            causal graph *)
   }
 
   let prov_export tb =
     match B.provenance tb with Some p -> Some (Provenance.to_json p) | None -> None
 
-  let record ?frames ?domains ?load ?capacity_bytes ?(provenance = false) ?prepare ?observer uc
-      mode version =
+  let record ?frames ?domains ?load ?capacity_bytes ?(provenance = false) ?(coverage = false)
+      ?prepare ?observer uc mode version =
     let tb = B.create ?frames ?domains ?load version in
     if provenance then B.enable_provenance tb;
     (* [prepare] runs before the ring opens (and before Campaign.run's
@@ -81,6 +85,7 @@ module Make (B : Substrate.S) = struct
        detector baselines against the known-good testbed. *)
     (match prepare with Some f -> f tb | None -> ());
     let tr = B.trace tb in
+    if coverage then Trace.set_coverage tr (Some (Coverage.create ()));
     Trace.enable ?capacity_bytes tr;
     let row = C.run ~tb ?observer uc mode version in
     Trace.disable tr;
@@ -98,6 +103,10 @@ module Make (B : Substrate.S) = struct
       rec_model = Vclock.model (Trace.vclock tr);
       rec_final;
       rec_prov = prov_export tb;
+      (* Campaign.run already snapshotted the collector (violation axis
+         included) into the row — that snapshot is the map replay must
+         reproduce *)
+      rec_cov = row.C.r_coverage;
     }
 
   let events r = Trace.records_of_string r.rec_bytes
@@ -119,6 +128,11 @@ module Make (B : Substrate.S) = struct
     rp_prov_equal : bool;
         (** canonical graphs match; vacuously true for plain
             recordings *)
+    rp_cov : Coverage.map option;
+        (** the replay's own coverage map (coverage recordings only) *)
+    rp_cov_equal : bool;
+        (** coverage maps are byte-identical; vacuously true for
+            recordings made without coverage *)
   }
 
   (* The records a replay regenerates: everything except detector scans
@@ -154,6 +168,19 @@ module Make (B : Substrate.S) = struct
        starts on the same records and stamps as the recorded one *)
     B.reset tb;
     if r.rec_mode = Campaign.Injection then B.install_injector tb;
+    (* mirror Campaign.run's coverage protocol: a fresh collector,
+       cleared at the same point in the preamble, and a before-snapshot
+       from the same pristine state (its provenance observes land in the
+       map exactly where the recording's did) *)
+    let cov =
+      match r.rec_cov with
+      | None -> None
+      | Some _ ->
+          let c = Coverage.create () in
+          Trace.set_coverage tr (Some c);
+          Coverage.clear c;
+          Some (c, B.snapshot tb)
+    in
     let applied = ref 0 and skipped = ref 0 in
     List.iter
       (fun { Trace.event; _ } ->
@@ -164,6 +191,20 @@ module Make (B : Substrate.S) = struct
     let replayed = Trace.records_of_string (Trace.to_bytes tr) in
     let rp_final = B.snapshot tb in
     let rp_prov = prov_export tb in
+    let rp_cov =
+      match cov with
+      | None -> None
+      | Some (c, before) ->
+          (* the violation axis is fed from the final verdict, exactly
+             as Campaign.run fed it before snapshotting *)
+          List.iter
+            (fun (dom, vs) ->
+              List.iter
+                (fun v -> Coverage.note_violation c ~cls:(Monitor.class_index v) ~domain:dom)
+                vs)
+            (B.violations_by_domain ~before ~after:rp_final);
+          Some (Coverage.snapshot c)
+    in
     {
       rp_applied = !applied;
       rp_skipped = !skipped;
@@ -172,6 +213,12 @@ module Make (B : Substrate.S) = struct
       rp_vts_equal = vts_stream replayed = vts_stream (events r);
       rp_prov;
       rp_prov_equal = rp_prov = r.rec_prov;
+      rp_cov;
+      rp_cov_equal =
+        (match (r.rec_cov, rp_cov) with
+        | None, _ -> true
+        | Some a, Some b -> Coverage.equal a b
+        | Some _, None -> false);
     }
 
   (* --- reporting ------------------------------------------------------- *)

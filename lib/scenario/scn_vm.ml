@@ -43,10 +43,28 @@ module Make (O : Scn_ops.OPS) = struct
   (* Backstop against jump loops in hostile-but-checked bytecode; the
      corpus programs run tens of instructions. *)
 
-  let run_section (tb : B.t) (p : program) (instrs : instr array) : C.attempt =
+  let run_section (tb : B.t) ~section (p : program) (instrs : instr array) : C.attempt =
     let st = { regs = Array.make Scn_ast.num_regs 0L; err = None; rc = None; logs = []; states = [] } in
     let say line = st.logs <- line :: st.logs in
     let len = Array.length instrs in
+    (* Scenario-pc edge coverage: when a Coverage collector is attached
+       to the testbed's trace, every executed instruction feeds the
+       prev-pc -> pc edge (entry edge uses prev = 0xffffff) and emits a
+       boundary [Scn_edge] record so replay — which never runs the VM —
+       can refeed the same edges from the ring. Detached runs (the
+       default, and every golden fixture) are byte-for-byte unchanged. *)
+    let tr = B.trace tb in
+    let cov = Trace.coverage tr in
+    let prev = ref 0xffffff in
+    let note_edge pc =
+      match cov with
+      | None -> ()
+      | Some c ->
+          Coverage.note_scn_edge c ~section ~prev:!prev ~pc;
+          if Trace.recording tr && Trace.top_level tr then
+            Trace.emit tr (Trace.Scn_edge { section; prev = !prev; pc });
+          prev := pc
+    in
     let reg r = st.regs.(r land 0xf) in
     let setr r v = st.regs.(r land 0xf) <- v in
     let args i =
@@ -64,7 +82,8 @@ module Make (O : Scn_ops.OPS) = struct
     in
     let rec step pc budget =
       if pc >= len || budget <= 0 then ()
-      else
+      else begin
+        note_edge pc;
         let i = instrs.(pc) in
         let next = pc + 1 in
         let s = str p i.sid in
@@ -165,9 +184,21 @@ module Make (O : Scn_ops.OPS) = struct
           st.rc <- None;
           step next (budget - 1))
         else Scn_ops.trap "unknown opcode %d at pc %d" i.op pc
+      end
     in
     step 0 fuel;
     { C.transcript = List.rev st.logs; states = List.rev st.states; rc = st.rc }
+
+  (* The section code folds a 7-bit per-program salt over the
+     exploit/inject bit (bit 0), so scenarios with identical
+     control-flow shapes — straight-line programs of the same length,
+     say — still populate distinct coverage edge slots. The full code
+     travels in the [Scn_edge] record's section byte, so replay refeeds
+     exactly the recorded slots. *)
+  let section_code (p : program) ~section =
+    let h = ref 0 in
+    String.iter (fun ch -> h := ((!h * 131) + Char.code ch) land 0x7f) (name p);
+    (!h lsl 1) lor (section land 1)
 
   (* A compiled program as a campaign use case: because [Campaign.Make]
      is applicative, this is the very same [use_case] type the legacy
@@ -179,8 +210,8 @@ module Make (O : Scn_ops.OPS) = struct
       uc_xsa = xsa p;
       uc_description = description p;
       im = intrusion_model p;
-      run_exploit = (fun tb -> run_section tb p p.exploit);
-      run_injection = (fun tb -> run_section tb p p.inject);
+      run_exploit = (fun tb -> run_section tb ~section:(section_code p ~section:0) p p.exploit);
+      run_injection = (fun tb -> run_section tb ~section:(section_code p ~section:1) p p.inject);
     }
 
   let check p = Scn_check.check O.caps p

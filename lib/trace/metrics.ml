@@ -146,12 +146,29 @@ let float_str f =
   if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
   else Printf.sprintf "%g" f
 
+(* Prometheus label values escape exactly three characters: backslash,
+   double quote and newline. OCaml's %S is close but wrong — it also
+   escapes tabs and emits decimal escapes for other bytes, which the
+   exposition-format parser rejects. *)
+let prom_escape v =
+  let b = Buffer.create (String.length v + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
 let label_str labels =
   match labels with
   | [] -> ""
   | ls ->
       "{"
-      ^ String.concat "," (List.map (fun (k, v) -> Printf.sprintf "%s=%S" k v) ls)
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (prom_escape v)) ls)
       ^ "}"
 
 let with_le labels le =
@@ -205,7 +222,7 @@ let json_escape s =
 let json_labels labels =
   "{"
   ^ String.concat ","
-      (List.map (fun (k, v) -> Printf.sprintf "%S:\"%s\"" k (json_escape v)) labels)
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)) labels)
   ^ "}"
 
 let render_json reg =

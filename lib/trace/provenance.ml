@@ -17,6 +17,18 @@ type origin =
   | Overflow
   | Device_model of int
 
+(* Stable small code for the coverage map's provenance axis: the origin
+   {e constructor}, not its parameter — the axis covers "which kind of
+   producer reached which consumer", not individual labels. *)
+let origin_kind = function
+  | Baseline -> 0
+  | Injector_action _ -> 1
+  | Hypercall_arg _ -> 2
+  | Guest_write _ -> 3
+  | Backend_write _ -> 4
+  | Overflow -> 5
+  | Device_model _ -> 6
+
 let origin_to_string = function
   | Baseline -> "baseline"
   | Injector_action n -> Printf.sprintf "injector#%d" n
@@ -251,11 +263,22 @@ let observe t ~consumer ~mfn ~off ~len =
             :: t.edges_rev;
           t.n_edges <- t.n_edges + 1;
           (match t.tr with
-          | Some tr when Trace.recording tr ->
-              Trace.emit tr
-                (Trace.Provenance_edge
-                   { consumer = consumer_code consumer; mfn; off; len; labels })
-          | _ -> ()))
+          | Some tr -> (
+              (* coverage feed is not gated on the ring: replay re-drives
+                 these consumers whether or not it re-records *)
+              (match Trace.coverage tr with
+              | Some cov ->
+                  List.iter
+                    (fun l ->
+                      Coverage.note_prov cov ~consumer:(consumer_code consumer)
+                        ~origin_kind:(origin_kind (origin_of_label t l)))
+                    labels
+              | None -> ());
+              if Trace.recording tr then
+                Trace.emit tr
+                  (Trace.Provenance_edge
+                     { consumer = consumer_code consumer; mfn; off; len; labels }))
+          | None -> ()))
 
 (* --- checkpoint / reset ------------------------------------------------- *)
 

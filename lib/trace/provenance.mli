@@ -44,6 +44,10 @@ type origin =
           to the injector), or 0 when the compromise came from a real
           exploit rather than the injection port. *)
 
+val origin_kind : origin -> int
+(** Stable small code for the origin {e constructor} (0–6), the
+    provenance axis of {!Coverage}. *)
+
 val origin_to_string : origin -> string
 (** Deterministic rendering ("injector#1", "hypercall:2", "guest:d1",
     ...), used by the exports and the attribution tables. *)

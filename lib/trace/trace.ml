@@ -175,11 +175,15 @@ type event =
   | Provenance_edge of { consumer : int; mfn : int; off : int; len : int; labels : int list }
       (* a consumer interpreted tainted bytes: links this record's seq
          to the origin labels of the bytes read (see Provenance) *)
+  | Scn_edge of { section : int; prev : int; pc : int }
+      (* one executed scenario-bytecode instruction (prev-pc -> pc edge);
+         boundary, so replay can refeed the coverage map without
+         re-running the bytecode VM *)
 
 let is_boundary = function
   | Hypercall { payload; _ } -> payload <> ""
   | Guest_mem _ | Guest_invlpg _ | Kernel_tick _ | Sched_round | Net_listen _ | Net_cmd _
-  | Xenstore_write _ | Backend_op _ ->
+  | Xenstore_write _ | Backend_op _ | Scn_edge _ ->
       true
   | Hypercall_ret _ | Fault _ | Tlb_flush_all | Tlb_invlpg _ | Page_type _ | Grant_op _
   | Evtchn_op _ | Injector_access _ | Console _ | Monitor_verdict _ | Panic _ | Vmi_scan _
@@ -209,6 +213,7 @@ let event_name = function
   | Vmi_scan _ -> "vmi_scan"
   | Backend_op _ -> "backend_op"
   | Provenance_edge _ -> "provenance_edge"
+  | Scn_edge _ -> "scn_edge"
 
 let code_of_event = function
   | Hypercall _ -> 1
@@ -233,6 +238,7 @@ let code_of_event = function
   | Vmi_scan _ -> 27
   | Backend_op _ -> 28
   | Provenance_edge _ -> 29
+  | Scn_edge _ -> 30
 
 (* --- binary encoding -------------------------------------------------- *)
 
@@ -321,6 +327,10 @@ let encode_payload b = function
       put_u32 b len;
       put_u8 b (List.length labels);
       List.iter (put_u8 b) labels
+  | Scn_edge { section; prev; pc } ->
+      put_u8 b section;
+      put_u32 b prev;
+      put_u32 b pc
 
 (* A little cursor over a linearized trace image. *)
 type reader = { src : string; mutable pos : int }
@@ -451,6 +461,11 @@ let decode_payload code r =
       let n = get_u8 r in
       let labels = List.init n (fun _ -> get_u8 r) in
       Provenance_edge { consumer; mfn; off; len; labels }
+  | 30 ->
+      let section = get_u8 r in
+      let prev = get_u32 r in
+      let pc = get_u32 r in
+      Scn_edge { section; prev; pc }
   | n -> failwith (Printf.sprintf "Trace: unknown record code %d" n)
 
 (* --- the ring --------------------------------------------------------- *)
@@ -468,6 +483,9 @@ type t = {
   counters : Counters.t;
   vclock : Vclock.t;
   scratch : Buffer.t;
+  mutable cov : Coverage.t option;
+      (* coverage collector; detached by default — one option match per
+         instrumented site, so coverage-off campaigns bench unchanged *)
 }
 
 let default_capacity = 4 * 1024 * 1024
@@ -484,10 +502,13 @@ let create () =
     counters = Counters.create ();
     vclock = Vclock.create ();
     scratch = Buffer.create 256;
+    cov = None;
   }
 
 let recording t = t.enabled
 let counters t = t.counters
+let coverage t = t.cov
+let set_coverage t c = t.cov <- c
 let dropped t = t.dropped
 let seq t = t.seq_next
 let vclock t = t.vclock
@@ -537,6 +558,14 @@ let ring_append t (src : Buffer.t) =
 
 let emit t event =
   if t.enabled then begin
+    (match t.cov with
+    | Some c ->
+        (* feed every code a replay regenerates; detector scans and the
+           closing monitor verdict exist only on the recording side, so
+           they must not shape the map *)
+        let code = code_of_event event in
+        if code <> 25 && code <> 27 then Coverage.note_record c code
+    | None -> ());
     let s = t.seq_next in
     t.seq_next <- s + 1;
     Buffer.clear t.scratch;
@@ -792,6 +821,8 @@ let pp_event ppf = function
       Format.fprintf ppf "provenance_edge consumer=%d mfn=%d off=%d len=%d labels=[%s]"
         consumer mfn off len
         (String.concat "," (List.map string_of_int labels))
+  | Scn_edge { section; prev; pc } ->
+      Format.fprintf ppf "scn_edge section=%d %d->%d" section prev pc
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in

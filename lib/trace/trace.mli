@@ -107,6 +107,14 @@ type event =
           record's seq to the producers it causally depends on.
           Internal — replay regenerates edges by re-driving the
           boundary stream. *)
+  | Scn_edge of { section : int; prev : int; pc : int }
+      (** one executed scenario-bytecode instruction: the
+          (section, prev-pc → pc) control-flow edge, where [section] is
+          0 for [exploit] and 1 for [inject] and the entry edge uses
+          [prev = 0xffffff]. Only emitted while a {!Coverage} collector
+          is attached. Boundary — the bytecode VM does not run during
+          replay, so replay refeeds the coverage map from these
+          records. *)
 
 val is_boundary : event -> bool
 (** True for the events replay applies: every boundary constructor,
@@ -132,6 +140,13 @@ val disable : t -> unit
 (** Stop recording. The recorded contents stay readable. *)
 
 val recording : t -> bool
+
+val coverage : t -> Coverage.t option
+val set_coverage : t -> Coverage.t option -> unit
+(** Attach/detach a coverage collector. Detached (the default) every
+    instrumented site pays one option match; attached, {!emit} also
+    feeds the record-code axis (except the records only a recording
+    side produces: VMI scans, the closing monitor verdict). *)
 
 val clear : t -> unit
 (** Drop the ring contents and reset [seq]/[dropped]; recording state

@@ -419,6 +419,11 @@ let dispatch hv dom call =
   in
   Trace.leave tr;
   Hv.count_hypercall hv ~number ~failed:(Result.is_error result);
+  (match Trace.coverage tr with
+  | Some cov ->
+      Coverage.note_port cov ~nr:number
+        ~outcome:(match result with Ok _ -> 0 | Error e -> Errno.to_int e)
+  | None -> ());
   if Trace.recording tr then begin
     let rc = match result with Ok v -> v | Error e -> Int64.of_int (Errno.to_return_code e) in
     Trace.emit tr
